@@ -1,0 +1,249 @@
+/**
+ * @file
+ * A1-A4 — ablations of the design choices DESIGN.md calls out.
+ *
+ * A1: crossbar size scale-up ("128 x 128 crossbars are possible with
+ *     custom VLSI", Section 3.1) — aggregate bandwidth vs port count.
+ * A2: the byte-stream sliding window (Section 6.2.2) — goodput vs
+ *     window size.
+ * A3: cut-through forwarding (Section 4, goal 1) — end-to-end latency
+ *     with the 5-cycle transfer latency vs an inflated store-and-
+ *     forward-like hub.
+ * A4: Nectar-native transport vs TCP/IP on the CAB (the Section 6.2.2
+ *     follow-on experiment) — what the Nectar-specific protocols buy.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "inet/ip.hh"
+#include "inet/tcp.hh"
+#include "nectarine/nectarine.hh"
+#include "workload/probes.hh"
+
+using namespace nectar;
+using nectarine::NectarSystem;
+using sim::Task;
+using sim::Tick;
+using namespace sim::ticks;
+
+/** A1: all-ports neighbour streaming on an N-port crossbar. */
+static void
+A1_CrossbarSizeSweep(benchmark::State &state)
+{
+    int ports = static_cast<int>(state.range(0));
+    double gbps = 0;
+    for (auto _ : state) {
+        sim::EventQueue eq;
+        hub::HubConfig hc;
+        hc.numPorts = ports;
+        auto sys = NectarSystem::singleHub(eq, ports, {}, hc);
+        for (std::size_t i = 0; i < sys->siteCount(); ++i) {
+            sys->site(i).datalink->rxHandler =
+                [](std::vector<std::uint8_t> &&, bool) {};
+        }
+        for (int i = 0; i < ports; ++i) {
+            auto route = sys->topo().route(
+                sys->site(i).at, sys->site((i + 1) % ports).at);
+            sim::spawn([](datalink::Datalink &dl, topo::Route r)
+                           -> Task<void> {
+                for (int k = 0; k < 50; ++k) {
+                    co_await dl.sendPacket(
+                        r,
+                        phys::makePayload(
+                            std::vector<std::uint8_t>(960, 1)),
+                        datalink::SwitchMode::packet);
+                }
+            }(*sys->site(i).datalink, route));
+        }
+        eq.run();
+        gbps = static_cast<double>(
+                   sys->topo().hubAt(0).stats().dataBytes.value()) *
+               8.0 / static_cast<double>(eq.now());
+    }
+    state.counters["aggregate_Gbps"] = gbps;
+    state.counters["ports"] = ports;
+}
+BENCHMARK(A1_CrossbarSizeSweep)->Arg(16)->Arg(32)->Arg(64)->Arg(128);
+
+/** A2: stream goodput vs sliding-window size. */
+static void
+A2_WindowSweep(benchmark::State &state)
+{
+    auto window = static_cast<std::uint32_t>(state.range(0));
+    double mbs = 0;
+    for (auto _ : state) {
+        sim::EventQueue eq;
+        nectarine::SiteConfig cfg;
+        cfg.transport.windowPackets = window;
+        auto sys = NectarSystem::singleHub(eq, 2, cfg);
+        nectarine::Nectarine api(*sys);
+        workload::StreamMeterConfig smc;
+        smc.totalBytes = 1 << 20;
+        workload::StreamMeter sm(api, 0, 1, smc);
+        eq.run();
+        mbs = sm.megabytesPerSecond();
+    }
+    state.counters["goodput_MBs"] = mbs;
+    state.counters["window_pkts"] = window;
+}
+BENCHMARK(A2_WindowSweep)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->Arg(16);
+
+/** A3: transfer latency with cut-through vs an inflated hub delay. */
+static void
+A3_CutThroughAblation(benchmark::State &state)
+{
+    int transfer_cycles = static_cast<int>(state.range(0));
+    double us_lat = 0;
+    for (auto _ : state) {
+        sim::EventQueue eq;
+        hub::HubConfig hc;
+        hc.transferCycles = transfer_cycles;
+        auto sys = NectarSystem::mesh2D(eq, 1, 3, 1, {}, hc);
+        Tick delivered = -1;
+        sys->site(2).datalink->rxHandler =
+            [&](std::vector<std::uint8_t> &&, bool) {
+                delivered = eq.now();
+            };
+        auto route =
+            sys->topo().route(sys->site(0).at, sys->site(2).at);
+        Tick t0 = 1000;
+        eq.schedule(t0, [&, route] {
+            sim::spawn([](datalink::Datalink &dl,
+                          topo::Route r) -> Task<void> {
+                co_await dl.sendPacket(
+                    r,
+                    phys::makePayload(
+                        std::vector<std::uint8_t>(512, 1)),
+                    datalink::SwitchMode::packet);
+            }(*sys->site(0).datalink, route));
+        });
+        eq.run();
+        us_lat = static_cast<double>(delivered - t0) / 1000.0;
+    }
+    state.counters["latency_us"] = us_lat;
+    state.counters["transfer_cycles"] = transfer_cycles;
+}
+// 5 cycles is the prototype; 180 cycles ~ a 1 KB store-and-forward.
+BENCHMARK(A3_CutThroughAblation)->Arg(5)->Arg(20)->Arg(60)->Arg(180);
+
+namespace {
+
+/** TCP-over-Nectar bulk transfer goodput (MB/s). */
+double
+tcpGoodputMBs(std::uint64_t total)
+{
+    sim::EventQueue eq;
+    auto sys = NectarSystem::singleHub(eq, 2);
+    inet::IpLayer ip0(*sys->site(0).kernel, *sys->site(0).datalink,
+                      sys->directory(), sys->site(0).address);
+    inet::IpLayer ip1(*sys->site(1).kernel, *sys->site(1).datalink,
+                      sys->directory(), sys->site(1).address);
+    inet::Tcp tcp0(ip0), tcp1(ip1);
+
+    Tick done = -1;
+    sim::spawn([](sim::EventQueue &eq, inet::Tcp &tcp,
+                  std::uint64_t total, Tick &done) -> Task<void> {
+        auto *s = co_await tcp.accept(80);
+        std::uint64_t got = 0;
+        while (got < total) {
+            auto chunk = co_await s->receive(65536);
+            if (chunk.empty())
+                break;
+            got += chunk.size();
+        }
+        done = eq.now();
+    }(eq, tcp1, total, done));
+    sim::spawn([](inet::Tcp &tcp, std::uint64_t total) -> Task<void> {
+        auto *s = co_await tcp.connect(inet::ipOfCab(2), 80);
+        if (!s)
+            co_return;
+        std::uint64_t sent = 0;
+        while (sent < total) {
+            std::uint64_t n =
+                std::min<std::uint64_t>(65536, total - sent);
+            sent += n;
+            co_await s->send(std::vector<std::uint8_t>(
+                static_cast<std::size_t>(n), 1));
+        }
+    }(tcp0, total));
+    eq.run();
+    return static_cast<double>(total) * 1000.0 /
+           static_cast<double>(done);
+}
+
+/** TCP-over-Nectar small-message RTT (us). */
+double
+tcpRttUs(int iters)
+{
+    sim::EventQueue eq;
+    auto sys = NectarSystem::singleHub(eq, 2);
+    inet::IpLayer ip0(*sys->site(0).kernel, *sys->site(0).datalink,
+                      sys->directory(), sys->site(0).address);
+    inet::IpLayer ip1(*sys->site(1).kernel, *sys->site(1).datalink,
+                      sys->directory(), sys->site(1).address);
+    inet::Tcp tcp0(ip0), tcp1(ip1);
+
+    sim::Histogram rtt;
+    sim::spawn([](inet::Tcp &tcp, int iters) -> Task<void> {
+        auto *s = co_await tcp.accept(7);
+        for (int i = 0; i < iters; ++i) {
+            auto msg = co_await s->receive(100);
+            co_await s->send(std::move(msg));
+        }
+    }(tcp1, iters));
+    sim::spawn([](sim::EventQueue &eq, inet::Tcp &tcp, int iters,
+                  sim::Histogram &rtt) -> Task<void> {
+        auto *s = co_await tcp.connect(inet::ipOfCab(2), 7);
+        if (!s)
+            co_return;
+        for (int i = 0; i < iters; ++i) {
+            Tick t0 = eq.now();
+            co_await s->send(std::vector<std::uint8_t>(64, 1));
+            co_await s->receive(100);
+            rtt.record(static_cast<double>(eq.now() - t0));
+        }
+    }(eq, tcp0, iters, rtt));
+    eq.run();
+    return rtt.mean() / 1000.0;
+}
+
+} // namespace
+
+/** A4: Nectar-native byte-stream vs TCP/IP on the same hardware. */
+static void
+A4_NativeVsTcp(benchmark::State &state)
+{
+    double native_mbs = 0, tcp_mbs = 0, native_rtt = 0, tcp_rtt = 0;
+    for (auto _ : state) {
+        {
+            sim::EventQueue eq;
+            auto sys = NectarSystem::singleHub(eq, 2);
+            nectarine::Nectarine api(*sys);
+            workload::StreamMeterConfig smc;
+            smc.totalBytes = 1 << 20;
+            workload::StreamMeter sm(api, 0, 1, smc);
+            eq.run();
+            native_mbs = sm.megabytesPerSecond();
+        }
+        {
+            sim::EventQueue eq;
+            auto sys = NectarSystem::singleHub(eq, 2);
+            nectarine::Nectarine api(*sys);
+            workload::PingPongConfig ppc;
+            ppc.iterations = 40;
+            ppc.delivery = nectarine::Delivery::reliable;
+            workload::PingPong pp(api, 0, 1, ppc);
+            eq.run();
+            native_rtt = pp.meanRttUs();
+        }
+        tcp_mbs = tcpGoodputMBs(1 << 20);
+        tcp_rtt = tcpRttUs(40);
+    }
+    state.counters["native_MBs"] = native_mbs;
+    state.counters["tcp_MBs"] = tcp_mbs;
+    state.counters["native_rtt_us"] = native_rtt;
+    state.counters["tcp_rtt_us"] = tcp_rtt;
+}
+BENCHMARK(A4_NativeVsTcp);
+
+BENCHMARK_MAIN();

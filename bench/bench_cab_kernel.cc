@@ -1,0 +1,112 @@
+/**
+ * @file
+ * E7 — CAB kernel costs (Section 6.1).
+ *
+ * Paper: "Thread switching takes between 10 and 15 microseconds;
+ * almost all of this time is spent saving and restoring the SPARC
+ * register windows."
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "cab/cab.hh"
+#include "cabos/kernel.hh"
+#include "sim/coro.hh"
+
+using namespace nectar;
+using sim::Task;
+using sim::Tick;
+using namespace sim::ticks;
+
+/** Direct measurement: sleep wakeup = timer + one context switch. */
+static void
+E7_ThreadSwitch(benchmark::State &state)
+{
+    double ns = 0;
+    for (auto _ : state) {
+        sim::EventQueue eq;
+        cab::Cab board(eq, "cab");
+        cabos::Kernel kernel(board);
+        Tick woke = 0;
+        kernel.spawnThread("t", [](cabos::Kernel &k,
+                                   Tick &woke) -> Task<void> {
+            co_await k.sleepFor(100 * us);
+            woke = k.now();
+        }(kernel, woke));
+        eq.run();
+        ns = static_cast<double>(woke - 100 * us);
+    }
+    state.counters["measured_us"] = ns / 1000.0;
+    state.counters["paper_min_us"] = 10;
+    state.counters["paper_max_us"] = 15;
+}
+BENCHMARK(E7_ThreadSwitch);
+
+/** Mailbox handoff between two threads: switch + mailbox ops. */
+static void
+E7_MailboxHandoff(benchmark::State &state)
+{
+    double ns = 0;
+    for (auto _ : state) {
+        sim::EventQueue eq;
+        cab::Cab board(eq, "cab");
+        cabos::Kernel kernel(board);
+        auto &ping = kernel.createMailbox("ping", 4096);
+        auto &pong = kernel.createMailbox("pong", 4096);
+        const int rounds = 50;
+        Tick t0 = 0, t1 = 0;
+
+        kernel.spawnThread("a", [](cabos::Kernel &k, cabos::Mailbox &tx,
+                                   cabos::Mailbox &rx, int rounds,
+                                   Tick &t0, Tick &t1) -> Task<void> {
+            t0 = k.now();
+            for (int i = 0; i < rounds; ++i) {
+                tx.tryPut(cabos::Message({1}));
+                co_await rx.get();
+            }
+            t1 = k.now();
+        }(kernel, ping, pong, rounds, t0, t1));
+        kernel.spawnThread("b", [](cabos::Mailbox &rx,
+                                   cabos::Mailbox &tx,
+                                   int rounds) -> Task<void> {
+            for (int i = 0; i < rounds; ++i) {
+                co_await rx.get();
+                tx.tryPut(cabos::Message({2}));
+            }
+        }(ping, pong, rounds));
+        eq.run();
+        // Each round = two handoffs (two context switches).
+        ns = static_cast<double>(t1 - t0) / (2.0 * rounds);
+    }
+    state.counters["per_handoff_us"] = ns / 1000.0;
+    // Dominated by the 12.5 us switch, as the paper says.
+    state.counters["paper_switch_us"] = 12.5;
+}
+BENCHMARK(E7_MailboxHandoff);
+
+/** Thread creation is cheap ("threads have little state"). */
+static void
+E7_ThreadSpawnScale(benchmark::State &state)
+{
+    int threads = static_cast<int>(state.range(0));
+    double all_done_us = 0;
+    for (auto _ : state) {
+        sim::EventQueue eq;
+        cab::Cab board(eq, "cab");
+        cabos::Kernel kernel(board);
+        for (int i = 0; i < threads; ++i) {
+            kernel.spawnThread(
+                "w" + std::to_string(i),
+                [](cabos::Kernel &k) -> Task<void> {
+                    co_await k.sleepFor(10 * us);
+                }(kernel));
+        }
+        eq.run();
+        all_done_us = static_cast<double>(eq.now()) / 1000.0;
+    }
+    state.counters["all_done_us"] = all_done_us;
+    state.counters["threads"] = threads;
+}
+BENCHMARK(E7_ThreadSpawnScale)->Arg(2)->Arg(8)->Arg(32);
+
+BENCHMARK_MAIN();

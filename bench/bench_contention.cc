@@ -1,0 +1,144 @@
+/**
+ * @file
+ * E13 — crossbar vs shared medium under contention (Section 3.1).
+ *
+ * Paper: "the use of crossbar switches substantially reduces network
+ * contention."  Disjoint pairs on a crossbar get independent paths,
+ * so aggregate throughput scales with the pair count; on a shared
+ * 10 Mb/s Ethernet every station competes for one wire.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "baseline/ethernet.hh"
+#include "nectarine/nectarine.hh"
+#include "node/netstack.hh"
+#include "workload/probes.hh"
+
+using namespace nectar;
+using nectarine::Nectarine;
+using nectarine::NectarSystem;
+using sim::Task;
+using sim::Tick;
+using namespace sim::ticks;
+
+/** K disjoint pairs streaming simultaneously through one HUB. */
+static void
+E13_NectarPairScaling(benchmark::State &state)
+{
+    int pairs = static_cast<int>(state.range(0));
+    double aggregate = 0;
+    for (auto _ : state) {
+        sim::EventQueue eq;
+        auto sys = NectarSystem::singleHub(eq, 2 * pairs);
+        Nectarine api(*sys);
+        std::vector<std::unique_ptr<workload::StreamMeter>> meters;
+        for (int p = 0; p < pairs; ++p) {
+            workload::StreamMeterConfig cfg;
+            cfg.totalBytes = 512 * 1024;
+            cfg.label = "pair" + std::to_string(p);
+            meters.push_back(std::make_unique<workload::StreamMeter>(
+                api, 2 * p, 2 * p + 1, cfg));
+        }
+        eq.run();
+        aggregate = 0;
+        for (auto &m : meters)
+            aggregate += m->megabytesPerSecond();
+    }
+    state.counters["aggregate_MBs"] = aggregate;
+    state.counters["pairs"] = pairs;
+}
+BENCHMARK(E13_NectarPairScaling)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
+
+/** The same pair workload on the shared-medium LAN. */
+static void
+E13_LanPairScaling(benchmark::State &state)
+{
+    int pairs = static_cast<int>(state.range(0));
+    double aggregate = 0;
+    for (auto _ : state) {
+        sim::EventQueue eq;
+        baseline::EthernetSegment seg(eq, "eth");
+        std::vector<std::unique_ptr<node::Node>> nodes;
+        std::vector<std::unique_ptr<baseline::EthernetNic>> nics;
+        std::vector<std::unique_ptr<node::NodeNetStack>> stacks;
+        for (int i = 0; i < 2 * pairs; ++i) {
+            nodes.push_back(std::make_unique<node::Node>(
+                eq, "n" + std::to_string(i)));
+            nics.push_back(std::make_unique<baseline::EthernetNic>(
+                *nodes[i], seg, static_cast<std::uint16_t>(i + 1)));
+            stacks.push_back(std::make_unique<node::NodeNetStack>(
+                *nodes[i], *nics[i]));
+        }
+
+        const std::uint64_t per_pair = 128 * 1024;
+        auto ends = std::make_shared<std::vector<Tick>>(pairs, -1);
+        for (int p = 0; p < pairs; ++p) {
+            sim::spawn([](sim::EventQueue &eq, node::NodeNetStack &rx,
+                          std::uint64_t total, Tick &end)
+                           -> Task<void> {
+                std::uint64_t got = 0;
+                while (got < total)
+                    got += (co_await rx.receive(5)).size();
+                end = eq.now();
+            }(eq, *stacks[2 * p + 1], per_pair, (*ends)[p]));
+            sim::spawn([](node::NodeNetStack &tx, std::uint16_t dst,
+                          std::uint64_t total) -> Task<void> {
+                std::uint64_t sent = 0;
+                while (sent < total) {
+                    std::uint64_t n =
+                        std::min<std::uint64_t>(16384, total - sent);
+                    sent += n;
+                    co_await tx.sendMessage(
+                        dst, 5, std::vector<std::uint8_t>(n, 1));
+                }
+            }(*stacks[2 * p],
+              static_cast<std::uint16_t>(2 * p + 2), per_pair));
+        }
+        eq.run();
+        Tick last = 0;
+        for (Tick e : *ends)
+            last = std::max(last, e);
+        aggregate = static_cast<double>(per_pair) * pairs * 1000.0 /
+                    static_cast<double>(last);
+    }
+    state.counters["aggregate_MBs"] = aggregate;
+    state.counters["pairs"] = pairs;
+    state.counters["wire_limit_MBs"] = 1.25;
+}
+BENCHMARK(E13_LanPairScaling)->Arg(1)->Arg(2)->Arg(4);
+
+/** Latency under background load: crossbar isolates flows. */
+static void
+E13_LatencyUnderLoad(benchmark::State &state)
+{
+    bool loaded = state.range(0) != 0;
+    double rtt_us = 0;
+    for (auto _ : state) {
+        sim::EventQueue eq;
+        auto sys = NectarSystem::singleHub(eq, 6);
+        Nectarine api(*sys);
+        // Background bulk pairs on other ports.
+        std::vector<std::unique_ptr<workload::StreamMeter>> noise;
+        if (loaded) {
+            for (int p = 1; p <= 2; ++p) {
+                workload::StreamMeterConfig cfg;
+                cfg.totalBytes = 2 << 20;
+                cfg.label = "noise" + std::to_string(p);
+                noise.push_back(
+                    std::make_unique<workload::StreamMeter>(
+                        api, 2 * p, 2 * p + 1, cfg));
+            }
+        }
+        workload::PingPongConfig cfg;
+        cfg.iterations = 40;
+        workload::PingPong pp(api, 0, 1, cfg);
+        eq.run();
+        rtt_us = pp.meanRttUs();
+    }
+    state.counters["rtt_us"] = rtt_us;
+}
+BENCHMARK(E13_LatencyUnderLoad)
+    ->Arg(0)->Arg(1)->ArgNames({"loaded"});
+
+BENCHMARK_MAIN();

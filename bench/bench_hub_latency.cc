@@ -1,0 +1,127 @@
+/**
+ * @file
+ * E1 — HUB latency (Section 4, goal 1).
+ *
+ * Paper: "the latency to set up a connection and transfer the first
+ * byte of a packet through a single HUB is ten cycles (700
+ * nanoseconds).  Once a connection has been established, the latency
+ * to transfer a byte is five cycles (350 nanoseconds), but the
+ * transfer of multiple bytes is pipelined to match the 100
+ * megabits/second peak bandwidth of the fibers."
+ */
+
+#include "bench/common.hh"
+
+#include "helpers/test_endpoint.hh"
+#include "topo/topology.hh"
+
+using namespace nectar;
+using namespace nectar::bench;
+using Endpoint = nectar::test::TestEndpoint;
+using hub::Op;
+using phys::ItemKind;
+
+namespace {
+
+/** Build 1 hub + 2 endpoints; return via out-params. */
+struct SingleHubRig
+{
+    sim::EventQueue eq;
+    hub::RecordingMonitor mon;
+    std::unique_ptr<hub::Hub> h;
+    topo::Wiring wiring{eq};
+    Endpoint a{eq}, b{eq};
+
+    SingleHubRig()
+    {
+        h = std::make_unique<hub::Hub>(eq, "hub", 0, hub::HubConfig{},
+                                       &mon);
+        a.attachTx(wiring.connectEndpoint(a, *h, 0, "a"));
+        b.attachTx(wiring.connectEndpoint(b, *h, 1, "b"));
+    }
+};
+
+} // namespace
+
+/** Connection setup: command sent to crossbar connection made. */
+static void
+E1_ConnectionSetup(benchmark::State &state)
+{
+    double measured = 0;
+    for (auto _ : state) {
+        SingleHubRig rig;
+        rig.a.sendCommand(Op::open, 0, 1);
+        rig.eq.run();
+        measured = static_cast<double>(rig.mon.events().back().when);
+    }
+    state.counters["measured_ns"] = measured;
+    state.counters["paper_goal_ns"] = 1000; // < 1 us (Section 2.3)
+}
+BENCHMARK(E1_ConnectionSetup);
+
+/** Setup + first data byte out of the output register. */
+static void
+E1_SetupPlusFirstByte(benchmark::State &state)
+{
+    double measured = 0;
+    for (auto _ : state) {
+        SingleHubRig rig;
+        rig.a.sendCommand(Op::openRetry, 0, 1);
+        rig.a.sendPacket(std::vector<std::uint8_t>(16, 1));
+        rig.eq.run();
+        sim::Tick cmd_last_byte = 240;
+        sim::Tick sop_out =
+            rig.b.arrivalOf(ItemKind::startOfPacket) - 80;
+        measured = static_cast<double>(sop_out - cmd_last_byte);
+    }
+    state.counters["measured_ns"] = measured;
+    state.counters["paper_ns"] = 700; // ten 70 ns cycles
+}
+BENCHMARK(E1_SetupPlusFirstByte);
+
+/** Per-item transfer latency through an open connection. */
+static void
+E1_EstablishedTransferLatency(benchmark::State &state)
+{
+    double measured = 0;
+    for (auto _ : state) {
+        SingleHubRig rig;
+        rig.a.sendCommand(Op::open, 0, 1);
+        rig.eq.run();
+        sim::Tick t0 = rig.eq.now() + 1000;
+        rig.eq.schedule(t0, [&] {
+            rig.a.sendPacket(std::vector<std::uint8_t>(1, 1));
+        });
+        rig.eq.run();
+        // Arrival minus serialization in and out (80 ns each way).
+        measured = static_cast<double>(
+            rig.b.arrivalOf(ItemKind::startOfPacket) - t0 - 160);
+    }
+    state.counters["measured_ns"] = measured;
+    state.counters["paper_ns"] = 350; // five 70 ns cycles
+}
+BENCHMARK(E1_EstablishedTransferLatency);
+
+/** Pipelined transfer matches the 100 Mb/s fiber rate. */
+static void
+E1_PipelinedBandwidth(benchmark::State &state)
+{
+    double mbps = 0;
+    for (auto _ : state) {
+        SingleHubRig rig;
+        rig.a.sendCommand(Op::open, 0, 1);
+        rig.eq.run();
+        const std::uint32_t bytes = 64 * 1024;
+        sim::Tick t0 = rig.eq.now();
+        rig.a.sendPacket(std::vector<std::uint8_t>(bytes, 7));
+        rig.eq.run();
+        sim::Tick last = rig.b.received.back().lastByte;
+        mbps = static_cast<double>(bytes) * 8.0 * 1000.0 /
+               static_cast<double>(last - t0);
+    }
+    state.counters["measured_Mbps"] = mbps;
+    state.counters["paper_Mbps"] = 100;
+}
+BENCHMARK(E1_PipelinedBandwidth);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * E4 — the latency goals of Section 2.3.
+ *
+ * Paper: "excluding the transmission delays of the optical fibers,
+ * the latency for a message sent between processes on two CABs should
+ * be under 30 microseconds; the corresponding latency for processes
+ * residing in nodes should be under 100 microseconds; and the latency
+ * to establish a connection through a single HUB should be under 1
+ * microsecond."
+ */
+
+#include "bench/common.hh"
+
+#include "helpers/test_endpoint.hh"
+
+using namespace nectar;
+using namespace nectar::bench;
+
+static void
+E4_CabToCabProcessLatency(benchmark::State &state)
+{
+    double ns = 0;
+    for (auto _ : state)
+        ns = cabToCabOneWayNs();
+    state.counters["measured_us"] = ns / 1000.0;
+    state.counters["paper_goal_us"] = 30;
+}
+BENCHMARK(E4_CabToCabProcessLatency);
+
+static void
+E4_NodeToNodeProcessLatency(benchmark::State &state)
+{
+    double ns = 0;
+    for (auto _ : state)
+        ns = nodeToNodeOneWayNs();
+    state.counters["measured_us"] = ns / 1000.0;
+    state.counters["paper_goal_us"] = 100;
+}
+BENCHMARK(E4_NodeToNodeProcessLatency);
+
+static void
+E4_HubConnectionSetup(benchmark::State &state)
+{
+    double ns = 0;
+    for (auto _ : state) {
+        sim::EventQueue eq;
+        hub::RecordingMonitor mon;
+        hub::Hub h(eq, "hub", 0, {}, &mon);
+        topo::Wiring wiring(eq);
+        test::TestEndpoint a(eq), b(eq);
+        a.attachTx(wiring.connectEndpoint(a, h, 0, "a"));
+        b.attachTx(wiring.connectEndpoint(b, h, 1, "b"));
+        a.sendCommand(hub::Op::open, 0, 1);
+        eq.run();
+        ns = static_cast<double>(mon.events().back().when);
+    }
+    state.counters["measured_us"] = ns / 1000.0;
+    state.counters["paper_goal_us"] = 1;
+}
+BENCHMARK(E4_HubConnectionSetup);
+
+/** The goals hold across message sizes up to the MTU. */
+static void
+E4_CabToCabBySize(benchmark::State &state)
+{
+    auto bytes = static_cast<std::uint32_t>(state.range(0));
+    double ns = 0;
+    for (auto _ : state)
+        ns = cabToCabOneWayNs(30, bytes);
+    state.counters["measured_us"] = ns / 1000.0;
+    state.counters["bytes"] = bytes;
+}
+BENCHMARK(E4_CabToCabBySize)->Arg(16)->Arg(64)->Arg(256)->Arg(896);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * E10 — multi-HUB scaling (Section 4, goal 3; Figure 4).
+ *
+ * Paper: "Because of the low switching and transfer latency of a
+ * single HUB, the latency of process to process communication in a
+ * multi-HUB system is not significantly higher" — and the same HUB
+ * design scales "up to a network of hundreds of supercomputer-class
+ * machines" by connecting clusters in a mesh.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "nectarine/nectarine.hh"
+#include "workload/probes.hh"
+#include "workload/traffic.hh"
+
+using namespace nectar;
+using nectarine::Nectarine;
+using nectarine::NectarSystem;
+
+/** RTT as a function of HUB hop count across a 4x4 mesh. */
+static void
+E10_LatencyVsHops(benchmark::State &state)
+{
+    int manhattan = static_cast<int>(state.range(0));
+    double rtt_us = 0, per_hop_ns = 0;
+    for (auto _ : state) {
+        sim::EventQueue eq;
+        auto sys = NectarSystem::mesh2D(eq, 4, 4, 1);
+        Nectarine api(*sys);
+        // Walk along the top row then down: site index == hub index.
+        std::size_t dst = static_cast<std::size_t>(manhattan);
+        workload::PingPongConfig cfg;
+        cfg.iterations = 40;
+        workload::PingPong pp(api, 0, dst, cfg);
+        eq.run();
+        rtt_us = pp.meanRttUs();
+
+        // Against the 0-extra-hops reference.
+        sim::EventQueue eq0;
+        auto sys0 = NectarSystem::mesh2D(eq0, 4, 4, 2);
+        Nectarine api0(*sys0);
+        workload::PingPong base(api0, 0, 1, cfg); // same hub
+        eq0.run();
+        per_hop_ns = (rtt_us - base.meanRttUs()) * 1000.0 /
+                     (2.0 * manhattan);
+    }
+    state.counters["rtt_us"] = rtt_us;
+    state.counters["extra_per_hop_ns"] = per_hop_ns;
+    state.counters["hops"] = manhattan;
+}
+BENCHMARK(E10_LatencyVsHops)->Arg(1)->Arg(2)->Arg(3)->Arg(6);
+
+/** Whole-mesh random traffic: delivery stays complete under load. */
+static void
+E10_MeshRandomTraffic(benchmark::State &state)
+{
+    int side = static_cast<int>(state.range(0));
+    double rate = 0, mean_lat_us = 0;
+    for (auto _ : state) {
+        sim::EventQueue eq;
+        auto sys = NectarSystem::mesh2D(eq, side, side, 2);
+        Nectarine api(*sys);
+        workload::RandomTrafficConfig cfg;
+        cfg.messagesPerSite = 25;
+        cfg.meanGap = 300 * sim::ticks::us;
+        workload::RandomTraffic rt(api, cfg);
+        eq.run();
+        rate = rt.deliveryRate();
+        mean_lat_us = rt.latency().mean() / 1000.0;
+    }
+    state.counters["delivery_rate"] = rate;
+    state.counters["mean_latency_us"] = mean_lat_us;
+    state.counters["hubs"] = side * side;
+}
+BENCHMARK(E10_MeshRandomTraffic)->Arg(2)->Arg(3)->Arg(4);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,255 @@
+/**
+ * @file
+ * E12 — the three CAB-node interfaces (Section 6.2.3).
+ *
+ * Paper: shared memory ("most efficient ... no system calls,
+ * receive by polling"), Berkeley sockets ("system call overhead and
+ * data copying ... but the transport protocol overhead is off-loaded
+ * onto the CAB"), and the network driver ("Nectar is used as a 'dumb'
+ * network and all transport protocol processing is performed on the
+ * node" — binary compatibility at the highest cost).
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "nectarine/system.hh"
+#include "node/interfaces.hh"
+#include "node/netstack.hh"
+#include "node/rawnet.hh"
+#include "sim/coro.hh"
+
+using namespace nectar;
+using namespace nectar::node;
+using nectarine::NectarSystem;
+using sim::Task;
+using sim::Tick;
+using namespace sim::ticks;
+
+namespace {
+
+enum class If { sharedMemory, socket, driver };
+
+/** One-way latency (ns) and goodput (MB/s) for an interface. */
+struct Result
+{
+    double oneWayNs = 0;
+    double goodputMBs = 0;
+};
+
+Result
+measure(If which, std::uint32_t smallBytes, std::uint32_t bulkBytes)
+{
+    Result r;
+
+    // ---- Latency: echo round trip / 2.
+    {
+        sim::EventQueue eq;
+        auto sys = NectarSystem::singleHub(eq, 2);
+        Node a(eq, "a"), b(eq, "b");
+        sys->site(0).kernel->createMailbox("inA", 1 << 20, 10);
+        sys->site(1).kernel->createMailbox("inB", 1 << 20, 10);
+        sim::Histogram oneway;
+        const int iters = 15;
+
+        auto run_pair = [&](auto &&send0, auto &&recv0, auto &&send1,
+                            auto &&recv1) {
+            sim::spawn([](std::function<Task<void>()> body)
+                           -> Task<void> { co_await body(); }([=]()
+                           -> Task<void> { co_return; }));
+            (void)send0; (void)recv0; (void)send1; (void)recv1;
+        };
+        (void)run_pair;
+
+        if (which == If::sharedMemory) {
+            auto shmA = std::make_shared<SharedMemoryInterface>(
+                a, sys->site(0));
+            auto shmB = std::make_shared<SharedMemoryInterface>(
+                b, sys->site(1));
+            sim::spawn([](std::shared_ptr<SharedMemoryInterface> shm,
+                          int iters,
+                          std::uint32_t bytes) -> Task<void> {
+                for (int i = 0; i < iters; ++i) {
+                    co_await shm->receive(10);
+                    co_await shm->send(
+                        1, 10, std::vector<std::uint8_t>(bytes, 2),
+                        false);
+                }
+            }(shmB, iters, smallBytes));
+            sim::spawn([](sim::EventQueue &eq,
+                          std::shared_ptr<SharedMemoryInterface> shm,
+                          sim::Histogram &hist, int iters,
+                          std::uint32_t bytes) -> Task<void> {
+                for (int i = 0; i < iters; ++i) {
+                    Tick t0 = eq.now();
+                    co_await shm->send(
+                        2, 10, std::vector<std::uint8_t>(bytes, 1),
+                        false);
+                    co_await shm->receive(10);
+                    hist.record(
+                        static_cast<double>(eq.now() - t0) / 2.0);
+                }
+            }(eq, shmA, oneway, iters, smallBytes));
+        } else if (which == If::socket) {
+            auto sockA = std::make_shared<SocketInterface>(
+                a, sys->site(0));
+            auto sockB = std::make_shared<SocketInterface>(
+                b, sys->site(1));
+            sim::spawn([](std::shared_ptr<SocketInterface> sock,
+                          int iters,
+                          std::uint32_t bytes) -> Task<void> {
+                for (int i = 0; i < iters; ++i) {
+                    co_await sock->receive(10);
+                    co_await sock->send(
+                        1, 10, std::vector<std::uint8_t>(bytes, 2),
+                        false);
+                }
+            }(sockB, iters, smallBytes));
+            sim::spawn([](sim::EventQueue &eq,
+                          std::shared_ptr<SocketInterface> sock,
+                          sim::Histogram &hist, int iters,
+                          std::uint32_t bytes) -> Task<void> {
+                for (int i = 0; i < iters; ++i) {
+                    Tick t0 = eq.now();
+                    co_await sock->send(
+                        2, 10, std::vector<std::uint8_t>(bytes, 1),
+                        false);
+                    co_await sock->receive(10);
+                    hist.record(
+                        static_cast<double>(eq.now() - t0) / 2.0);
+                }
+            }(eq, sockA, oneway, iters, smallBytes));
+        } else {
+            auto nicA = std::make_shared<NectarRawNet>(
+                a, sys->site(0), sys->directory());
+            auto nicB = std::make_shared<NectarRawNet>(
+                b, sys->site(1), sys->directory());
+            auto stackA = std::make_shared<NodeNetStack>(a, *nicA);
+            auto stackB = std::make_shared<NodeNetStack>(b, *nicB);
+            sim::spawn([](std::shared_ptr<NodeNetStack> s,
+                          [[maybe_unused]] std::shared_ptr<NectarRawNet> nic,
+                          int iters,
+                          std::uint32_t bytes) -> Task<void> {
+                for (int i = 0; i < iters; ++i) {
+                    co_await s->receive(10);
+                    co_await s->sendMessage(
+                        1, 10, std::vector<std::uint8_t>(bytes, 2));
+                }
+            }(stackB, nicB, iters, smallBytes));
+            sim::spawn([](sim::EventQueue &eq,
+                          std::shared_ptr<NodeNetStack> s,
+                          [[maybe_unused]] std::shared_ptr<NectarRawNet> nic,
+                          sim::Histogram &hist, int iters,
+                          std::uint32_t bytes) -> Task<void> {
+                for (int i = 0; i < iters; ++i) {
+                    Tick t0 = eq.now();
+                    co_await s->sendMessage(
+                        2, 10, std::vector<std::uint8_t>(bytes, 1));
+                    co_await s->receive(10);
+                    hist.record(
+                        static_cast<double>(eq.now() - t0) / 2.0);
+                }
+            }(eq, stackA, nicA, oneway, iters, smallBytes));
+        }
+        eq.run();
+        r.oneWayNs = oneway.mean();
+    }
+
+    // ---- Bulk goodput: one-directional transfer of bulkBytes.
+    {
+        sim::EventQueue eq;
+        auto sys = NectarSystem::singleHub(eq, 2);
+        Node a(eq, "a"), b(eq, "b");
+        sys->site(1).kernel->createMailbox("inB", 2 << 20, 10);
+        Tick done = -1;
+        const std::uint32_t msg = 16 * 1024;
+        const int msgs =
+            static_cast<int>((bulkBytes + msg - 1) / msg);
+
+        if (which == If::sharedMemory) {
+            auto shmA = std::make_shared<SharedMemoryInterface>(
+                a, sys->site(0));
+            auto shmB = std::make_shared<SharedMemoryInterface>(
+                b, sys->site(1));
+            sim::spawn([](sim::EventQueue &eq,
+                          std::shared_ptr<SharedMemoryInterface> shm,
+                          int msgs, Tick &done) -> Task<void> {
+                for (int i = 0; i < msgs; ++i)
+                    co_await shm->receive(10);
+                done = eq.now();
+            }(eq, shmB, msgs, done));
+            sim::spawn([](std::shared_ptr<SharedMemoryInterface> shm,
+                          int msgs, std::uint32_t msg) -> Task<void> {
+                for (int i = 0; i < msgs; ++i) {
+                    co_await shm->send(
+                        2, 10, std::vector<std::uint8_t>(msg, 1),
+                        true);
+                }
+            }(shmA, msgs, msg));
+        } else if (which == If::socket) {
+            auto sockA = std::make_shared<SocketInterface>(
+                a, sys->site(0));
+            auto sockB = std::make_shared<SocketInterface>(
+                b, sys->site(1));
+            sim::spawn([](sim::EventQueue &eq,
+                          std::shared_ptr<SocketInterface> sock,
+                          int msgs, Tick &done) -> Task<void> {
+                for (int i = 0; i < msgs; ++i)
+                    co_await sock->receive(10);
+                done = eq.now();
+            }(eq, sockB, msgs, done));
+            sim::spawn([](std::shared_ptr<SocketInterface> sock,
+                          int msgs, std::uint32_t msg) -> Task<void> {
+                for (int i = 0; i < msgs; ++i) {
+                    co_await sock->send(
+                        2, 10, std::vector<std::uint8_t>(msg, 1),
+                        true);
+                }
+            }(sockA, msgs, msg));
+        } else {
+            auto nicA = std::make_shared<NectarRawNet>(
+                a, sys->site(0), sys->directory());
+            auto nicB = std::make_shared<NectarRawNet>(
+                b, sys->site(1), sys->directory());
+            auto stackA = std::make_shared<NodeNetStack>(a, *nicA);
+            auto stackB = std::make_shared<NodeNetStack>(b, *nicB);
+            sim::spawn([](sim::EventQueue &eq,
+                          std::shared_ptr<NodeNetStack> s,
+                          [[maybe_unused]] std::shared_ptr<NectarRawNet> nic, int msgs,
+                          Tick &done) -> Task<void> {
+                for (int i = 0; i < msgs; ++i)
+                    co_await s->receive(10);
+                done = eq.now();
+            }(eq, stackB, nicB, msgs, done));
+            sim::spawn([](std::shared_ptr<NodeNetStack> s,
+                          [[maybe_unused]] std::shared_ptr<NectarRawNet> nic, int msgs,
+                          std::uint32_t msg) -> Task<void> {
+                for (int i = 0; i < msgs; ++i) {
+                    co_await s->sendMessage(
+                        2, 10, std::vector<std::uint8_t>(msg, 1));
+                }
+            }(stackA, nicA, msgs, msg));
+        }
+        eq.run();
+        r.goodputMBs = static_cast<double>(bulkBytes) * 1000.0 /
+                       static_cast<double>(done);
+    }
+    return r;
+}
+
+} // namespace
+
+static void
+E12_Interface(benchmark::State &state)
+{
+    auto which = static_cast<If>(state.range(0));
+    Result r;
+    for (auto _ : state)
+        r = measure(which, 64, 512 * 1024);
+    state.counters["one_way_us"] = r.oneWayNs / 1000.0;
+    state.counters["bulk_MBs"] = r.goodputMBs;
+}
+BENCHMARK(E12_Interface)
+    ->Arg(0)->Arg(1)->Arg(2)
+    ->ArgNames({"if_shm0_sock1_drv2"});
+
+BENCHMARK_MAIN();

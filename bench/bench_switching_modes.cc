@@ -1,0 +1,154 @@
+/**
+ * @file
+ * E5 — circuit vs packet switching on the Figure 7 four-HUB system
+ * (Sections 4.2.1-4.2.4), including both multicast variants.
+ *
+ * Circuit switching pays a route-confirmation round trip before data;
+ * packet switching sends test-opens inline with the packet and relies
+ * on ready-bit flow control ("the packet is forwarded to the next HUB
+ * as soon as the input queue in that HUB becomes available").  The
+ * crossover: packet switching wins for small transfers, circuit
+ * switching for data larger than the 1 KB input queue.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "nectarine/system.hh"
+#include "sim/coro.hh"
+
+using namespace nectar;
+using datalink::SwitchMode;
+using nectarine::NectarSystem;
+using sim::Task;
+using sim::Tick;
+
+namespace {
+
+/** Figure 7: four HUBs; CAB3 on HUB2, CAB1 on HUB1, etc. */
+std::unique_ptr<NectarSystem>
+figure7System(sim::EventQueue &eq)
+{
+    auto topo = std::make_unique<topo::Topology>(eq);
+    int hub1 = topo->addHub("HUB1");
+    int hub2 = topo->addHub("HUB2");
+    int hub3 = topo->addHub("HUB3");
+    int hub4 = topo->addHub("HUB4");
+    topo->linkHubs(hub2, 8, hub1, 3);
+    topo->linkHubs(hub1, 6, hub4, 0);
+    topo->linkHubs(hub4, 3, hub3, 1);
+    auto sys = std::make_unique<NectarSystem>(eq, std::move(topo));
+    sys->addCab(hub2, 4, "CAB3"); // site 0: sender of 4.2.1
+    sys->addCab(hub1, 8, "CAB1"); // site 1: unicast receiver
+    sys->addCab(hub1, 2, "CAB2"); // site 2: multicast sender
+    sys->addCab(hub4, 5, "CAB4"); // site 3: multicast receiver A
+    sys->addCab(hub3, 4, "CAB5"); // site 4: multicast receiver B
+    return sys;
+}
+
+/** One-way datalink latency CAB3 -> CAB1 for a given mode/size. */
+double
+unicastLatencyNs(SwitchMode mode, std::uint32_t bytes)
+{
+    sim::EventQueue eq;
+    auto sys = figure7System(eq);
+    Tick delivered = -1;
+    sys->site(1).datalink->rxHandler =
+        [&](std::vector<std::uint8_t> &&, bool) {
+            delivered = eq.now();
+        };
+    auto route = sys->topo().route(sys->site(0).at, sys->site(1).at);
+    Tick t0 = 1000;
+    eq.schedule(t0, [&, route] {
+        sim::spawn([](datalink::Datalink &dl, topo::Route r,
+                      std::uint32_t bytes,
+                      SwitchMode mode) -> Task<void> {
+            co_await dl.sendPacket(
+                r, phys::makePayload(std::vector<std::uint8_t>(bytes,
+                                                               1)),
+                mode);
+        }(*sys->site(0).datalink, route, bytes, mode));
+    });
+    eq.run();
+    return static_cast<double>(delivered - t0);
+}
+
+/** Multicast CAB2 -> {CAB4, CAB5}: time until BOTH have the packet. */
+double
+multicastLatencyNs(SwitchMode mode, std::uint32_t bytes)
+{
+    sim::EventQueue eq;
+    auto sys = figure7System(eq);
+    Tick last = -1;
+    int arrived = 0;
+    for (std::size_t s : {std::size_t(3), std::size_t(4)}) {
+        sys->site(s).datalink->rxHandler =
+            [&](std::vector<std::uint8_t> &&, bool) {
+                if (++arrived == 2)
+                    last = eq.now();
+            };
+    }
+    auto route = sys->topo().multicastRoute(
+        sys->site(2).at, {sys->site(3).at, sys->site(4).at});
+    Tick t0 = 1000;
+    eq.schedule(t0, [&, route] {
+        sim::spawn([](datalink::Datalink &dl, topo::Route r,
+                      std::uint32_t bytes,
+                      SwitchMode mode) -> Task<void> {
+            co_await dl.sendPacket(
+                r, phys::makePayload(std::vector<std::uint8_t>(bytes,
+                                                               1)),
+                mode);
+        }(*sys->site(2).datalink, route, bytes, mode));
+    });
+    eq.run();
+    return static_cast<double>(last - t0);
+}
+
+} // namespace
+
+static void
+E5_UnicastTwoHubs(benchmark::State &state)
+{
+    auto mode = state.range(0) ? SwitchMode::circuit
+                               : SwitchMode::packet;
+    auto bytes = static_cast<std::uint32_t>(state.range(1));
+    double ns = 0;
+    for (auto _ : state)
+        ns = unicastLatencyNs(mode, bytes);
+    state.counters["latency_us"] = ns / 1000.0;
+    state.counters["bytes"] = bytes;
+}
+BENCHMARK(E5_UnicastTwoHubs)
+    ->ArgsProduct({{0, 1}, {64, 256, 960}})
+    ->ArgNames({"circuit", "bytes"});
+
+/** Circuit switching carries what packet switching cannot. */
+static void
+E5_CircuitLargeTransfer(benchmark::State &state)
+{
+    auto bytes = static_cast<std::uint32_t>(state.range(0));
+    double ns = 0;
+    for (auto _ : state)
+        ns = unicastLatencyNs(SwitchMode::circuit, bytes);
+    state.counters["latency_us"] = ns / 1000.0;
+    state.counters["effective_Mbps"] =
+        static_cast<double>(bytes) * 8.0 * 1000.0 / ns;
+}
+BENCHMARK(E5_CircuitLargeTransfer)
+    ->Arg(4 * 1024)->Arg(64 * 1024)->Arg(1024 * 1024);
+
+static void
+E5_MulticastFourHubs(benchmark::State &state)
+{
+    auto mode = state.range(0) ? SwitchMode::circuit
+                               : SwitchMode::packet;
+    double ns = 0;
+    for (auto _ : state)
+        ns = multicastLatencyNs(mode, 256);
+    state.counters["latency_us"] = ns / 1000.0;
+}
+BENCHMARK(E5_MulticastFourHubs)
+    ->Arg(0)->Arg(1)
+    ->ArgNames({"circuit"});
+
+BENCHMARK_MAIN();

@@ -1,0 +1,156 @@
+/**
+ * @file
+ * E11 — the three transport protocols (Section 6.2.2).
+ *
+ * Paper: datagram = "low overhead but does not guarantee packet
+ * delivery"; byte-stream = "reliable communication using
+ * acknowledgments, retransmissions, and a sliding window";
+ * request-response = "client-server interactions such as remote
+ * procedure calls".
+ */
+
+#include "bench/common.hh"
+
+#include "workload/probes.hh"
+
+using namespace nectar;
+using namespace nectar::bench;
+
+/** One-way latency per protocol (datagram vs stream). */
+static void
+E11_ProtocolLatency(benchmark::State &state)
+{
+    bool reliable = state.range(0) != 0;
+    double us_lat = 0;
+    for (auto _ : state) {
+        sim::EventQueue eq;
+        auto sys = nectarine::NectarSystem::singleHub(eq, 2);
+        nectarine::Nectarine api(*sys);
+        workload::PingPongConfig cfg;
+        cfg.iterations = 40;
+        cfg.delivery = reliable ? nectarine::Delivery::reliable
+                                : nectarine::Delivery::datagram;
+        workload::PingPong pp(api, 0, 1, cfg);
+        eq.run();
+        us_lat = pp.meanOneWayUs();
+    }
+    state.counters["one_way_us"] = us_lat;
+}
+BENCHMARK(E11_ProtocolLatency)
+    ->Arg(0)->Arg(1)->ArgNames({"reliable"});
+
+/** RPC round trip (request-response protocol). */
+static void
+E11_RequestResponse(benchmark::State &state)
+{
+    double us_rtt = 0;
+    for (auto _ : state) {
+        sim::EventQueue eq;
+        auto sys = nectarine::NectarSystem::singleHub(eq, 2);
+        nectarine::Nectarine api(*sys);
+        sim::Histogram rtt;
+        auto server = api.createTask(
+            1, "server", [](nectarine::TaskContext &ctx)
+                             -> sim::Task<void> {
+                for (int i = 0; i < 40; ++i) {
+                    auto req = co_await ctx.receive();
+                    std::vector<std::uint8_t> resp(64, 1);
+                    ctx.reply(req, std::move(resp));
+                }
+            });
+        api.createTask(
+            0, "client",
+            [server, &rtt](nectarine::TaskContext &ctx)
+                -> sim::Task<void> {
+                for (int i = 0; i < 40; ++i) {
+                    sim::Tick t0 = ctx.now();
+                    std::vector<std::uint8_t> req(64, 2);
+                    co_await ctx.call(server, std::move(req));
+                    rtt.record(static_cast<double>(ctx.now() - t0));
+                }
+            });
+        eq.run();
+        us_rtt = rtt.mean() / 1000.0;
+    }
+    state.counters["rtt_us"] = us_rtt;
+}
+BENCHMARK(E11_RequestResponse);
+
+/** Stream goodput vs message size. */
+static void
+E11_StreamGoodput(benchmark::State &state)
+{
+    auto msg = static_cast<std::uint32_t>(state.range(0));
+    double mbs = 0;
+    for (auto _ : state) {
+        sim::EventQueue eq;
+        auto sys = nectarine::NectarSystem::singleHub(eq, 2);
+        nectarine::Nectarine api(*sys);
+        workload::StreamMeterConfig cfg;
+        cfg.totalBytes = 1 << 20;
+        cfg.messageBytes = msg;
+        workload::StreamMeter sm(api, 0, 1, cfg);
+        eq.run();
+        mbs = sm.megabytesPerSecond();
+    }
+    state.counters["goodput_MBs"] = mbs;
+    state.counters["fiber_peak_MBs"] = 12.5;
+}
+BENCHMARK(E11_StreamGoodput)
+    ->Arg(1024)->Arg(8192)->Arg(65536);
+
+/** Reliability under loss: stream delivers, datagram loses. */
+static void
+E11_LossRecovery(benchmark::State &state)
+{
+    double stream_rate = 0, datagram_rate = 0, goodput = 0;
+    for (auto _ : state) {
+        // Byte-stream side.
+        {
+            sim::EventQueue eq;
+            auto sys = nectarine::NectarSystem::singleHub(eq, 2);
+            std::uint64_t seed = 3;
+            for (auto &link : sys->topo().wiring().allLinks()) {
+                phys::FaultModel f;
+                f.dropData = 0.05;
+                link->setFaults(f, seed++);
+            }
+            nectarine::Nectarine api(*sys);
+            workload::StreamMeterConfig cfg;
+            cfg.totalBytes = 256 * 1024;
+            workload::StreamMeter sm(api, 0, 1, cfg);
+            eq.run();
+            stream_rate = sm.bytesDelivered() == cfg.totalBytes
+                              ? 1.0 : 0.0;
+            goodput = sm.megabytesPerSecond();
+        }
+        // Datagram side: count delivered messages.
+        {
+            sim::EventQueue eq;
+            auto sys = nectarine::NectarSystem::singleHub(eq, 2);
+            std::uint64_t seed = 3;
+            for (auto &link : sys->topo().wiring().allLinks()) {
+                phys::FaultModel f;
+                f.dropData = 0.05;
+                link->setFaults(f, seed++);
+            }
+            nectarine::Nectarine api(*sys);
+            auto &mb = sys->site(1).kernel->createMailbox("in",
+                                                          1 << 20, 10);
+            sim::spawn([](transport::Transport &tp) -> sim::Task<void> {
+                for (int i = 0; i < 100; ++i) {
+                    co_await tp.sendDatagram(
+                        2, 10, std::vector<std::uint8_t>(512, 1));
+                }
+            }(*sys->site(0).transport));
+            eq.run();
+            datagram_rate = static_cast<double>(mb.count()) / 100.0;
+        }
+    }
+    state.counters["stream_complete"] = stream_rate;
+    state.counters["stream_goodput_MBs"] = goodput;
+    state.counters["datagram_delivery"] = datagram_rate;
+}
+BENCHMARK(E11_LossRecovery);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,125 @@
+/**
+ * @file
+ * E6 — Nectar vs the contemporary LAN (Section 3.1).
+ *
+ * Paper: "The Nectar-net offers at least an order of magnitude
+ * improvement in bandwidth and latency over current LANs."
+ *
+ * Both sides run the same reliable protocol; the difference is where
+ * the processing happens (CAB vs host kernel) and the wire (100 Mb/s
+ * switched fiber vs 10 Mb/s shared Ethernet).
+ */
+
+#include "bench/common.hh"
+
+#include "baseline/ethernet.hh"
+
+using namespace nectar;
+using namespace nectar::bench;
+
+namespace {
+
+/** One-way small-message latency over the LAN baseline (ns). */
+double
+lanOneWayNs(std::uint32_t bytes = 64, int iterations = 20)
+{
+    sim::EventQueue eq;
+    baseline::EthernetSegment seg(eq, "eth");
+    node::Node a(eq, "a"), b(eq, "b");
+    baseline::EthernetNic nicA(a, seg, 1), nicB(b, seg, 2);
+    node::NodeNetStack stackA(a, nicA), stackB(b, nicB);
+
+    sim::Histogram oneway;
+    sim::spawn([](node::NodeNetStack &s, int iterations,
+                  std::uint32_t bytes) -> sim::Task<void> {
+        for (int i = 0; i < iterations; ++i) {
+            co_await s.receive(5);
+            std::vector<std::uint8_t> echo(bytes, 2);
+            co_await s.sendMessage(1, 5, std::move(echo));
+        }
+    }(stackB, iterations, bytes));
+    sim::spawn([](sim::EventQueue &eq, node::NodeNetStack &s,
+                  sim::Histogram &oneway, int iterations,
+                  std::uint32_t bytes) -> sim::Task<void> {
+        for (int i = 0; i < iterations; ++i) {
+            Tick t0 = eq.now();
+            std::vector<std::uint8_t> msg(bytes, 1);
+            co_await s.sendMessage(2, 5, std::move(msg));
+            co_await s.receive(5);
+            oneway.record(static_cast<double>(eq.now() - t0) / 2.0);
+        }
+    }(eq, stackA, oneway, iterations, bytes));
+    eq.run();
+    return oneway.mean();
+}
+
+/** Bulk goodput over the LAN baseline (MB/s). */
+double
+lanGoodputMBs(std::uint64_t totalBytes = 512 * 1024)
+{
+    sim::EventQueue eq;
+    baseline::EthernetSegment seg(eq, "eth");
+    node::Node a(eq, "a"), b(eq, "b");
+    baseline::EthernetNic nicA(a, seg, 1), nicB(b, seg, 2);
+    node::NodeNetStack stackA(a, nicA), stackB(b, nicB);
+
+    Tick start = -1, end = -1;
+    sim::spawn([](sim::EventQueue &eq, node::NodeNetStack &s,
+                  std::uint64_t total, Tick &end) -> sim::Task<void> {
+        std::uint64_t got = 0;
+        while (got < total) {
+            auto m = co_await s.receive(5);
+            got += m.size();
+        }
+        end = eq.now();
+    }(eq, stackB, totalBytes, end));
+    sim::spawn([](sim::EventQueue &eq, node::NodeNetStack &s,
+                  std::uint64_t total, Tick &start) -> sim::Task<void> {
+        start = eq.now();
+        std::uint64_t sent = 0;
+        while (sent < total) {
+            std::uint64_t n = std::min<std::uint64_t>(32768,
+                                                      total - sent);
+            sent += n;
+            co_await s.sendMessage(
+                2, 5, std::vector<std::uint8_t>(n, 1));
+        }
+    }(eq, stackA, totalBytes, start));
+    eq.run();
+    return static_cast<double>(totalBytes) * 1000.0 /
+           static_cast<double>(end - start);
+}
+
+} // namespace
+
+static void
+E6_SmallMessageLatency(benchmark::State &state)
+{
+    double nectar_ns = 0, lan_ns = 0;
+    for (auto _ : state) {
+        nectar_ns = nodeToNodeOneWayNs();
+        lan_ns = lanOneWayNs();
+    }
+    state.counters["nectar_us"] = nectar_ns / 1000.0;
+    state.counters["lan_us"] = lan_ns / 1000.0;
+    state.counters["improvement_x"] = lan_ns / nectar_ns;
+    state.counters["paper_claim_x"] = 10;
+}
+BENCHMARK(E6_SmallMessageLatency);
+
+static void
+E6_BulkBandwidth(benchmark::State &state)
+{
+    double nectar_mbs = 0, lan_mbs = 0;
+    for (auto _ : state) {
+        nectar_mbs = streamGoodputMBs(1 << 20);
+        lan_mbs = lanGoodputMBs(512 * 1024);
+    }
+    state.counters["nectar_MBs"] = nectar_mbs;
+    state.counters["lan_MBs"] = lan_mbs;
+    state.counters["improvement_x"] = nectar_mbs / lan_mbs;
+    state.counters["paper_claim_x"] = 10;
+}
+BENCHMARK(E6_BulkBandwidth);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Shared helpers for the experiment benchmarks (DESIGN.md section 3).
+ *
+ * Conventions: each benchmark is one row of the table or one point of
+ * the series the paper reports.  Simulated quantities are attached as
+ * google-benchmark counters; where the paper states a number, it is
+ * attached as the "paper" counter so the comparison appears in the
+ * output.  Wall-clock timings of the simulator itself are incidental.
+ */
+
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <vector>
+
+#include "nectarine/nectarine.hh"
+#include "node/interfaces.hh"
+#include "node/netstack.hh"
+#include "node/rawnet.hh"
+#include "workload/probes.hh"
+
+namespace nectar::bench {
+
+using namespace nectar;
+using sim::Tick;
+using namespace sim::ticks;
+
+/** Mean one-way datagram latency between two CAB tasks (ns). */
+inline double
+cabToCabOneWayNs(int iterations = 50, std::uint32_t bytes = 64)
+{
+    sim::EventQueue eq;
+    auto sys = nectarine::NectarSystem::singleHub(eq, 2);
+    nectarine::Nectarine api(*sys);
+    workload::PingPongConfig cfg;
+    cfg.iterations = iterations;
+    cfg.messageBytes = bytes;
+    workload::PingPong pp(api, 0, 1, cfg);
+    eq.run();
+    return pp.rtt().mean() / 2.0;
+}
+
+/** Mean one-way latency between two node processes (shared memory). */
+inline double
+nodeToNodeOneWayNs(std::uint32_t bytes = 64, int iterations = 20)
+{
+    sim::EventQueue eq;
+    auto sys = nectarine::NectarSystem::singleHub(eq, 2);
+    node::Node a(eq, "a"), b(eq, "b");
+    node::SharedMemoryInterface shmA(a, sys->site(0));
+    node::SharedMemoryInterface shmB(b, sys->site(1));
+    sys->site(0).kernel->createMailbox("inA", 1 << 20, 10);
+    sys->site(1).kernel->createMailbox("inB", 1 << 20, 10);
+
+    sim::Histogram oneway;
+    // B echoes; A measures RTT/2.
+    sim::spawn([](node::SharedMemoryInterface &shm,
+                  int iterations,
+                  std::uint32_t bytes) -> sim::Task<void> {
+        for (int i = 0; i < iterations; ++i) {
+            co_await shm.receive(10);
+            std::vector<std::uint8_t> echo(bytes, 2);
+            co_await shm.send(1, 10, std::move(echo), false);
+        }
+    }(shmB, iterations, bytes));
+    sim::spawn([](sim::EventQueue &eq, node::SharedMemoryInterface &shm,
+                  sim::Histogram &oneway, int iterations,
+                  std::uint32_t bytes) -> sim::Task<void> {
+        for (int i = 0; i < iterations; ++i) {
+            Tick t0 = eq.now();
+            std::vector<std::uint8_t> msg(bytes, 1);
+            co_await shm.send(2, 10, std::move(msg), false);
+            co_await shm.receive(10);
+            oneway.record(static_cast<double>(eq.now() - t0) / 2.0);
+        }
+    }(eq, shmA, oneway, iterations, bytes));
+    eq.run();
+    return oneway.mean();
+}
+
+/** Reliable-stream goodput between two CABs, in MB/s. */
+inline double
+streamGoodputMBs(std::uint64_t totalBytes = 2 << 20)
+{
+    sim::EventQueue eq;
+    auto sys = nectarine::NectarSystem::singleHub(eq, 2);
+    nectarine::Nectarine api(*sys);
+    workload::StreamMeterConfig cfg;
+    cfg.totalBytes = totalBytes;
+    workload::StreamMeter sm(api, 0, 1, cfg);
+    eq.run();
+    return sm.megabytesPerSecond();
+}
+
+} // namespace nectar::bench

@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Internet protocols over Nectar (the Section 6.2.2 follow-on): a TCP
+ * echo service and a small "file server" running on CABs, with
+ * clients connecting over IP/TCP through the Nectar-net.
+ *
+ *   $ ./inet_services
+ */
+
+#include <cstdio>
+#include <numeric>
+
+#include "inet/ip.hh"
+#include "inet/tcp.hh"
+#include "nectarine/system.hh"
+
+using namespace nectar;
+using namespace nectar::inet;
+using nectarine::NectarSystem;
+using sim::Task;
+using sim::Tick;
+using namespace sim::ticks;
+
+int
+main()
+{
+    sim::EventQueue eq;
+    auto sys = NectarSystem::singleHub(eq, 3);
+
+    // One IP + TCP stack per CAB (replacing the Nectar-native
+    // transport on these sites).
+    std::vector<std::unique_ptr<IpLayer>> ip;
+    std::vector<std::unique_ptr<Tcp>> tcp;
+    for (int i = 0; i < 3; ++i) {
+        ip.push_back(std::make_unique<IpLayer>(
+            *sys->site(i).kernel, *sys->site(i).datalink,
+            sys->directory(), sys->site(i).address));
+        tcp.push_back(std::make_unique<Tcp>(*ip[i]));
+    }
+
+    // --- A "file server" on CAB 3: sends 100 KB on request.
+    sim::spawn([](Tcp &tcp) -> Task<void> {
+        auto *s = co_await tcp.accept(21);
+        auto req = co_await s->receive(100);
+        std::printf("[server] request of %zu bytes in state %s\n",
+                    req.size(), tcpStateName(s->state()));
+        std::vector<std::uint8_t> file(100 * 1024);
+        std::iota(file.begin(), file.end(), std::uint8_t(0));
+        co_await s->send(std::move(file));
+        co_await s->close();
+    }(*tcp[2]));
+
+    // --- An echo service on CAB 2.
+    sim::spawn([](Tcp &tcp) -> Task<void> {
+        auto *s = co_await tcp.accept(7);
+        for (int i = 0; i < 3; ++i) {
+            auto msg = co_await s->receive(1024);
+            co_await s->send(std::move(msg));
+        }
+    }(*tcp[1]));
+
+    // --- Client on CAB 1 exercises both.
+    double echo_rtt_us = 0;
+    std::size_t file_bytes = 0;
+    Tick t_start = 0, t_end = 0;
+    sim::spawn([](sim::EventQueue &eq, Tcp &tcp, double &echo_rtt_us,
+                  std::size_t &file_bytes, Tick &t0,
+                  Tick &t1) -> Task<void> {
+        // Echo round trips.
+        auto *e = co_await tcp.connect(ipOfCab(2), 7);
+        sim::Histogram rtt;
+        for (int i = 0; i < 3; ++i) {
+            Tick a = eq.now();
+            std::vector<std::uint8_t> ping(64, std::uint8_t(i));
+            co_await e->send(std::move(ping));
+            co_await e->receive(1024);
+            rtt.record(static_cast<double>(eq.now() - a));
+        }
+        echo_rtt_us = rtt.mean() / 1000.0;
+
+        // File fetch.
+        auto *f = co_await tcp.connect(ipOfCab(3), 21);
+        std::vector<std::uint8_t> req(4, 0x66);
+        t0 = eq.now();
+        co_await f->send(std::move(req));
+        for (;;) {
+            auto chunk = co_await f->receive(65536);
+            if (chunk.empty())
+                break;
+            file_bytes += chunk.size();
+        }
+        t1 = eq.now();
+    }(eq, *tcp[0], echo_rtt_us, file_bytes, t_start, t_end));
+
+    eq.run();
+
+    std::printf("TCP/IP over the Nectar-net\n");
+    std::printf("  echo RTT:        %.1f us\n", echo_rtt_us);
+    std::printf("  file transfer:   %zu bytes in %.2f ms "
+                "(%.2f MB/s)\n",
+                file_bytes,
+                static_cast<double>(t_end - t_start) / 1e6,
+                static_cast<double>(file_bytes) * 1000.0 /
+                    static_cast<double>(t_end - t_start));
+    std::printf("  segments:        %llu sent / %llu received "
+                "(client stack)\n",
+                static_cast<unsigned long long>(
+                    tcp[0]->stats().segmentsSent.value()),
+                static_cast<unsigned long long>(
+                    tcp[0]->stats().segmentsReceived.value()));
+    return file_bytes == 100 * 1024 ? 0 : 1;
+}

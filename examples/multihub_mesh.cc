@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Multi-HUB systems (Figures 3 and 4): build a 3x3 mesh of HUB
+ * clusters, show how command routes grow with distance, and run a
+ * scientific halo-exchange across the whole machine.
+ *
+ *   $ ./multihub_mesh
+ */
+
+#include <cstdio>
+
+#include "nectarine/nectarine.hh"
+#include "workload/halo.hh"
+#include "workload/probes.hh"
+
+using namespace nectar;
+using namespace nectar::workload;
+using nectarine::Nectarine;
+using nectarine::NectarSystem;
+using sim::ticks::us;
+
+int
+main()
+{
+    sim::EventQueue eq;
+    // A 3x3 mesh, one CAB per cluster for this demo.
+    auto sys = NectarSystem::mesh2D(eq, 3, 3, 1);
+
+    // --- Part 1: routes are sequences of HUB commands.
+    std::printf("command routes from the corner CAB (hub r0c0):\n");
+    for (std::size_t dst = 1; dst < sys->siteCount(); ++dst) {
+        auto route = sys->topo().route(sys->site(0).at,
+                                       sys->site(dst).at);
+        std::printf("  to cab%zu: %zu hops [", dst + 1, route.size());
+        for (std::size_t h = 0; h < route.size(); ++h) {
+            std::printf("%s%s hub%d port%d", h ? ", " : "",
+                        route[h].reply ? "openRR" : "open",
+                        route[h].hubId, route[h].outPort);
+        }
+        std::printf("]\n");
+    }
+
+    // --- Part 2: latency grows only mildly with hop count
+    //     (Section 4, goal 3).
+    Nectarine api(*sys);
+    std::printf("\nping-pong mean RTT by destination:\n");
+    std::vector<std::unique_ptr<PingPong>> probes;
+    for (std::size_t dst : {std::size_t(1), std::size_t(4),
+                            std::size_t(8)}) {
+        PingPongConfig cfg;
+        cfg.iterations = 50;
+        cfg.label = "mesh" + std::to_string(dst);
+        probes.push_back(
+            std::make_unique<PingPong>(api, 0, dst, cfg));
+    }
+    eq.run();
+    const char *names[] = {"1 hub away ", "2 hubs away", "4 hubs away"};
+    for (std::size_t i = 0; i < probes.size(); ++i) {
+        std::printf("  %s: %.1f us\n", names[i],
+                    probes[i]->meanRttUs());
+    }
+
+    // --- Part 3: a whole-machine halo exchange.
+    HaloConfig hcfg;
+    hcfg.rows = 3;
+    hcfg.cols = 3;
+    hcfg.iterations = 8;
+    std::vector<std::size_t> sites;
+    for (std::size_t i = 0; i < 9; ++i)
+        sites.push_back(i);
+    HaloExchange halo(api, sites, hcfg);
+    eq.run();
+
+    std::printf("\n3x3 halo exchange, %d iterations:\n",
+                hcfg.iterations);
+    std::printf("  cells completed: %d/9\n", halo.completedCells());
+    std::printf("  iteration time:  mean %.1f us  p95 %.1f us\n",
+                halo.iterationTime().mean() / us,
+                halo.iterationTime().percentile(95) / us);
+    return halo.finished() ? 0 : 1;
+}

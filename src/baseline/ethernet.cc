@@ -1,0 +1,99 @@
+#include "ethernet.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+
+namespace nectar::baseline {
+
+void
+EthernetSegment::attach(EthernetNic &nic)
+{
+    if (!stations.emplace(nic.rawAddress(), &nic).second)
+        sim::fatal(name() + ": duplicate station address " +
+                   std::to_string(nic.rawAddress()));
+}
+
+Tick
+EthernetSegment::seize(std::uint32_t wireBytes)
+{
+    if (carrier())
+        sim::panic(name() + ": seize while carrier present");
+    Tick duration =
+        static_cast<Tick>(wireBytes) * cfg.byteTime;
+    Tick last_byte = now() + duration;
+    _busyUntil = last_byte + cfg.interFrameGap;
+    _busyTicks += duration;
+    _frames.add();
+    return last_byte;
+}
+
+void
+EthernetSegment::deliver(std::uint16_t dst,
+                         std::vector<std::uint8_t> frame, Tick when)
+{
+    auto it = stations.find(dst);
+    if (it == stations.end())
+        return; // no such station: the frame dies on the wire
+    EthernetNic *nic = it->second;
+    auto shared = std::make_shared<std::vector<std::uint8_t>>(
+        std::move(frame));
+    eventq().schedule(when, [nic, shared] {
+        nic->frameArrived(std::move(*shared));
+    }, sim::EventPriority::hardware);
+}
+
+EthernetNic::EthernetNic(node::Node &host, EthernetSegment &segment,
+                         std::uint16_t addr)
+    : sim::Component(host.eventq(), host.name() + ".eth"), host(host),
+      segment(segment), addr(addr), rng(0x9e3779b9u + addr)
+{
+    segment.attach(*this);
+}
+
+sim::Task<bool>
+EthernetNic::rawSend(std::uint16_t dst, std::vector<std::uint8_t> bytes)
+{
+    const auto &cfg = segment.config();
+    if (bytes.size() > cfg.maxPayload)
+        sim::fatal(name() + ": frame exceeds the Ethernet MTU");
+
+    std::uint32_t payload = std::max<std::uint32_t>(
+        static_cast<std::uint32_t>(bytes.size()), cfg.minPayload);
+    std::uint32_t wire = payload + cfg.frameOverhead;
+
+    for (int attempt = 0; attempt < cfg.maxAttempts; ++attempt) {
+        if (segment.carrier()) {
+            // Carrier sense: defer until idle, then back off a
+            // random number of slot times (binary exponential).
+            _deferrals.add();
+            int exp = std::min(attempt + 1, 10);
+            Tick backoff = static_cast<Tick>(rng.below(1u << exp)) *
+                           cfg.slotTime;
+            Tick wait = std::max<Tick>(
+                segment.busyUntil() - now(), 0) + backoff;
+            co_await sim::Delay{eventq(), wait};
+            continue;
+        }
+        Tick last_byte = segment.seize(wire);
+        segment.deliver(dst, std::move(bytes), last_byte);
+        co_return true;
+    }
+    _drops.add();
+    co_return false; // excessive collisions
+}
+
+void
+EthernetNic::frameArrived(std::vector<std::uint8_t> &&frame)
+{
+    // Adapter DMA into host memory, then a per-frame interrupt — the
+    // cost structure the CAB removes (Section 3.1).
+    auto shared = std::make_shared<std::vector<std::uint8_t>>(
+        std::move(frame));
+    host.raiseInterrupt([this, shared] {
+        if (rxRaw)
+            rxRaw(std::move(*shared));
+    });
+}
+
+} // namespace nectar::baseline

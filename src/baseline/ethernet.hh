@@ -1,0 +1,132 @@
+/**
+ * @file
+ * The LAN baseline: a 10 Mb/s CSMA/CD Ethernet.
+ *
+ * Section 3.1: "The Nectar-net offers at least an order of magnitude
+ * improvement in bandwidth and latency over current LANs.  Moreover,
+ * the use of crossbar switches substantially reduces network
+ * contention."  This module provides the "current LAN" side of that
+ * comparison: a single shared 10 Mb/s medium with carrier sense and
+ * binary exponential backoff, driven by the node-resident protocol
+ * stack (node/netstack.hh) — all protocol processing on the hosts.
+ *
+ * Simplification: medium acquisition is serialized by the simulator,
+ * so true simultaneous collisions cannot occur; contention appears as
+ * carrier-sense deferrals with the standard binary exponential
+ * backoff.  Under load this yields the same qualitative behaviour
+ * (throughput collapse and unbounded latency on a shared medium).
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "node/node.hh"
+#include "node/rawnet.hh"
+#include "sim/component.hh"
+#include "sim/random.hh"
+
+namespace nectar::baseline {
+
+using sim::Tick;
+using namespace sim::ticks;
+
+/** 10BASE Ethernet parameters. */
+struct EthernetConfig
+{
+    Tick byteTime = 800 * ns;       ///< 10 Mb/s.
+    Tick interFrameGap = 9600 * ns; ///< 96 bit times.
+    Tick slotTime = 51200 * ns;     ///< 512 bit times.
+    std::uint32_t frameOverhead = 26; ///< Preamble + header + CRC.
+    std::uint32_t maxPayload = 1500;
+    std::uint32_t minPayload = 46;
+    int maxAttempts = 16;           ///< Excessive-collision limit.
+};
+
+class EthernetNic;
+
+/**
+ * The shared medium: one segment all stations contend for.
+ */
+class EthernetSegment : public sim::Component
+{
+  public:
+    EthernetSegment(sim::EventQueue &eq, std::string name,
+                    const EthernetConfig &config = {})
+        : sim::Component(eq, std::move(name)), cfg(config)
+    {}
+
+    const EthernetConfig &config() const { return cfg; }
+
+    void attach(EthernetNic &nic);
+
+    /** Tick at which the medium goes idle. */
+    Tick busyUntil() const { return _busyUntil; }
+
+    /** True if the medium carries a signal now. */
+    bool carrier() const { return now() < _busyUntil; }
+
+    /**
+     * Seize the medium for a frame of @p wireBytes.
+     * @pre !carrier()
+     * @return The tick the frame's last byte is on the wire.
+     */
+    Tick seize(std::uint32_t wireBytes);
+
+    /** Deliver a frame to the addressed station (at @p when). */
+    void deliver(std::uint16_t dst, std::vector<std::uint8_t> frame,
+                 Tick when);
+
+    std::uint64_t framesCarried() const { return _frames.value(); }
+    Tick busyTicks() const { return _busyTicks; }
+
+  private:
+    EthernetConfig cfg;
+    Tick _busyUntil = 0;
+    Tick _busyTicks = 0;
+    sim::Counter _frames;
+    std::map<std::uint16_t, EthernetNic *> stations;
+};
+
+/**
+ * A station: CSMA/CD medium access plus the per-packet DMA and host
+ * interrupt of a 1989 LAN adapter.
+ */
+class EthernetNic : public node::RawNet, public sim::Component
+{
+  public:
+    /**
+     * @param host The node this NIC interrupts.
+     * @param segment The shared medium.
+     * @param addr Station address.
+     */
+    EthernetNic(node::Node &host, EthernetSegment &segment,
+                std::uint16_t addr);
+
+    std::uint16_t rawAddress() const override { return addr; }
+
+    /**
+     * CSMA/CD transmit: defer while the carrier is present, back off
+     * binary-exponentially on contention, give up after maxAttempts.
+     */
+    sim::Task<bool> rawSend(std::uint16_t dst,
+                            std::vector<std::uint8_t> bytes) override;
+
+    /** Called by the segment when a frame addressed here arrives. */
+    void frameArrived(std::vector<std::uint8_t> &&frame);
+
+    std::uint64_t deferrals() const { return _deferrals.value(); }
+    std::uint64_t excessiveCollisions() const { return _drops.value(); }
+
+  private:
+    node::Node &host;
+    EthernetSegment &segment;
+    std::uint16_t addr;
+    sim::Random rng;
+    sim::Counter _deferrals;
+    sim::Counter _drops;
+};
+
+} // namespace nectar::baseline

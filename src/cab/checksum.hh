@@ -1,0 +1,35 @@
+/**
+ * @file
+ * The CAB's hardware checksum unit.
+ *
+ * "hardware checksum computation removes this burden from protocol
+ * software" (Section 5.1).  The function below is the 16-bit
+ * ones-complement (Internet-style) checksum; because the hardware
+ * computes it on the fly during DMA, the simulator charges no CPU
+ * time for it.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace nectar::cab {
+
+/**
+ * 16-bit ones-complement checksum over @p data.
+ *
+ * @param data Bytes to sum (odd lengths are zero-padded).
+ * @return The ones-complement of the ones-complement sum; never 0
+ *         for use as a "checksum present" marker (0xFFFF is returned
+ *         instead of 0, as in TCP/UDP practice).
+ */
+std::uint16_t checksum16(const std::uint8_t *data, std::size_t len);
+
+inline std::uint16_t
+checksum16(const std::vector<std::uint8_t> &data)
+{
+    return checksum16(data.data(), data.size());
+}
+
+} // namespace nectar::cab

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * The CAB's CPU as a serialized timing resource.
+ *
+ * "The choice of a high-speed CPU, rather than a custom microengine
+ * or lower performance CPU, distinguishes the CAB from many I/O
+ * controllers" (Section 5.1).  Protocol code in the simulator runs as
+ * C++ but charges time here; the resource serializes, so concurrent
+ * protocol work queues up as it would on the single SPARC.
+ */
+
+#pragma once
+
+#include "sim/component.hh"
+#include "sim/coro.hh"
+#include "sim/stats.hh"
+#include "sim/types.hh"
+
+namespace nectar::cab {
+
+/**
+ * A busy-until CPU model.  Work is charged in FIFO order: a request
+ * issued at time t with cost c completes at max(t, busyUntil) + c.
+ */
+class CpuResource : public sim::Component
+{
+  public:
+    CpuResource(sim::EventQueue &eq, std::string name)
+        : sim::Component(eq, std::move(name))
+    {}
+
+    /**
+     * Reserve @p cost of CPU time starting no earlier than now.
+     * @return The completion tick.
+     */
+    sim::Tick
+    charge(sim::Tick cost)
+    {
+        sim::Tick start = std::max(now(), _busyUntil);
+        _busyUntil = start + cost;
+        _busyTicks += cost;
+        return _busyUntil;
+    }
+
+    /**
+     * Awaitable: suspend the calling coroutine until the charged work
+     * completes.
+     *
+     * @code
+     * co_await cpu.compute(costs.transportSendPerPacket);
+     * @endcode
+     */
+    auto
+    compute(sim::Tick cost)
+    {
+        sim::Tick done = charge(cost);
+        return sim::Delay{eventq(), done - now()};
+    }
+
+    /**
+     * Run @p fn when the charged work completes (callback form, for
+     * interrupt handlers).
+     */
+    void
+    chargeThen(sim::Tick cost, std::function<void()> fn)
+    {
+        sim::Tick done = charge(cost);
+        eventq().schedule(done, std::move(fn),
+                          sim::EventPriority::software);
+    }
+
+    /** Tick at which the CPU becomes idle. */
+    sim::Tick busyUntil() const { return _busyUntil; }
+
+    /** Total busy time, for utilization measurements. */
+    sim::Tick busyTicks() const { return _busyTicks; }
+
+  private:
+    sim::Tick _busyUntil = 0;
+    sim::Tick _busyTicks = 0;
+};
+
+} // namespace nectar::cab

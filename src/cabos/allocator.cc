@@ -1,0 +1,79 @@
+#include "allocator.hh"
+
+#include "sim/logging.hh"
+
+namespace nectar::cabos {
+
+BufferAllocator::BufferAllocator(std::uint32_t base, std::uint32_t size)
+    : base(base), size(size)
+{
+    if (size == 0)
+        sim::fatal("BufferAllocator: zero-sized arena");
+    free_[base] = size;
+}
+
+std::optional<std::uint32_t>
+BufferAllocator::allocate(std::uint32_t len)
+{
+    if (len == 0) {
+        fails.add();
+        return std::nullopt;
+    }
+    for (auto it = free_.begin(); it != free_.end(); ++it) {
+        if (it->second >= len) {
+            std::uint32_t addr = it->first;
+            std::uint32_t block = it->second;
+            free_.erase(it);
+            if (block > len)
+                free_[addr + len] = block - len;
+            live[addr] = len;
+            used += len;
+            allocs.add();
+            return addr;
+        }
+    }
+    fails.add();
+    return std::nullopt;
+}
+
+bool
+BufferAllocator::release(std::uint32_t addr)
+{
+    auto it = live.find(addr);
+    if (it == live.end())
+        return false;
+    std::uint32_t len = it->second;
+    live.erase(it);
+    used -= len;
+
+    // Insert and coalesce with neighbours.
+    auto [pos, inserted] = free_.emplace(addr, len);
+    if (!inserted)
+        sim::panic("BufferAllocator: double free bookkeeping error");
+    // Merge with next block.
+    auto next = std::next(pos);
+    if (next != free_.end() && pos->first + pos->second == next->first) {
+        pos->second += next->second;
+        free_.erase(next);
+    }
+    // Merge with previous block.
+    if (pos != free_.begin()) {
+        auto prev = std::prev(pos);
+        if (prev->first + prev->second == pos->first) {
+            prev->second += pos->second;
+            free_.erase(pos);
+        }
+    }
+    return true;
+}
+
+std::uint32_t
+BufferAllocator::largestFreeBlock() const
+{
+    std::uint32_t best = 0;
+    for (const auto &[addr, len] : free_)
+        best = std::max(best, len);
+    return best;
+}
+
+} // namespace nectar::cabos

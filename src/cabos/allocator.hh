@@ -1,0 +1,81 @@
+/**
+ * @file
+ * The CAB kernel's buffer allocator over data memory.
+ *
+ * Section 6.1: "The CAB kernel provides support for simple,
+ * time-critical operations such as memory management and timers."
+ * Mailbox buffers and protocol packet buffers are carved out of the
+ * 1 MB data RAM region by this first-fit allocator; the kernel grants
+ * page permissions for each allocation to the owning protection
+ * domain.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+
+#include "cab/memory.hh"
+#include "sim/stats.hh"
+
+namespace nectar::cabos {
+
+/**
+ * First-fit allocator over a contiguous address range.
+ */
+class BufferAllocator
+{
+  public:
+    /**
+     * @param base First managed address.
+     * @param size Managed bytes.
+     */
+    BufferAllocator(std::uint32_t base, std::uint32_t size);
+
+    /** Allocator covering the whole CAB data RAM region. */
+    static BufferAllocator
+    forDataRam()
+    {
+        return BufferAllocator(cab::addrmap::dataRamBase,
+                               cab::addrmap::dataRamSize);
+    }
+
+    /**
+     * Allocate @p len bytes.
+     * @return Start address, or nullopt if no fit exists.
+     */
+    std::optional<std::uint32_t> allocate(std::uint32_t len);
+
+    /**
+     * Release a prior allocation.
+     * @return false if @p addr is not an allocation start address.
+     */
+    bool release(std::uint32_t addr);
+
+    /** Bytes currently allocated. */
+    std::uint32_t bytesInUse() const { return used; }
+
+    /** Bytes available (may be fragmented). */
+    std::uint32_t bytesFree() const { return size - used; }
+
+    /** Number of live allocations. */
+    std::size_t allocationCount() const { return live.size(); }
+
+    /** Largest single allocatable block right now. */
+    std::uint32_t largestFreeBlock() const;
+
+    std::uint64_t totalAllocs() const { return allocs.value(); }
+    std::uint64_t failedAllocs() const { return fails.value(); }
+
+  private:
+    std::uint32_t base;
+    std::uint32_t size;
+    std::uint32_t used = 0;
+    std::map<std::uint32_t, std::uint32_t> free_; ///< addr -> len.
+    std::map<std::uint32_t, std::uint32_t> live;  ///< addr -> len.
+    sim::Counter allocs;
+    sim::Counter fails;
+};
+
+} // namespace nectar::cabos

@@ -1,0 +1,99 @@
+#include "kernel.hh"
+
+#include "sim/logging.hh"
+
+namespace nectar::cabos {
+
+Kernel::Kernel(cab::Cab &board)
+    : sim::Component(board.eventq(), board.name() + ".kernel"),
+      _board(board), alloc(BufferAllocator::forDataRam())
+{
+}
+
+sim::Task<void>
+Kernel::threadRunner(std::string name, sim::Task<void> body)
+{
+    (void)name;
+    co_await std::move(body);
+    --_alive;
+}
+
+void
+Kernel::spawnThread(const std::string &name, sim::Task<void> body)
+{
+    _spawned.add();
+    ++_alive;
+    // The thread body starts from the scheduler (an event), not from
+    // the caller's stack: threads created together all exist before
+    // any of them runs, as with a real non-preemptive scheduler.
+    auto task = std::make_shared<sim::Task<void>>(std::move(body));
+    eventq().scheduleIn(0, [this, name, task] {
+        sim::spawn(threadRunner(name, std::move(*task)));
+    }, sim::EventPriority::software);
+}
+
+sim::Task<void>
+Kernel::sleepFor(sim::Tick d)
+{
+    // Arm a hardware timer (low overhead, Section 5.1)...
+    _board.cpu().charge(costs().timerOp);
+    co_await sim::Delay{eventq(), d};
+    // ...and pay the context switch when the thread is rescheduled.
+    noteThreadSwitch();
+    co_await _board.cpu().compute(costs().threadSwitch);
+}
+
+Mailbox &
+Kernel::createMailbox(const std::string &name,
+                      std::uint32_t capacityBytes, MailboxId id)
+{
+    if (id == 0) {
+        while (boxes.count(nextMailboxId) || nextMailboxId == 0)
+            ++nextMailboxId;
+        id = nextMailboxId++;
+    }
+    if (boxes.count(id))
+        sim::fatal(this->name() + ": mailbox id already in use: " +
+                   std::to_string(id));
+    auto box = std::make_unique<Mailbox>(*this, id, name, capacityBytes);
+    Mailbox &ref = *box;
+    boxes.emplace(id, std::move(box));
+    return ref;
+}
+
+Mailbox *
+Kernel::mailbox(MailboxId id)
+{
+    auto it = boxes.find(id);
+    return it == boxes.end() ? nullptr : it->second.get();
+}
+
+bool
+Kernel::destroyMailbox(MailboxId id)
+{
+    return boxes.erase(id) > 0;
+}
+
+cab::Domain
+Kernel::allocateDomain()
+{
+    // Domain 0 is the kernel, domain 31 is reserved for VME accesses.
+    for (int d = 1; d < cab::vmeDomain; ++d) {
+        if (!(domainBitmap & (1u << d))) {
+            domainBitmap |= (1u << d);
+            return d;
+        }
+    }
+    return -1;
+}
+
+void
+Kernel::freeDomain(cab::Domain d)
+{
+    if (d <= 0 || d >= cab::vmeDomain)
+        sim::panic(name() + ": freeing reserved or invalid domain");
+    domainBitmap &= ~(1u << d);
+    _board.memory().protection().clearDomain(d);
+}
+
+} // namespace nectar::cabos

@@ -1,0 +1,234 @@
+#include "mailbox.hh"
+
+#include "cabos/kernel.hh"
+#include "sim/logging.hh"
+
+namespace nectar::cabos {
+
+namespace {
+
+/**
+ * Awaiter for blocking reads.  If a matching message is queued, the
+ * read completes inline; otherwise the reader suspends and a producer
+ * deposits the message directly (zero-copy handoff).
+ */
+struct RecvAwaiter
+{
+    Mailbox &mb;
+    std::optional<std::uint64_t> tag;
+    Message msg;
+    bool suspended = false;
+    bool satisfied = false;
+
+    bool await_ready();
+    void await_suspend(std::coroutine_handle<> h);
+    Message await_resume() { return std::move(msg); }
+};
+
+/** Awaiter for blocked writers: suspend until space may exist. */
+struct WriterWait
+{
+    Mailbox &mb;
+
+    bool await_ready() const { return false; }
+    void await_suspend(std::coroutine_handle<> h);
+    void await_resume() const {}
+};
+
+} // namespace
+
+Mailbox::Mailbox(Kernel &kernel, MailboxId id, std::string name,
+                 std::uint32_t capacityBytes)
+    : kernel(kernel), _id(id), _name(std::move(name)),
+      capacityBytes(capacityBytes)
+{
+}
+
+Mailbox::~Mailbox()
+{
+    for (const auto &m : messages)
+        releaseBacking(m);
+}
+
+void
+Mailbox::releaseBacking(const Message &m)
+{
+    if (m.bufferAddr != 0)
+        kernel.allocator().release(m.bufferAddr);
+}
+
+bool
+Mailbox::handToReader(Message &m)
+{
+    for (auto it = readers.begin(); it != readers.end(); ++it) {
+        if (it->tag && *it->tag != m.tag)
+            continue;
+        *it->slot = std::move(m);
+        *it->satisfied = true;
+        auto h = it->handle;
+        readers.erase(it);
+        // Resume through the event queue so the producer's stack
+        // unwinds first.
+        kernel.eventq().scheduleIn(0, [h] { h.resume(); },
+                                   sim::EventPriority::software);
+        return true;
+    }
+    return false;
+}
+
+bool
+Mailbox::tryPut(Message m)
+{
+    m.arrival = kernel.now();
+    kernel.board().cpu().charge(kernel.costs().mailboxOp);
+
+    // Zero-copy handoff to a blocked matching reader: no mailbox
+    // space is consumed.
+    if (handToReader(m)) {
+        _puts.add();
+        _gets.add();
+        return true;
+    }
+
+    auto len = static_cast<std::uint32_t>(m.bytes.size());
+    if (_bytesUsed + len > capacityBytes) {
+        _putFails.add();
+        return false;
+    }
+    // Back the message with real CAB data RAM (at least one byte so
+    // zero-length messages still occupy an allocation slot).
+    auto addr = kernel.allocator().allocate(std::max<std::uint32_t>(
+        len, 1));
+    if (!addr) {
+        _putFails.add();
+        return false;
+    }
+    m.bufferAddr = *addr;
+    _bytesUsed += len;
+    messages.push_back(std::move(m));
+    _puts.add();
+    return true;
+}
+
+sim::Task<void>
+Mailbox::put(Message m)
+{
+    for (;;) {
+        // Attempt without consuming m on failure.
+        Message attempt = m;
+        if (tryPut(std::move(attempt)))
+            co_return;
+        co_await WriterWait{*this};
+        kernel.noteThreadSwitch();
+        co_await kernel.board().cpu().compute(
+            kernel.costs().threadSwitch);
+    }
+}
+
+std::optional<Message>
+Mailbox::takeMatching(const std::optional<std::uint64_t> &tag)
+{
+    for (auto it = messages.begin(); it != messages.end(); ++it) {
+        if (tag && it->tag != *tag)
+            continue;
+        Message m = std::move(*it);
+        _bytesUsed -= static_cast<std::uint32_t>(m.bytes.size());
+        messages.erase(it);
+        releaseBacking(m);
+        return m;
+    }
+    return std::nullopt;
+}
+
+std::optional<Message>
+Mailbox::tryGet()
+{
+    auto m = takeMatching(std::nullopt);
+    if (m) {
+        _gets.add();
+        kernel.board().cpu().charge(kernel.costs().mailboxOp);
+        wakeWriters();
+    }
+    return m;
+}
+
+std::optional<Message>
+Mailbox::tryGetTag(std::uint64_t tag)
+{
+    auto m = takeMatching(tag);
+    if (m) {
+        _gets.add();
+        kernel.board().cpu().charge(kernel.costs().mailboxOp);
+        wakeWriters();
+    }
+    return m;
+}
+
+bool
+RecvAwaiter::await_ready()
+{
+    auto m = mb.awaiterTake(tag);
+    if (m) {
+        msg = std::move(*m);
+        return true;
+    }
+    return false;
+}
+
+void
+RecvAwaiter::await_suspend(std::coroutine_handle<> h)
+{
+    suspended = true;
+    mb.registerReader(tag, h, &satisfied, &msg);
+}
+
+void
+WriterWait::await_suspend(std::coroutine_handle<> h)
+{
+    mb.registerWriter(h);
+}
+
+sim::Task<Message>
+Mailbox::get()
+{
+    RecvAwaiter aw{*this, std::nullopt, Message{}, false, false};
+    Message m = co_await aw;
+    _gets.add();
+    wakeWriters();
+    sim::Tick cost = kernel.costs().mailboxOp;
+    if (aw.suspended) {
+        kernel.noteThreadSwitch();
+        cost += kernel.costs().threadSwitch;
+    }
+    co_await kernel.board().cpu().compute(cost);
+    co_return m;
+}
+
+sim::Task<Message>
+Mailbox::getTag(std::uint64_t tag)
+{
+    RecvAwaiter aw{*this, tag, Message{}, false, false};
+    Message m = co_await aw;
+    _gets.add();
+    wakeWriters();
+    sim::Tick cost = kernel.costs().mailboxOp;
+    if (aw.suspended) {
+        kernel.noteThreadSwitch();
+        cost += kernel.costs().threadSwitch;
+    }
+    co_await kernel.board().cpu().compute(cost);
+    co_return m;
+}
+
+void
+Mailbox::wakeWriters()
+{
+    while (!writers.empty()) {
+        auto h = writers.front();
+        writers.pop_front();
+        kernel.eventq().scheduleIn(0, [h] { h.resume(); },
+                                   sim::EventPriority::software);
+    }
+}
+
+} // namespace nectar::cabos

@@ -1,0 +1,207 @@
+/**
+ * @file
+ * CAB mailboxes: the kernel's message buffering abstraction.
+ *
+ * Section 6.1: "Another CAB function is to provide temporary buffer
+ * space for messages in an efficient way.  This is achieved using
+ * mailboxes in CAB memory.  In the common single-reader,
+ * single-writer case, allocating and reclaiming space is simple
+ * because mailboxes behave like FIFOs.  Mailboxes also support
+ * multiple readers, multiple writers, and out-of-order reads.  These
+ * access patterns occur, for example, when multiple servers operate
+ * on different messages in the same mailbox."
+ *
+ * Message payload bytes are held in host vectors, but every message
+ * is backed by a real allocation in the CAB's data RAM (made through
+ * the kernel's BufferAllocator), so memory pressure, exhaustion and
+ * reclamation behave as on the board.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "sim/component.hh"
+#include "sim/coro.hh"
+#include "sim/stats.hh"
+
+namespace nectar::cabos {
+
+class Kernel;
+
+/** Identifies a mailbox within one CAB (transport address suffix). */
+using MailboxId = std::uint16_t;
+
+/**
+ * A message held in (or destined for) a mailbox.
+ *
+ * Deliberately not an aggregate: GCC 12 miscompiles aggregate
+ * temporaries inside co_await expressions (double destruction of the
+ * temporary's non-trivial members), so Message provides explicit
+ * constructors.
+ */
+struct Message
+{
+    Message() = default;
+
+    explicit Message(std::vector<std::uint8_t> bytes,
+                     std::uint64_t tag = 0,
+                     std::uint32_t buffer_addr = 0,
+                     sim::Tick arrival = 0)
+        : bytes(std::move(bytes)), tag(tag), bufferAddr(buffer_addr),
+          arrival(arrival)
+    {}
+
+    std::vector<std::uint8_t> bytes; ///< Payload.
+    std::uint64_t tag = 0;     ///< Match key for out-of-order reads.
+    std::uint32_t bufferAddr = 0; ///< Backing CAB data-RAM address.
+    sim::Tick arrival = 0;     ///< When the message entered the box.
+};
+
+/**
+ * A mailbox: bounded buffer of messages with FIFO and out-of-order
+ * (tag-matched) reads, multiple readers and writers.
+ */
+class Mailbox
+{
+  public:
+    /**
+     * Constructed via Kernel::createMailbox().
+     *
+     * @param kernel Owning kernel (allocator, CPU costs).
+     * @param id Mailbox id on this CAB.
+     * @param name Instance name.
+     * @param capacityBytes Payload capacity; puts beyond it fail.
+     */
+    Mailbox(Kernel &kernel, MailboxId id, std::string name,
+            std::uint32_t capacityBytes);
+
+    ~Mailbox();
+
+    Mailbox(const Mailbox &) = delete;
+    Mailbox &operator=(const Mailbox &) = delete;
+
+    MailboxId id() const { return _id; }
+    const std::string &name() const { return _name; }
+
+    /** Messages currently queued. */
+    std::size_t count() const { return messages.size(); }
+
+    /** Payload bytes currently buffered. */
+    std::uint32_t bytesUsed() const { return _bytesUsed; }
+
+    std::uint32_t capacity() const { return capacityBytes; }
+
+    /** True if a message of @p len payload bytes would fit now. */
+    bool
+    canFit(std::uint32_t len) const
+    {
+        return _bytesUsed + len <= capacityBytes;
+    }
+
+    /**
+     * Non-blocking put.  Allocates backing store in CAB data RAM.
+     *
+     * @return false if the mailbox is full or data RAM is exhausted
+     *         (the caller — e.g. transport flow control — must hold
+     *         the message or drop it).
+     */
+    bool tryPut(Message m);
+
+    /**
+     * Blocking (coroutine) put: waits until the message fits.
+     */
+    sim::Task<void> put(Message m);
+
+    /** Non-blocking FIFO read. */
+    std::optional<Message> tryGet();
+
+    /** Non-blocking tag-matched (out-of-order) read. */
+    std::optional<Message> tryGetTag(std::uint64_t tag);
+
+    /**
+     * Blocking FIFO read; resumption charges a thread switch on the
+     * CAB CPU (the reader was blocked and is being rescheduled).
+     */
+    sim::Task<Message> get();
+
+    /** Blocking tag-matched read (out-of-order consumer). */
+    sim::Task<Message> getTag(std::uint64_t tag);
+
+    /** Number of blocked readers. */
+    std::size_t readersWaiting() const { return readers.size(); }
+
+    /** Number of blocked writers. */
+    std::size_t writersWaiting() const { return writers.size(); }
+
+    std::uint64_t putsTotal() const { return _puts.value(); }
+    std::uint64_t getsTotal() const { return _gets.value(); }
+    std::uint64_t putFailures() const { return _putFails.value(); }
+
+    /**
+     * @name Internal interface used by the blocking awaiters.
+     * Not for application use.
+     */
+    ///@{
+    std::optional<Message>
+    awaiterTake(const std::optional<std::uint64_t> &tag)
+    {
+        return takeMatching(tag);
+    }
+
+    void
+    registerReader(std::optional<std::uint64_t> tag,
+                   std::coroutine_handle<> h, bool *satisfied,
+                   Message *slot)
+    {
+        readers.push_back(Reader{tag, h, satisfied, slot});
+    }
+
+    void registerWriter(std::coroutine_handle<> h)
+    {
+        writers.push_back(h);
+    }
+    ///@}
+
+  private:
+    struct Reader
+    {
+        std::optional<std::uint64_t> tag; ///< nullopt = FIFO reader.
+        std::coroutine_handle<> handle;
+        bool *satisfied;   ///< Set when a message was matched.
+        Message *slot;     ///< Where to deposit the message.
+    };
+
+    /** Try to hand @p m directly to a blocked matching reader. */
+    bool handToReader(Message &m);
+
+    /** Wake one blocked writer (space may now be available). */
+    void wakeWriters();
+
+    /** Find a queued message matching @p tag (or any, if nullopt). */
+    std::optional<Message>
+    takeMatching(const std::optional<std::uint64_t> &tag);
+
+    /** Release the CAB data-RAM backing of a consumed message. */
+    void releaseBacking(const Message &m);
+
+    Kernel &kernel;
+    MailboxId _id;
+    std::string _name;
+    std::uint32_t capacityBytes;
+    std::uint32_t _bytesUsed = 0;
+
+    std::deque<Message> messages;
+    std::deque<Reader> readers;
+    std::deque<std::coroutine_handle<>> writers;
+
+    sim::Counter _puts;
+    sim::Counter _gets;
+    sim::Counter _putFails;
+};
+
+} // namespace nectar::cabos

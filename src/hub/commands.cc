@@ -1,0 +1,39 @@
+#include "commands.hh"
+
+namespace nectar::hub {
+
+const char *
+opName(Op op)
+{
+    switch (op) {
+      case Op::open: return "open";
+      case Op::openRetry: return "openRetry";
+      case Op::openRetryReply: return "openRetryReply";
+      case Op::openReply: return "openReply";
+      case Op::testOpen: return "testOpen";
+      case Op::testOpenRetry: return "testOpenRetry";
+      case Op::testOpenRetryReply: return "testOpenRetryReply";
+      case Op::close: return "close";
+      case Op::closeAll: return "closeAll";
+      case Op::closeInput: return "closeInput";
+      case Op::lock: return "lock";
+      case Op::unlock: return "unlock";
+      case Op::testLock: return "testLock";
+      case Op::queryConn: return "queryConn";
+      case Op::queryReady: return "queryReady";
+      case Op::queryLock: return "queryLock";
+      case Op::noop: return "noop";
+      case Op::echo: return "echo";
+      case Op::svReset: return "svReset";
+      case Op::svResetPort: return "svResetPort";
+      case Op::svSetReady: return "svSetReady";
+      case Op::svClearReady: return "svClearReady";
+      case Op::svEnablePort: return "svEnablePort";
+      case Op::svDisablePort: return "svDisablePort";
+      case Op::svQueryErrors: return "svQueryErrors";
+      case Op::svPing: return "svPing";
+    }
+    return "unknown";
+}
+
+} // namespace nectar::hub

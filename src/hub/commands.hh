@@ -1,0 +1,171 @@
+/**
+ * @file
+ * The HUB datalink command set.
+ *
+ * Section 4.2 of the paper: "The HUB hardware supports 38 user
+ * commands and 14 supervisor commands for various datalink protocols.
+ * Supervisor commands are for system testing and reconfiguration
+ * purposes, whereas user commands are for operations concerning
+ * connections, locks, status, and flow control."
+ *
+ * The paper names only a handful of commands explicitly (open with
+ * retry, open with retry and reply, test open with retry, close,
+ * close all).  This implementation provides the named ones with the
+ * exact semantics of Sections 4.2.1-4.2.4 plus the natural fail-fast /
+ * reply / lock / status variants the text implies; the full inventory
+ * is listed in README.md.  Each command is a 3-byte sequence:
+ * (opcode, hub id, parameter).
+ */
+
+#pragma once
+
+#include <cstdint>
+
+namespace nectar::hub {
+
+/** Datalink command opcodes. Supervisor opcodes have the top bit set. */
+enum class Op : std::uint8_t {
+    // --- Connection management (serialized by the central controller).
+    /** Connect arrival input to output 'param'; fail-fast. */
+    open = 0x01,
+    /** open, retrying every controller cycle until it succeeds. */
+    openRetry = 0x02,
+    /** openRetry, then send a success reply back along the route. */
+    openRetryReply = 0x03,
+    /** open + reply indicating success or failure (no retry). */
+    openReply = 0x04,
+    /** open gated on the output port's ready bit; fail-fast. */
+    testOpen = 0x05,
+    /** testOpen, retrying until ready and free (Section 4.2.3). */
+    testOpenRetry = 0x06,
+    /** testOpenRetry, then send a success reply. */
+    testOpenRetryReply = 0x07,
+
+    // --- Closing (localized; executed in the I/O port).
+    /** Release output register 'param'. */
+    close = 0x08,
+    /**
+     * Travels along the route like data; each output register it
+     * passes through closes behind it (Section 4.2.1).
+     */
+    closeAll = 0x09,
+    /** Release every output connected to the arrival input. */
+    closeInput = 0x0A,
+
+    // --- Locks (serialized).
+    /** Acquire the lock on port 'param', retrying until owned. */
+    lock = 0x10,
+    /** Release the lock on port 'param' if held by arrival input. */
+    unlock = 0x11,
+    /** Try to acquire; reply with success/failure status. */
+    testLock = 0x12,
+
+    // --- Status interrogation (serialized; each generates a reply).
+    /** Reply with the input port connected to output 'param' (0xFF if none). */
+    queryConn = 0x18,
+    /** Reply with the ready bit of port 'param'. */
+    queryReady = 0x19,
+    /** Reply with the lock holder of port 'param' (0xFF if none). */
+    queryLock = 0x1A,
+
+    // --- Miscellaneous user commands.
+    /** No operation (stream padding / latency probes). */
+    noop = 0x1E,
+    /** Reply echoing 'param'; datalink liveness probe. */
+    echo = 0x1F,
+
+    // --- Supervisor commands (testing and reconfiguration, Section 4).
+    /** Clear all connections, locks, errors; ready bits to 1. */
+    svReset = 0x80,
+    /** Clear connections/locks involving port 'param'; flush its queue. */
+    svResetPort = 0x81,
+    /** Force the ready bit of port 'param' to 1. */
+    svSetReady = 0x82,
+    /** Force the ready bit of port 'param' to 0. */
+    svClearReady = 0x83,
+    /** Re-enable a disabled port. */
+    svEnablePort = 0x84,
+    /** Disable port 'param': all arriving traffic is dropped. */
+    svDisablePort = 0x85,
+    /** Reply with the HUB's error counter (saturating at 255). */
+    svQueryErrors = 0x86,
+    /** Reply; supervisor-level liveness probe. */
+    svPing = 0x87,
+};
+
+/** True for supervisor (testing/reconfiguration) opcodes. */
+constexpr bool
+isSupervisor(Op op)
+{
+    return (static_cast<std::uint8_t>(op) & 0x80u) != 0;
+}
+
+/** True if the command retries every cycle until it succeeds. */
+constexpr bool
+hasRetry(Op op)
+{
+    return op == Op::openRetry || op == Op::openRetryReply ||
+           op == Op::testOpenRetry || op == Op::testOpenRetryReply ||
+           op == Op::lock;
+}
+
+/** True if successful completion generates a reply. */
+constexpr bool
+repliesOnSuccess(Op op)
+{
+    return op == Op::openRetryReply || op == Op::openReply ||
+           op == Op::testOpenRetryReply || op == Op::testLock ||
+           op == Op::queryConn || op == Op::queryReady ||
+           op == Op::queryLock || op == Op::echo ||
+           op == Op::svQueryErrors || op == Op::svPing;
+}
+
+/**
+ * True if the command must be serialized through the central
+ * controller (anything that reads or writes the status table).
+ * Localized commands execute inside the I/O port (Section 4.1).
+ */
+constexpr bool
+needsController(Op op)
+{
+    switch (op) {
+      case Op::close:
+      case Op::closeAll:
+      case Op::closeInput:
+      case Op::unlock:
+      case Op::noop:
+      case Op::echo:
+        return false;
+      default:
+        return true;
+    }
+}
+
+/** True for opcodes that gate on the output's ready bit. */
+constexpr bool
+isTestOpen(Op op)
+{
+    return op == Op::testOpen || op == Op::testOpenRetry ||
+           op == Op::testOpenRetryReply;
+}
+
+/** True for any of the open-family opcodes. */
+constexpr bool
+isOpen(Op op)
+{
+    return op == Op::open || op == Op::openRetry ||
+           op == Op::openRetryReply || op == Op::openReply ||
+           isTestOpen(op);
+}
+
+/** Reply status codes. */
+namespace status {
+constexpr std::uint8_t failure = 0;
+constexpr std::uint8_t success = 1;
+constexpr std::uint8_t none = 0xFF; ///< "no owner / no holder".
+} // namespace status
+
+/** Human-readable opcode name (for traces and tests). */
+const char *opName(Op op);
+
+} // namespace nectar::hub

@@ -1,0 +1,128 @@
+#include "crossbar.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+
+namespace nectar::hub {
+
+Crossbar::Crossbar(int nports)
+    : n(nports), owner(nports, noPort), outs(nports),
+      locks(nports, noPort)
+{
+    if (nports <= 1)
+        sim::fatal("Crossbar: need at least two ports");
+}
+
+bool
+Crossbar::open(PortId in, PortId out)
+{
+    if (!valid(in) || !valid(out))
+        sim::panic("Crossbar::open: bad port id");
+    // Re-opening a connection the input already owns is idempotent.
+    // This makes the datalink's route-recovery resends harmless: a
+    // duplicate open neither fails nor creates extra state.
+    if (owner[out] == in)
+        return true;
+    if (owner[out] != noPort)
+        return false;
+    if (locks[out] != noPort && locks[out] != in)
+        return false;
+    owner[out] = in;
+    outs[in].push_back(out);
+    ++openCount;
+    return true;
+}
+
+PortId
+Crossbar::close(PortId out)
+{
+    if (!valid(out))
+        sim::panic("Crossbar::close: bad port id");
+    PortId in = owner[out];
+    if (in == noPort)
+        return noPort;
+    owner[out] = noPort;
+    auto &v = outs[in];
+    v.erase(std::remove(v.begin(), v.end(), out), v.end());
+    --openCount;
+    return in;
+}
+
+void
+Crossbar::closeAllFrom(PortId in)
+{
+    if (!valid(in))
+        sim::panic("Crossbar::closeAllFrom: bad port id");
+    for (PortId out : outs[in]) {
+        owner[out] = noPort;
+        --openCount;
+    }
+    outs[in].clear();
+}
+
+PortId
+Crossbar::ownerOf(PortId out) const
+{
+    if (!valid(out))
+        sim::panic("Crossbar::ownerOf: bad port id");
+    return owner[out];
+}
+
+const std::vector<PortId> &
+Crossbar::outputsOf(PortId in) const
+{
+    if (!valid(in))
+        sim::panic("Crossbar::outputsOf: bad port id");
+    return outs[in];
+}
+
+bool
+Crossbar::acquireLock(PortId port, PortId holder)
+{
+    if (!valid(port) || !valid(holder))
+        sim::panic("Crossbar::acquireLock: bad port id");
+    if (locks[port] != noPort && locks[port] != holder)
+        return false;
+    locks[port] = holder;
+    return true;
+}
+
+bool
+Crossbar::releaseLock(PortId port, PortId holder)
+{
+    if (!valid(port))
+        sim::panic("Crossbar::releaseLock: bad port id");
+    if (locks[port] != holder)
+        return false;
+    locks[port] = noPort;
+    return true;
+}
+
+PortId
+Crossbar::lockHolder(PortId port) const
+{
+    if (!valid(port))
+        sim::panic("Crossbar::lockHolder: bad port id");
+    return locks[port];
+}
+
+void
+Crossbar::releaseLocksOf(PortId holder)
+{
+    for (auto &l : locks)
+        if (l == holder)
+            l = noPort;
+}
+
+void
+Crossbar::reset()
+{
+    std::fill(owner.begin(), owner.end(), noPort);
+    std::fill(locks.begin(), locks.end(), noPort);
+    for (auto &v : outs)
+        v.clear();
+    openCount = 0;
+}
+
+} // namespace nectar::hub

@@ -1,0 +1,110 @@
+/**
+ * @file
+ * The HUB crossbar switch and status table.
+ *
+ * Section 4.1: "The HUB has a crossbar switch, which can connect the
+ * input queue of a port to the output register of any other port.  An
+ * input queue can be connected to multiple output registers (for
+ * multicast), but only one input queue can be connected to an output
+ * register at a time.  A status table is used to keep track of
+ * existing connections and to ensure that no new connections are made
+ * to output registers that are already in use."
+ *
+ * This class is the status table plus the per-port locks; the data
+ * movement itself happens in IoPort/Hub.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/types.hh"
+
+namespace nectar::hub {
+
+/** Simulated time (nanoseconds), re-exported for the hub namespace. */
+using Tick = sim::Tick;
+
+/** Port index within a HUB. */
+using PortId = int;
+
+/** Sentinel meaning "no port". */
+constexpr PortId noPort = -1;
+
+/**
+ * Connection and lock state of an N-port crossbar.
+ */
+class Crossbar
+{
+  public:
+    /** @param nports Number of I/O ports (16 in the prototype). */
+    explicit Crossbar(int nports);
+
+    int numPorts() const { return n; }
+
+    /**
+     * Connect input @p in to output @p out.
+     *
+     * Fails (returns false) if the output register is already in use
+     * or is locked by a port other than @p in.
+     */
+    bool open(PortId in, PortId out);
+
+    /**
+     * Release output @p out.
+     * @return The input that owned it, or noPort if it was free.
+     */
+    PortId close(PortId out);
+
+    /** Release every output owned by input @p in. */
+    void closeAllFrom(PortId in);
+
+    /** Input currently connected to output @p out (noPort if free). */
+    PortId ownerOf(PortId out) const;
+
+    /** Outputs currently connected to input @p in. */
+    const std::vector<PortId> &outputsOf(PortId in) const;
+
+    /** True if input @p in drives at least one output. */
+    bool
+    connected(PortId in) const
+    {
+        return !outputsOf(in).empty();
+    }
+
+    /** Total number of open connections. */
+    int connectionCount() const { return openCount; }
+
+    // --- Locks -----------------------------------------------------
+
+    /**
+     * Acquire the lock on port @p port for holder @p holder.
+     * Re-acquisition by the current holder succeeds.
+     */
+    bool acquireLock(PortId port, PortId holder);
+
+    /** Release the lock if held by @p holder. */
+    bool releaseLock(PortId port, PortId holder);
+
+    /** Current lock holder of @p port (noPort if unlocked). */
+    PortId lockHolder(PortId port) const;
+
+    /** Drop every lock held by @p holder. */
+    void releaseLocksOf(PortId holder);
+
+    /** Clear all connections and locks. */
+    void reset();
+
+    /** Validate a port index. */
+    bool valid(PortId p) const { return p >= 0 && p < n; }
+
+  private:
+    int n;
+    std::vector<PortId> owner;               ///< Per output.
+    std::vector<std::vector<PortId>> outs;   ///< Per input.
+    std::vector<PortId> locks;               ///< Per port.
+    int openCount = 0;
+};
+
+} // namespace nectar::hub

@@ -1,0 +1,97 @@
+/**
+ * @file
+ * The HUB instrumentation interface.
+ *
+ * Section 4.1: "An additional instrumentation board can be plugged
+ * into the backplane ... it can monitor and record events related to
+ * the crossbar and its controller."  HubMonitor is that board's
+ * software analogue; RecordingMonitor stores a bounded event log that
+ * tests and benches inspect.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <vector>
+
+#include "hub/commands.hh"
+#include "hub/crossbar.hh"
+#include "sim/types.hh"
+
+namespace nectar::hub {
+
+/** Kinds of event the instrumentation board can observe. */
+enum class HubEvent : std::uint8_t {
+    commandExecuted, ///< Central controller executed a command.
+    commandRetried,  ///< A retrying command failed an attempt.
+    connectionOpen,  ///< Crossbar connection established.
+    connectionClose, ///< Crossbar connection released.
+    packetForwarded, ///< A start-of-packet passed through the crossbar.
+    queueOverflow,   ///< An input queue dropped an arriving item.
+    replySent,       ///< The HUB inserted a reply into a stream.
+};
+
+/** Observer interface for crossbar/controller events. */
+class HubMonitor
+{
+  public:
+    virtual ~HubMonitor() = default;
+
+    /**
+     * @param when Simulated time of the event.
+     * @param event What happened.
+     * @param a Primary port (input, or command arrival port).
+     * @param b Secondary port (output), or noPort.
+     */
+    virtual void record(sim::Tick when, HubEvent event, PortId a,
+                        PortId b) = 0;
+};
+
+/** A monitor that keeps the most recent events in memory. */
+class RecordingMonitor : public HubMonitor
+{
+  public:
+    struct Entry
+    {
+        sim::Tick when;
+        HubEvent event;
+        PortId a;
+        PortId b;
+    };
+
+    /** @param capacity Maximum retained events (oldest evicted). */
+    explicit RecordingMonitor(std::size_t capacity = 65536)
+        : capacity(capacity)
+    {}
+
+    void
+    record(sim::Tick when, HubEvent event, PortId a, PortId b) override
+    {
+        if (log.size() == capacity)
+            log.pop_front();
+        log.push_back(Entry{when, event, a, b});
+    }
+
+    const std::deque<Entry> &events() const { return log; }
+
+    /** Number of recorded events of the given kind. */
+    std::size_t
+    count(HubEvent event) const
+    {
+        std::size_t n = 0;
+        for (const auto &e : log)
+            if (e.event == event)
+                ++n;
+        return n;
+    }
+
+    void clear() { log.clear(); }
+
+  private:
+    std::size_t capacity;
+    std::deque<Entry> log;
+};
+
+} // namespace nectar::hub

@@ -1,0 +1,216 @@
+#include "port.hh"
+
+#include <algorithm>
+
+#include "hub/commands.hh"
+#include "hub/hub.hh"
+#include "sim/logging.hh"
+
+namespace nectar::hub {
+
+using phys::ItemKind;
+using phys::WireItem;
+
+IoPort::IoPort(Hub &hub, PortId id, int queueCapacity)
+    : sim::Component(hub.eventq(),
+                     hub.name() + ".port" + std::to_string(id)),
+      hub(hub), _id(id),
+      qCapacity(static_cast<std::uint32_t>(queueCapacity))
+{
+}
+
+void
+IoPort::flushQueue()
+{
+    q.clear();
+    qBytes = 0;
+}
+
+void
+IoPort::transmit(const WireItem &item, bool stolen)
+{
+    if (!out)
+        sim::panic(name() + ": transmit with no outgoing fiber");
+    // A start-of-packet leaving the output register clears the ready
+    // bit until the downstream queue signals that it drained
+    // (Section 4.2.3).
+    if (item.kind == ItemKind::startOfPacket)
+        readyBit = false;
+    if (stolen)
+        out->sendStolen(item);
+    else
+        out->send(item);
+}
+
+void
+IoPort::fiberDeliver(WireItem item, Tick firstByte, Tick lastByte)
+{
+    if (!_enabled) {
+        hub.stats().disabledDrops.add();
+        return;
+    }
+
+    switch (item.kind) {
+      case ItemKind::readySignal:
+        // Hop-by-hop flow control: the downstream queue drained.
+        readyBit = true;
+        return;
+      case ItemKind::reply:
+        // Replies travel backward along the route, stealing cycles;
+        // they never enter the input queue (Section 4.2.1).
+        hub.forwardReplyReverse(_id, item.reply);
+        return;
+      default:
+        break;
+    }
+
+    if (qBytes + item.byteLength() > qCapacity) {
+        hub.stats().queueOverflows.add();
+        hub.countError();
+        hub.monitorRecord(HubEvent::queueOverflow, _id, noPort);
+        return;
+    }
+
+    qBytes += item.byteLength();
+    q.push_back(Queued{std::move(item), firstByte, lastByte});
+    scheduleProcess(now());
+}
+
+void
+IoPort::connectionOpened()
+{
+    scheduleProcess(now());
+}
+
+void
+IoPort::scheduleProcess(Tick when)
+{
+    when = std::max(when, now());
+    if (wakeup != sim::invalidEventId && eventq().pending(wakeup)) {
+        if (wakeupAt <= when)
+            return; // an earlier (or equal) wakeup is already set
+        eventq().cancel(wakeup);
+    }
+    wakeupAt = when;
+    wakeup = eventq().schedule(
+        when, [this] { processQueue(); }, sim::EventPriority::hardware);
+}
+
+void
+IoPort::processQueue()
+{
+    while (!q.empty()) {
+        Tick retry = tryDisposeHead();
+        if (retry == 0)
+            continue; // head disposed; look at the next item
+        if (retry != sim::maxTick)
+            scheduleProcess(retry);
+        return;
+    }
+}
+
+Tick
+IoPort::tryDisposeHead()
+{
+    const Queued &head = q.front();
+    const WireItem &item = head.item;
+    const Tick cycle = hub.configuration().cycle;
+
+    // closeAll is never consumed on a hub-id match: it travels along
+    // the route with the data and is recognized at each output
+    // register it passes through (Section 4.2.1).
+    if (item.kind == ItemKind::command &&
+        item.cmd.hubId == hub.hubId() &&
+        static_cast<Op>(item.cmd.op) != Op::closeAll) {
+        // Addressed to this HUB: consume once fully received and
+        // decoded.
+        Tick ready =
+            head.lastByte + hub.configuration().decodeCycles * cycle;
+        if (now() < ready)
+            return ready;
+        phys::CommandWord cmd = item.cmd;
+        qBytes -= item.byteLength();
+        q.pop_front();
+        hub.dispatchCommand(cmd, _id);
+        return 0;
+    }
+
+    // Everything else travels through the crossbar: data, framing
+    // markers, closeAll, and commands addressed to other HUBs.
+    const auto &outputs = hub.crossbar().outputsOf(_id);
+
+    if (outputs.empty()) {
+        // A closeAll with nothing to close is consumed (idempotent);
+        // other items wait for a connection.
+        if (item.kind == ItemKind::command &&
+            static_cast<Op>(item.cmd.op) == Op::closeAll) {
+            qBytes -= item.byteLength();
+            q.pop_front();
+            return 0;
+        }
+        return sim::maxTick; // woken by connectionOpened()
+    }
+
+    return forwardHead(outputs);
+}
+
+Tick
+IoPort::forwardHead(const std::vector<PortId> &outputs)
+{
+    const Queued &head = q.front();
+    const Tick cycle = hub.configuration().cycle;
+
+    // Cut-through: the item may leave transferCycles after its first
+    // byte arrived, once every target output register is free.
+    Tick t = head.firstByte + hub.configuration().transferCycles * cycle;
+    for (PortId o : outputs) {
+        phys::FiberLink *link = hub.port(o).output();
+        if (!link)
+            sim::panic(name() + ": connected output has no fiber");
+        t = std::max(t, link->busyUntil());
+    }
+    if (t > now())
+        return t;
+
+    // Forward now.  Copy the head so the queue can be popped before
+    // transmission side effects run.
+    Queued head_copy = q.front();
+    qBytes -= head_copy.item.byteLength();
+    q.pop_front();
+
+    const bool is_sop =
+        head_copy.item.kind == ItemKind::startOfPacket;
+    const bool is_close_all =
+        head_copy.item.kind == ItemKind::command &&
+        static_cast<Op>(head_copy.item.cmd.op) == Op::closeAll;
+
+    for (PortId o : outputs)
+        hub.port(o).transmit(head_copy.item);
+
+    if (head_copy.item.kind == ItemKind::data)
+        hub.stats().dataBytes.add(head_copy.item.dataLen);
+
+    if (is_sop) {
+        // The start of packet has emerged from this input queue;
+        // signal readiness back upstream (Section 4.2.3).
+        if (out)
+            out->sendStolen(WireItem::ready());
+        hub.stats().packetsForwarded.add();
+        hub.monitorRecord(HubEvent::packetForwarded, _id,
+                          outputs.empty() ? noPort : outputs.front());
+    }
+
+    if (is_close_all) {
+        // Detected at each output register it passed through: close
+        // the connections behind it (Section 4.2.1).
+        for (PortId o : outputs) {
+            hub.crossbar().close(o);
+            hub.stats().closes.add();
+            hub.monitorRecord(HubEvent::connectionClose, _id, o);
+        }
+    }
+
+    return 0;
+}
+
+} // namespace nectar::hub

@@ -1,0 +1,138 @@
+/**
+ * @file
+ * A HUB I/O port: input queue, output register, and ready bit.
+ *
+ * Section 4.1: "From the functional viewpoint, a port consists of an
+ * input queue and an output register ... The I/O port extracts
+ * commands from the incoming byte stream, and inserts replies to the
+ * commands in the outgoing byte stream.  Commands that require
+ * serialization, such as establishing a connection, are forwarded to
+ * the central controller, while 'localized' commands, such as breaking
+ * a connection, are executed inside the I/O port."
+ *
+ * The input queue is 1 kilobyte (which bounds the packet size for
+ * packet switching, Section 4.2.3).  Forwarding through the crossbar
+ * is cut-through: an item leaves this queue hubTransferCycles (5
+ * cycles = 350 ns) after its first byte arrived, provided the input is
+ * connected and the target output registers are free.
+ */
+
+#pragma once
+
+#include <deque>
+
+#include "hub/crossbar.hh"
+#include "phys/fiber.hh"
+#include "sim/component.hh"
+
+namespace nectar::hub {
+
+class Hub;
+
+/**
+ * One of the HUB's I/O ports.  Receives wire items from its incoming
+ * fiber (as a FiberSink) and transmits on the paired outgoing fiber.
+ */
+class IoPort : public sim::Component, public phys::FiberSink
+{
+  public:
+    /**
+     * @param hub Owning HUB.
+     * @param id Port index on that HUB.
+     * @param queueCapacity Input queue size in bytes.
+     */
+    IoPort(Hub &hub, PortId id, int queueCapacity);
+
+    PortId portId() const { return _id; }
+
+    /** Attach the outgoing fiber of this port's fiber pair. */
+    void attachOutput(phys::FiberLink &link) { out = &link; }
+
+    /** The outgoing fiber, or nullptr if unattached. */
+    phys::FiberLink *output() { return out; }
+
+    /** Ready bit: downstream input queue can accept a new packet. */
+    bool ready() const { return readyBit; }
+
+    /** Force the ready bit (supervisor commands, CAB attach). */
+    void setReady(bool r) { readyBit = r; }
+
+    /** Disabled ports drop all arriving traffic. */
+    bool enabled() const { return _enabled; }
+    void setEnabled(bool e) { _enabled = e; }
+
+    /** Current input queue occupancy in bytes. */
+    std::uint32_t queueBytes() const { return qBytes; }
+
+    /** Number of queued items. */
+    std::size_t queueLength() const { return q.size(); }
+
+    /** Discard all queued items (supervisor port reset). */
+    void flushQueue();
+
+    /**
+     * Transmit an item from this port's output register.
+     *
+     * @param item Item to serialize onto the outgoing fiber.
+     * @param stolen If true, bypass the output register's queueing
+     *        (replies and ready signals steal cycles; Section 4.2.1).
+     */
+    void transmit(const phys::WireItem &item, bool stolen = false);
+
+    /**
+     * The HUB opened a connection from this input; re-examine the
+     * queue head (data may have been waiting for the route).
+     */
+    void connectionOpened();
+
+    // FiberSink interface: the incoming fiber delivers here.
+    void fiberDeliver(phys::WireItem item, Tick firstByte,
+                      Tick lastByte) override;
+
+  private:
+    struct Queued
+    {
+        phys::WireItem item;
+        Tick firstByte;
+        Tick lastByte;
+    };
+
+    /**
+     * Ensure processQueue() runs at (or before) @p when; coalesces
+     * with any earlier pending wakeup.
+     */
+    void scheduleProcess(Tick when);
+
+    /**
+     * Drain the queue head while items are disposable: consume
+     * commands addressed to this HUB, forward everything else through
+     * open connections.
+     */
+    void processQueue();
+
+    /**
+     * Try to dispose of the queue head.
+     * @return Tick to retry at, 0 if the head was disposed, or
+     *         sim::maxTick if blocked with no known wakeup.
+     */
+    Tick tryDisposeHead();
+
+    /** Forward the head item through the crossbar to @p outputs. */
+    Tick forwardHead(const std::vector<PortId> &outputs);
+
+    Hub &hub;
+    PortId _id;
+    phys::FiberLink *out = nullptr;
+
+    std::deque<Queued> q;
+    std::uint32_t qBytes = 0;
+    std::uint32_t qCapacity;
+
+    bool readyBit = true;
+    bool _enabled = true;
+
+    sim::EventId wakeup = sim::invalidEventId;
+    Tick wakeupAt = 0;
+};
+
+} // namespace nectar::hub

@@ -1,0 +1,148 @@
+/**
+ * @file
+ * IPv4 over the Nectar-net.
+ *
+ * Section 6.2.2: "The current transport protocols are simple and
+ * Nectar-specific.  We plan to experiment with the corresponding
+ * Internet protocols (IP, TCP, and VMTP) over Nectar in the coming
+ * year."  This module is that experiment: real IPv4 headers (with
+ * header checksum) are encapsulated in Nectar datalink packets, so
+ * standard transports (inet::Tcp) can run on the CAB.
+ *
+ * Address mapping: CAB address N lives at 10.0.(N>>8).(N&0xFF).
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "cabos/kernel.hh"
+#include "datalink/datalink.hh"
+#include "sim/component.hh"
+#include "transport/directory.hh"
+
+namespace nectar::inet {
+
+using sim::Tick;
+
+/** An IPv4 address. */
+using IpAddress = std::uint32_t;
+
+/** The 10.0.0.0/16 mapping of CAB addresses. */
+inline IpAddress
+ipOfCab(transport::CabAddress cab)
+{
+    return 0x0A000000u | cab;
+}
+
+/** Inverse mapping; nullopt if outside 10.0.0.0/16. */
+inline std::optional<transport::CabAddress>
+cabOfIp(IpAddress ip)
+{
+    if ((ip & 0xFFFF0000u) != 0x0A000000u)
+        return std::nullopt;
+    return static_cast<transport::CabAddress>(ip & 0xFFFF);
+}
+
+/** IP protocol numbers used here. */
+namespace proto {
+constexpr std::uint8_t tcp = 6;
+constexpr std::uint8_t udp = 17;
+} // namespace proto
+
+/** An IPv4 header (no options; IHL = 5). */
+struct Ipv4Header
+{
+    std::uint8_t tos = 0;
+    std::uint16_t totalLength = 0;
+    std::uint16_t id = 0;
+    std::uint8_t ttl = 64;
+    std::uint8_t protocol = 0;
+    std::uint16_t checksum = 0;
+    IpAddress src = 0;
+    IpAddress dst = 0;
+
+    static constexpr std::uint32_t wireSize = 20;
+};
+
+/** Serialize header + payload; computes the header checksum. */
+std::vector<std::uint8_t> encodeIp(Ipv4Header h,
+                                   const std::vector<std::uint8_t> &pl);
+
+/**
+ * Parse and verify an IPv4 packet.
+ * @return Header, or nullopt on malformed/bad-checksum input.
+ */
+std::optional<Ipv4Header> decodeIp(
+    const std::vector<std::uint8_t> &bytes,
+    std::vector<std::uint8_t> &payload);
+
+/** IP layer statistics. */
+struct IpStats
+{
+    sim::Counter sent;
+    sim::Counter received;
+    sim::Counter badHeader;     ///< Checksum/length failures.
+    sim::Counter unknownProto;  ///< No handler registered.
+    sim::Counter misrouted;     ///< Arrived at the wrong CAB.
+};
+
+/**
+ * The per-CAB IP layer: encapsulates datagrams in Nectar datalink
+ * packets and demultiplexes arrivals by protocol number.
+ *
+ * Takes over the site datalink's receive handler: a CAB running the
+ * Internet suite does not simultaneously run the Nectar-native
+ * transport (exactly the configuration choice a real deployment
+ * would make).
+ */
+class IpLayer : public sim::Component
+{
+  public:
+    IpLayer(cabos::Kernel &kernel, datalink::Datalink &dl,
+            transport::NetworkDirectory &directory,
+            transport::CabAddress self);
+
+    IpAddress address() const { return ipOfCab(self); }
+    IpStats &stats() { return _stats; }
+    cabos::Kernel &kernel() { return _kernel; }
+
+    /** Register the upper-layer handler for an IP protocol number. */
+    void
+    registerProtocol(std::uint8_t protocol,
+                     std::function<void(const Ipv4Header &,
+                                        std::vector<std::uint8_t> &&)>
+                         handler)
+    {
+        handlers[protocol] = std::move(handler);
+    }
+
+    /**
+     * Send one IP datagram (must fit the Nectar MTU; the CAB path
+     * never needs IP fragmentation because circuit switching carries
+     * large packets natively — a deliberate design shortcut that a
+     * production stack would replace with fragmentation).
+     */
+    sim::Task<bool> send(IpAddress dst, std::uint8_t protocol,
+                         std::vector<std::uint8_t> payload);
+
+  private:
+    void onPacket(std::vector<std::uint8_t> &&bytes, bool corrupted);
+
+    cabos::Kernel &_kernel;
+    datalink::Datalink &dl;
+    transport::NetworkDirectory &directory;
+    transport::CabAddress self;
+    std::uint16_t nextId = 1;
+    IpStats _stats;
+    std::map<std::uint8_t,
+             std::function<void(const Ipv4Header &,
+                                std::vector<std::uint8_t> &&)>>
+        handlers;
+};
+
+} // namespace nectar::inet

@@ -1,0 +1,235 @@
+/**
+ * @file
+ * TCP over IP over the Nectar-net (the Section 6.2.2 experiment).
+ *
+ * A compact but genuine TCP: three-way handshake, byte-oriented
+ * sequence/acknowledgment numbers, sliding window, retransmission
+ * with a fixed RTO, and FIN teardown.  Runs on the CAB, demonstrating
+ * that the CAB is "a flexible environment for the efficient
+ * implementation of protocols" (Section 5.1) beyond the
+ * Nectar-specific suite.
+ *
+ * Documented simplifications relative to 1989-era BSD TCP: fixed
+ * retransmission timeout (no Karn/Jacobson estimation), no congestion
+ * control (contemporary with its invention), no delayed acks, no
+ * urgent data, and TIME_WAIT collapses immediately to CLOSED.
+ */
+
+#pragma once
+
+#include <deque>
+#include <map>
+#include <optional>
+
+#include "inet/ip.hh"
+#include "sim/coro.hh"
+
+namespace nectar::inet {
+
+/** TCP header flags. */
+namespace tcpflags {
+constexpr std::uint8_t fin = 0x01;
+constexpr std::uint8_t syn = 0x02;
+constexpr std::uint8_t rst = 0x04;
+constexpr std::uint8_t psh = 0x08;
+constexpr std::uint8_t ack = 0x10;
+} // namespace tcpflags
+
+/** A TCP header (no options). */
+struct TcpHeader
+{
+    std::uint16_t srcPort = 0;
+    std::uint16_t dstPort = 0;
+    std::uint32_t seq = 0;
+    std::uint32_t ack = 0;
+    std::uint8_t flags = 0;
+    std::uint16_t window = 0;
+    std::uint16_t checksum = 0;
+
+    static constexpr std::uint32_t wireSize = 20;
+};
+
+/** Serialize header + payload (checksum over both). */
+std::vector<std::uint8_t> encodeTcp(TcpHeader h,
+                                    const std::vector<std::uint8_t> &pl);
+
+/** Parse and verify; nullopt on malformed/bad checksum. */
+std::optional<TcpHeader> decodeTcp(
+    const std::vector<std::uint8_t> &bytes,
+    std::vector<std::uint8_t> &payload);
+
+/** Connection states (RFC 793 subset). */
+enum class TcpState {
+    closed,
+    listen,
+    synSent,
+    synRcvd,
+    established,
+    finWait1,
+    finWait2,
+    closeWait,
+    lastAck,
+};
+
+const char *tcpStateName(TcpState s);
+
+struct TcpConfig
+{
+    std::uint32_t mss = 512;          ///< Max segment payload.
+    std::uint32_t window = 8 * 1024;  ///< Fixed advertised window.
+    Tick rto = 2 * sim::ticks::ms;    ///< Fixed retransmission timeout.
+    int maxRetransmits = 8;
+    Tick connectTimeout = 20 * sim::ticks::ms;
+};
+
+struct TcpStats
+{
+    sim::Counter segmentsSent;
+    sim::Counter segmentsReceived;
+    sim::Counter retransmissions;
+    sim::Counter badSegments;
+    sim::Counter resetsSent;
+    sim::Counter connectionsOpened;
+    sim::Counter connectionsAccepted;
+};
+
+class Tcp;
+
+/**
+ * One TCP connection endpoint.
+ */
+class TcpSocket
+{
+  public:
+    TcpSocket(Tcp &tcp, std::uint16_t localPort, IpAddress peerIp,
+              std::uint16_t peerPort);
+
+    TcpState state() const { return _state; }
+    std::uint16_t localPort() const { return lport; }
+    IpAddress peerAddress() const { return peer; }
+    std::uint16_t peerPort() const { return pport; }
+
+    /**
+     * Append bytes to the send stream; suspends while the send
+     * buffer is full.  Returns false if the connection failed.
+     */
+    sim::Task<bool> send(std::vector<std::uint8_t> data);
+
+    /**
+     * Receive up to @p maxBytes in-order stream bytes; suspends until
+     * at least one byte (or EOF) is available.  An empty vector means
+     * the peer closed (EOF).
+     */
+    sim::Task<std::vector<std::uint8_t>> receive(std::size_t maxBytes);
+
+    /** Bytes available to read right now. */
+    std::size_t available() const { return recvBuf.size(); }
+
+    /** Graceful close: sends FIN; resolves when the FIN is acked. */
+    sim::Task<void> close();
+
+    /** Bytes not yet acknowledged by the peer. */
+    std::uint32_t
+    unacked() const
+    {
+        return sndNxt - sndUna;
+    }
+
+  private:
+    friend class Tcp;
+
+    void segmentArrived(const TcpHeader &h,
+                        std::vector<std::uint8_t> &&payload);
+    void transmitSegment(std::uint8_t flags,
+                         std::uint32_t seq,
+                         std::vector<std::uint8_t> payload);
+    /** Send whatever the window permits from the send buffer. */
+    void pump();
+    void armTimer();
+    void onTimeout();
+    void fail();
+    void wakeAll();
+
+    Tcp &tcp;
+    std::uint16_t lport;
+    IpAddress peer;
+    std::uint16_t pport;
+
+    TcpState _state = TcpState::closed;
+    bool failed = false;
+
+    // Send side: sndUna..sndNxt outstanding; buffer holds unsent
+    // bytes at stream offset sndNxt.
+    std::uint32_t iss = 0;
+    std::uint32_t sndUna = 0;
+    std::uint32_t sndNxt = 0;
+    std::deque<std::uint8_t> sendBuf;
+    bool finQueued = false;
+    std::uint32_t finSeq = 0;
+    sim::EventId timer = sim::invalidEventId;
+    int timeouts = 0;
+    /** Retransmission store: stream-offset -> segment payload. */
+    std::map<std::uint32_t, std::pair<std::uint8_t,
+                                      std::vector<std::uint8_t>>>
+        inflight;
+
+    // Receive side.
+    std::uint32_t rcvNxt = 0;
+    std::deque<std::uint8_t> recvBuf;
+    bool peerClosed = false;
+
+    std::vector<std::coroutine_handle<>> waiters;
+};
+
+/**
+ * The per-CAB TCP layer: port table and demultiplexer.
+ */
+class Tcp : public sim::Component
+{
+  public:
+    explicit Tcp(IpLayer &ip, const TcpConfig &config = {});
+
+    const TcpConfig &config() const { return cfg; }
+    TcpStats &stats() { return _stats; }
+    IpLayer &ip() { return _ip; }
+
+    /**
+     * Passive open: accept one connection on @p port.
+     * Resolves to the established socket.
+     */
+    sim::Task<TcpSocket *> accept(std::uint16_t port);
+
+    /** Active open to (dstIp, dstPort); nullptr on timeout. */
+    sim::Task<TcpSocket *> connect(IpAddress dst,
+                                   std::uint16_t dstPort);
+
+  private:
+    friend class TcpSocket;
+
+    static std::uint64_t
+    key(std::uint16_t lport, IpAddress peer, std::uint16_t pport)
+    {
+        return (static_cast<std::uint64_t>(lport) << 48) |
+               (static_cast<std::uint64_t>(pport) << 32) | peer;
+    }
+
+    void onIp(const Ipv4Header &h, std::vector<std::uint8_t> &&pl);
+    void sendRst(const Ipv4Header &iph, const TcpHeader &h);
+
+    IpLayer &_ip;
+    TcpConfig cfg;
+    TcpStats _stats;
+    std::uint16_t nextEphemeral = 0x8000;
+    std::uint32_t nextIss = 1000;
+
+    std::map<std::uint64_t, std::unique_ptr<TcpSocket>> sockets;
+    /** Listening ports and their pending-accept wakeups. */
+    struct Listener
+    {
+        TcpSocket *pending = nullptr;
+        std::vector<std::coroutine_handle<>> waiters;
+    };
+    std::map<std::uint16_t, Listener> listeners;
+};
+
+} // namespace nectar::inet

@@ -1,0 +1,95 @@
+#include "ipsc.hh"
+
+#include "sim/logging.hh"
+
+namespace nectar::nectarine::ipsc {
+
+IpscSystem::IpscSystem(Nectarine &api, int nodes)
+    : api(api), nodes(nodes)
+{
+    if (nodes <= 0)
+        sim::fatal("IpscSystem: node count must be positive");
+    taskIds.resize(nodes);
+}
+
+void
+IpscSystem::load(std::function<sim::Task<void>(IpscNode &)> program)
+{
+    std::size_t site_count = api.system().siteCount();
+    if (site_count == 0)
+        sim::fatal("IpscSystem: system has no CABs");
+    for (int n = 0; n < nodes; ++n) {
+        taskIds[n] = api.createTask(
+            n % site_count, "ipsc" + std::to_string(n),
+            [this, n, program](TaskContext &ctx) -> sim::Task<void> {
+                IpscNode self(*this, ctx, n);
+                co_await program(self);
+            });
+    }
+}
+
+TaskId
+IpscSystem::taskOf(int n) const
+{
+    if (n < 0 || n >= nodes)
+        sim::fatal("IpscSystem: bad node number");
+    return taskIds[n];
+}
+
+int
+IpscNode::numnodes() const
+{
+    return cube.numnodes();
+}
+
+sim::Task<void>
+IpscNode::csend(long type, std::vector<std::uint8_t> msg, int to)
+{
+    // The iPSC type becomes the mailbox tag; prepend it so the
+    // receiver can match typed reads.  (The tag travels in-band:
+    // Nectar's stream protocol regenerates receiver-side tags from
+    // msgId, so the type is carried in the first 8 payload bytes.)
+    std::vector<std::uint8_t> framed(8 + msg.size());
+    auto t = static_cast<std::uint64_t>(type);
+    for (int i = 0; i < 8; ++i)
+        framed[i] = static_cast<std::uint8_t>(t >> (56 - 8 * i));
+    std::copy(msg.begin(), msg.end(), framed.begin() + 8);
+    co_await ctx.send(cube.taskOf(to), std::move(framed));
+}
+
+sim::Task<std::vector<std::uint8_t>>
+IpscNode::crecv(long type)
+{
+    // Typed receive: messages of other types seen while waiting are
+    // parked in a per-node stash (the out-of-order read pattern of
+    // Section 6.1) and handed to their own crecv later.
+    auto want = static_cast<std::uint64_t>(type);
+
+    for (auto it = stash.begin(); it != stash.end(); ++it) {
+        if (it->tag == want) {
+            std::vector<std::uint8_t> payload(it->bytes.begin() + 8,
+                                              it->bytes.end());
+            stash.erase(it);
+            co_return payload;
+        }
+    }
+
+    for (;;) {
+        cabos::Message m = co_await ctx.receive();
+        if (m.bytes.size() < 8) {
+            sim::warn("ipsc::crecv: runt message discarded");
+            continue;
+        }
+        std::uint64_t got = 0;
+        for (int i = 0; i < 8; ++i)
+            got = (got << 8) | m.bytes[i];
+        if (got == want) {
+            co_return std::vector<std::uint8_t>(m.bytes.begin() + 8,
+                                                m.bytes.end());
+        }
+        m.tag = got;
+        stash.push_back(std::move(m));
+    }
+}
+
+} // namespace nectar::nectarine::ipsc

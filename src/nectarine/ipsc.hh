@@ -1,0 +1,118 @@
+/**
+ * @file
+ * The Intel iPSC communication library on top of Nectarine.
+ *
+ * Section 7: "The flexibility of Nectar allows it to run applications
+ * originally written for other parallel systems.  For example, to run
+ * hypercube applications on Nectar, we have implemented the Intel
+ * iPSC communication library on top of Nectarine.  Since Nectarine is
+ * functionally a superset of the iPSC primitives, this implementation
+ * is relatively simple."
+ *
+ * The iPSC/2 model: `numnodes` SPMD processes numbered 0..N-1
+ * exchange typed messages with csend()/crecv(); the message *type*
+ * acts as the match key (mapped onto Nectarine's tagged mailbox
+ * reads).
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <vector>
+
+#include "nectarine/nectarine.hh"
+
+namespace nectar::nectarine::ipsc {
+
+class IpscSystem;
+
+/**
+ * The per-node view of the cube: what an iPSC program sees.
+ */
+class IpscNode
+{
+  public:
+    IpscNode(IpscSystem &cube, TaskContext &ctx, int node)
+        : cube(cube), ctx(ctx), node(node)
+    {}
+
+    /** This node's number (iPSC mynode()). */
+    int mynode() const { return node; }
+
+    /** Number of nodes in the cube (iPSC numnodes()). */
+    int numnodes() const;
+
+    /**
+     * Typed synchronous send (iPSC csend): completes when the
+     * message has been handed to the communication system.
+     */
+    sim::Task<void> csend(long type, std::vector<std::uint8_t> msg,
+                          int to);
+
+    /**
+     * Typed blocking receive (iPSC crecv): returns the next message
+     * of the given type, regardless of arrival order.
+     */
+    sim::Task<std::vector<std::uint8_t>> crecv(long type);
+
+    /** Simulated local computation. */
+    auto work(sim::Tick cost) { return ctx.compute(cost); }
+
+    /** Underlying Nectarine context (escape hatch). */
+    TaskContext &context() { return ctx; }
+
+    /** Neighbor along hypercube dimension @p dim. */
+    int
+    neighbor(int dim) const
+    {
+        return node ^ (1 << dim);
+    }
+
+  private:
+    IpscSystem &cube;
+    TaskContext &ctx;
+    int node;
+    /** Messages of other types seen while waiting in crecv(). */
+    std::deque<cabos::Message> stash;
+};
+
+/**
+ * An iPSC "cube" mapped onto Nectar: node i runs as a Nectarine task
+ * on site i % siteCount.
+ */
+class IpscSystem
+{
+  public:
+    /**
+     * @param api The Nectarine runtime.
+     * @param nodes Cube size (any positive count; a power of two for
+     *        hypercube-dimension helpers to be meaningful).
+     */
+    IpscSystem(Nectarine &api, int nodes);
+
+    int numnodes() const { return nodes; }
+
+    /**
+     * Load an SPMD program: @p program runs once on every node.
+     * Tasks start when the event queue runs.
+     */
+    void
+    load(std::function<sim::Task<void>(IpscNode &)> program);
+
+    /** Task id of cube node @p n. */
+    TaskId taskOf(int n) const;
+
+    /** Nodes whose program has completed. */
+    int completedNodes() const { return api.completedTasks(); }
+
+  private:
+    friend class IpscNode;
+
+    Nectarine &api;
+    int nodes;
+    std::vector<TaskId> taskIds;
+};
+
+} // namespace nectar::nectarine::ipsc

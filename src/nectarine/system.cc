@@ -1,0 +1,83 @@
+#include "system.hh"
+
+#include "sim/logging.hh"
+
+namespace nectar::nectarine {
+
+NectarSystem::NectarSystem(sim::EventQueue &eq,
+                           std::unique_ptr<topo::Topology> topology)
+    : eq(eq), topology(std::move(topology)), dir(*this->topology)
+{
+    if (!this->topology)
+        sim::fatal("NectarSystem: null topology");
+}
+
+CabSite &
+NectarSystem::addCab(int hubIndex, hub::PortId port,
+                     const std::string &name, const SiteConfig &config)
+{
+    auto site = std::make_unique<CabSite>();
+    site->address =
+        static_cast<transport::CabAddress>(sites.size() + 1);
+    site->at = topo::Endpoint{hubIndex, port};
+
+    std::string cab_name =
+        name.empty() ? "cab" + std::to_string(site->address) : name;
+
+    site->board = std::make_unique<cab::Cab>(eq, cab_name, config.cab);
+    auto &tx = topology->attachEndpoint(*site->board, hubIndex, port,
+                                        cab_name);
+    site->board->attachTx(tx);
+
+    site->kernel = std::make_unique<cabos::Kernel>(*site->board);
+    site->datalink = std::make_unique<datalink::Datalink>(
+        *site->kernel, config.datalink);
+    site->transport = std::make_unique<transport::Transport>(
+        *site->kernel, *site->datalink, dir, site->address,
+        config.transport);
+
+    dir.registerCab(site->address, site->at);
+    sites.push_back(std::move(site));
+    return *sites.back();
+}
+
+CabSite &
+NectarSystem::site(std::size_t i)
+{
+    if (i >= sites.size())
+        sim::panic("NectarSystem::site: bad index");
+    return *sites[i];
+}
+
+std::unique_ptr<NectarSystem>
+NectarSystem::singleHub(sim::EventQueue &eq, int cabs,
+                        const SiteConfig &config,
+                        const hub::HubConfig &hubConfig)
+{
+    if (cabs > hubConfig.numPorts)
+        sim::fatal("NectarSystem::singleHub: more CABs than ports");
+    auto sys = std::make_unique<NectarSystem>(
+        eq, topo::makeSingleHub(eq, hubConfig));
+    for (int i = 0; i < cabs; ++i)
+        sys->addCab(0, i, "", config);
+    return sys;
+}
+
+std::unique_ptr<NectarSystem>
+NectarSystem::mesh2D(sim::EventQueue &eq, int rows, int cols,
+                     int cabsPerHub, const SiteConfig &config,
+                     const hub::HubConfig &hubConfig)
+{
+    if (cabsPerHub > hubConfig.numPorts - 4)
+        sim::fatal("NectarSystem::mesh2D: mesh links need 4 ports "
+                   "per HUB");
+    auto sys = std::make_unique<NectarSystem>(
+        eq, topo::makeMesh2D(eq, rows, cols, hubConfig));
+    for (int h = 0; h < rows * cols; ++h) {
+        for (int c = 0; c < cabsPerHub; ++c)
+            sys->addCab(h, c, "", config);
+    }
+    return sys;
+}
+
+} // namespace nectar::nectarine

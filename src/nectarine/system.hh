@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Whole-system assembly: the Nectar-net plus fully stacked CABs.
+ *
+ * Builds the system of Figure 1: a topology of HUBs with CABs
+ * attached, each CAB running its kernel, datalink, and transport.
+ * Nodes (src/node) and the Nectarine programming interface layer on
+ * top of the sites this class creates.
+ */
+
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cab/cab.hh"
+#include "cabos/kernel.hh"
+#include "datalink/datalink.hh"
+#include "topo/topology.hh"
+#include "transport/directory.hh"
+#include "transport/transport.hh"
+
+namespace nectar::nectarine {
+
+/** Per-site configuration overrides. */
+struct SiteConfig
+{
+    cab::CabConfig cab;
+    datalink::DatalinkConfig datalink;
+    transport::TransportConfig transport;
+};
+
+/**
+ * One CAB attachment: the board and its software stack.
+ */
+struct CabSite
+{
+    transport::CabAddress address = 0;
+    topo::Endpoint at;
+    std::unique_ptr<cab::Cab> board;
+    std::unique_ptr<cabos::Kernel> kernel;
+    std::unique_ptr<datalink::Datalink> datalink;
+    std::unique_ptr<transport::Transport> transport;
+};
+
+/**
+ * A complete Nectar system: topology, directory, and CAB sites.
+ */
+class NectarSystem
+{
+  public:
+    /**
+     * @param eq Event queue.
+     * @param topology The HUB interconnect (takes ownership).
+     */
+    NectarSystem(sim::EventQueue &eq,
+                 std::unique_ptr<topo::Topology> topology);
+
+    /**
+     * Attach a CAB to @p hubIndex/@p port with a full software stack.
+     *
+     * @param name Instance name ("" derives cab<N>).
+     * @param config Per-site tuning.
+     * @return The new site.
+     */
+    CabSite &addCab(int hubIndex, hub::PortId port,
+                    const std::string &name = "",
+                    const SiteConfig &config = {});
+
+    /** Attach a CAB on the first free port of @p hubIndex. */
+    CabSite &
+    addCabAuto(int hubIndex, const SiteConfig &config = {})
+    {
+        return addCab(hubIndex, topo().firstFreePort(hubIndex), "",
+                      config);
+    }
+
+    CabSite &site(std::size_t i);
+    std::size_t siteCount() const { return sites.size(); }
+
+    topo::Topology &topo() { return *topology; }
+    transport::NetworkDirectory &directory() { return dir; }
+    sim::EventQueue &eventq() { return eq; }
+
+    // ----- Convenience builders -------------------------------------
+
+    /** A single-HUB star with @p cabs CABs (Figure 2). */
+    static std::unique_ptr<NectarSystem>
+    singleHub(sim::EventQueue &eq, int cabs,
+              const SiteConfig &config = {},
+              const hub::HubConfig &hubConfig = {});
+
+    /**
+     * A rows x cols 2-D mesh of HUB clusters with @p cabsPerHub CABs
+     * on each (Figure 4).
+     */
+    static std::unique_ptr<NectarSystem>
+    mesh2D(sim::EventQueue &eq, int rows, int cols, int cabsPerHub,
+           const SiteConfig &config = {},
+           const hub::HubConfig &hubConfig = {});
+
+  private:
+    sim::EventQueue &eq;
+    std::unique_ptr<topo::Topology> topology;
+    transport::NetworkDirectory dir;
+    std::vector<std::unique_ptr<CabSite>> sites;
+};
+
+} // namespace nectar::nectarine

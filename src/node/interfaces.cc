@@ -1,0 +1,173 @@
+#include "interfaces.hh"
+
+#include "sim/logging.hh"
+
+namespace nectar::node {
+
+using cabos::Message;
+
+// --------------------------------------------------------------------
+// SharedMemoryInterface
+// --------------------------------------------------------------------
+
+SharedMemoryInterface::SharedMemoryInterface(Node &host,
+                                             nectarine::CabSite &site)
+    : sim::Component(host.eventq(), host.name() + ".shm"), host(host),
+      site(site)
+{
+}
+
+sim::Task<bool>
+SharedMemoryInterface::send(transport::CabAddress dst,
+                            std::uint16_t dstMailbox,
+                            std::vector<std::uint8_t> data,
+                            bool reliable)
+{
+    // Build the message in place in CAB memory over VME: no node-side
+    // copy beyond the VME transfer itself, no system call.
+    co_await host.vme().transferAwait(
+        static_cast<std::uint32_t>(data.size()));
+    site.board->memory().account(cab::Accessor::vmeDma, data.size());
+
+    // "Node processes invoke services by placing a command in a
+    // special mailbox on the CAB" — a small descriptor write.
+    co_await host.vme().transferAwait(32);
+
+    // The CAB-side service executes the transport operation; the node
+    // polls a completion word in CAB memory.
+    struct Status
+    {
+        bool done = false;
+        bool ok = false;
+    };
+    auto status = std::make_shared<Status>();
+    sim::spawn([](transport::Transport &tp, transport::CabAddress dst,
+                  std::uint16_t mb, std::vector<std::uint8_t> data,
+                  bool reliable,
+                  std::shared_ptr<Status> status) -> sim::Task<void> {
+        bool ok;
+        if (reliable)
+            ok = co_await tp.sendReliable(dst, mb, std::move(data));
+        else
+            ok = co_await tp.sendDatagram(dst, mb, std::move(data));
+        status->ok = ok;
+        status->done = true;
+    }(*site.transport, dst, dstMailbox, std::move(data), reliable,
+      status));
+
+    while (!status->done) {
+        _polls.add();
+        co_await host.vme().transferAwait(4); // read the status word
+        if (status->done)
+            break;
+        co_await sim::Delay{eventq(), host.costs().pollInterval};
+    }
+    co_return status->ok;
+}
+
+std::optional<Message>
+SharedMemoryInterface::tryReceive(cabos::MailboxId box)
+{
+    cabos::Mailbox *mb = site.kernel->mailbox(box);
+    if (!mb)
+        sim::fatal(name() + ": no such mailbox " + std::to_string(box));
+    _polls.add();
+    host.vme().transfer(4); // read the mailbox status word
+    auto m = mb->tryGet();
+    if (m) {
+        // Consume the message in place: one VME transfer, no node
+        // kernel involvement.
+        host.vme().transfer(static_cast<std::uint32_t>(m->bytes.size()));
+        site.board->memory().account(cab::Accessor::vmeDma,
+                                     m->bytes.size());
+    }
+    return m;
+}
+
+sim::Task<Message>
+SharedMemoryInterface::receive(cabos::MailboxId box)
+{
+    for (;;) {
+        auto m = tryReceive(box);
+        if (m)
+            co_return std::move(*m);
+        co_await sim::Delay{eventq(), host.costs().pollInterval};
+    }
+}
+
+// --------------------------------------------------------------------
+// SocketInterface
+// --------------------------------------------------------------------
+
+SocketInterface::SocketInterface(Node &host, nectarine::CabSite &site)
+    : sim::Component(host.eventq(), host.name() + ".socket"),
+      host(host), site(site)
+{
+}
+
+sim::Task<bool>
+SocketInterface::send(transport::CabAddress dst,
+                      std::uint16_t dstMailbox,
+                      std::vector<std::uint8_t> data, bool reliable)
+{
+    // write(): system call, copy into the kernel, VME into the CAB.
+    co_await host.syscall();
+    co_await host.copy(data.size());
+    co_await host.vme().transferAwait(
+        static_cast<std::uint32_t>(data.size()));
+    site.board->memory().account(cab::Accessor::vmeDma, data.size());
+
+    // The CAB runs the transport protocol and interrupts the node on
+    // completion; the blocked process pays a context switch to wake.
+    sim::Channel<bool> done(eventq());
+    sim::spawn([](transport::Transport &tp, transport::CabAddress dst,
+                  std::uint16_t mb, std::vector<std::uint8_t> data,
+                  bool reliable, Node &host,
+                  sim::Channel<bool> &done) -> sim::Task<void> {
+        bool ok;
+        if (reliable)
+            ok = co_await tp.sendReliable(dst, mb, std::move(data));
+        else
+            ok = co_await tp.sendDatagram(dst, mb, std::move(data));
+        host.raiseInterrupt([&done, ok] { done.push(ok); });
+    }(*site.transport, dst, dstMailbox, std::move(data), reliable,
+      host, done));
+
+    bool ok = co_await done.pop();
+    co_await host.cpu().compute(host.costs().contextSwitch);
+    co_return ok;
+}
+
+sim::Task<Message>
+SocketInterface::receive(cabos::MailboxId box)
+{
+    cabos::Mailbox *mb = site.kernel->mailbox(box);
+    if (!mb)
+        sim::fatal(name() + ": no such mailbox " + std::to_string(box));
+
+    // read(): system call, then block until the CAB interrupts.
+    co_await host.syscall();
+
+    sim::Channel<Message> arrived(eventq());
+    site.kernel->spawnThread(
+        "sockrx", [](cabos::Mailbox &mb, Node &host,
+                     sim::Channel<Message> &arrived) -> sim::Task<void> {
+            Message m = co_await mb.get();
+            auto shared = std::make_shared<Message>(std::move(m));
+            host.raiseInterrupt([&arrived, shared] {
+                arrived.push(std::move(*shared));
+            });
+        }(*mb, host, arrived));
+
+    Message m = co_await arrived.pop();
+    // Wakeup context switch, VME transfer, kernel-to-user copy.
+    co_await host.cpu().compute(host.costs().contextSwitch);
+    co_await host.vme().transferAwait(
+        static_cast<std::uint32_t>(m.bytes.size()));
+    site.board->memory().account(cab::Accessor::vmeDma,
+                                 m.bytes.size());
+    co_await host.copy(m.bytes.size());
+    co_return m;
+}
+
+} // namespace nectar::node

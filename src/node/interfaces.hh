@@ -1,0 +1,95 @@
+/**
+ * @file
+ * The CAB-node interfaces of Section 6.2.3.
+ *
+ * "Three CAB-node interfaces are provided, with different tradeoffs
+ * between efficiency and transparency:
+ *
+ *  - The most efficient CAB-node interface is based on shared
+ *    memory: the CAB memory is mapped into the address space of the
+ *    node process ... This interface is efficient since it
+ *    eliminates copying the message between the node and the CAB and
+ *    does not involve the operating system on the node.  Messages
+ *    are received by polling CAB memory.
+ *  - A second approach is to provide a Berkeley UNIX socket
+ *    interface to Nectar.  This interface is less efficient since it
+ *    involves system call overhead and data copying on the node.
+ *    But the transport protocol overhead is off-loaded onto the CAB.
+ *  - The third interface is a Berkeley UNIX network driver ..."
+ *    (implemented as NodeNetStack over NectarRawNet; see netstack.hh).
+ */
+
+#pragma once
+
+#include <optional>
+
+#include "nectarine/system.hh"
+#include "node/node.hh"
+#include "sim/component.hh"
+#include "sim/coro.hh"
+
+namespace nectar::node {
+
+/**
+ * The shared-memory CAB-node interface: messages are built and
+ * consumed in place in CAB memory over VME; no system calls; receive
+ * by polling.
+ */
+class SharedMemoryInterface : public sim::Component
+{
+  public:
+    SharedMemoryInterface(Node &host, nectarine::CabSite &site);
+
+    /**
+     * Send a message from a node process: build it in CAB memory,
+     * post a command in the command mailbox, poll for completion.
+     *
+     * @param reliable Use the byte-stream protocol (else datagram).
+     * @return The protocol's result.
+     */
+    sim::Task<bool> send(transport::CabAddress dst,
+                         std::uint16_t dstMailbox,
+                         std::vector<std::uint8_t> data,
+                         bool reliable = true);
+
+    /**
+     * Receive the next message from a CAB mailbox by polling.
+     */
+    sim::Task<cabos::Message> receive(cabos::MailboxId box);
+
+    /** Non-blocking poll. */
+    std::optional<cabos::Message> tryReceive(cabos::MailboxId box);
+
+    std::uint64_t pollCycles() const { return _polls.value(); }
+
+  private:
+    Node &host;
+    nectarine::CabSite &site;
+    sim::Counter _polls;
+};
+
+/**
+ * The Berkeley-socket-style CAB-node interface: system calls and
+ * copies on the node; protocol processing on the CAB; blocking
+ * receive woken by a VME interrupt.
+ */
+class SocketInterface : public sim::Component
+{
+  public:
+    SocketInterface(Node &host, nectarine::CabSite &site);
+
+    /** write()-style send through the CAB transport. */
+    sim::Task<bool> send(transport::CabAddress dst,
+                         std::uint16_t dstMailbox,
+                         std::vector<std::uint8_t> data,
+                         bool reliable = true);
+
+    /** read()-style blocking receive from a CAB mailbox. */
+    sim::Task<cabos::Message> receive(cabos::MailboxId box);
+
+  private:
+    Node &host;
+    nectarine::CabSite &site;
+};
+
+} // namespace nectar::node

@@ -1,0 +1,146 @@
+/**
+ * @file
+ * A node-resident reliable protocol stack.
+ *
+ * This is the "all transport protocol processing is performed on the
+ * node" configuration (Section 6.2.3, third interface) and also the
+ * protocol stack of the LAN baseline the paper compares against
+ * (Section 3.1).  Every packet costs in-kernel protocol processing,
+ * copies, and an interrupt on the host — the overheads the CAB
+ * off-loads in the native configuration.
+ *
+ * The protocol itself is a windowed go-back-N reliable message
+ * protocol using the same wire header as the CAB transport, so the
+ * comparison isolates *where* the processing happens, not what the
+ * protocol does.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <vector>
+
+#include "node/node.hh"
+#include "node/rawnet.hh"
+#include "sim/component.hh"
+#include "sim/coro.hh"
+#include "transport/header.hh"
+
+namespace nectar::node {
+
+/** Node-stack tuning. */
+struct StackConfig
+{
+    std::uint32_t mtu = 896;       ///< Payload bytes per packet.
+    std::uint32_t windowPackets = 4;
+    Tick retransmitTimeout = 5 * ms;
+    int maxRetransmits = 8;
+};
+
+/** Node-stack statistics. */
+struct StackStats
+{
+    sim::Counter messagesSent;
+    sim::Counter messagesDelivered;
+    sim::Counter packetsSent;
+    sim::Counter packetsReceived;
+    sim::Counter retransmissions;
+    sim::Counter checksumDrops;
+    sim::Counter sendFailures;
+};
+
+/**
+ * Reliable message transfer between nodes over a RawNet.
+ */
+class NodeNetStack : public sim::Component
+{
+  public:
+    /**
+     * @param host The node whose CPU pays for protocol processing.
+     * @param net The raw packet network (Nectar-as-dumb-NIC or
+     *        Ethernet).
+     */
+    NodeNetStack(Node &host, RawNet &net,
+                 const StackConfig &config = {});
+
+    std::uint16_t address() const { return net.rawAddress(); }
+    StackStats &stats() { return _stats; }
+
+    /**
+     * Reliable message send to @p port on node @p dst.
+     * @return true once fully acknowledged.
+     */
+    sim::Task<bool> sendMessage(std::uint16_t dst, std::uint16_t port,
+                                std::vector<std::uint8_t> data);
+
+    /** Blocking receive of the next message on @p port. */
+    sim::Task<std::vector<std::uint8_t>> receive(std::uint16_t port);
+
+    /** Non-blocking receive. */
+    std::optional<std::vector<std::uint8_t>>
+    tryReceive(std::uint16_t port);
+
+  private:
+    struct SenderFlow
+    {
+        explicit SenderFlow(sim::EventQueue &eq) : mutex(eq) {}
+
+        std::uint32_t nextSeq = 0;
+        std::uint32_t base = 0;
+        std::map<std::uint32_t, std::vector<std::uint8_t>> unacked;
+        sim::EventId timer = sim::invalidEventId;
+        int timeouts = 0;
+        bool failed = false;
+        sim::AsyncMutex mutex;
+        std::vector<std::coroutine_handle<>> waiters;
+    };
+
+    struct ReceiverFlow
+    {
+        std::uint32_t expected = 0;
+        std::vector<std::uint8_t> assembly;
+    };
+
+    struct PortQueue
+    {
+        std::deque<std::vector<std::uint8_t>> messages;
+        std::vector<std::coroutine_handle<>> waiters;
+    };
+
+    static std::uint64_t
+    key(std::uint16_t peer, std::uint16_t port)
+    {
+        return (static_cast<std::uint64_t>(peer) << 16) | port;
+    }
+
+    SenderFlow &flowTo(std::uint16_t peer, std::uint16_t port);
+    void wake(std::vector<std::coroutine_handle<>> &waiters);
+    void armTimer(std::uint16_t peer, std::uint16_t port,
+                  SenderFlow &flow);
+    void onTimeout(std::uint16_t peer, std::uint16_t port);
+
+    void onRawPacket(std::vector<std::uint8_t> &&bytes);
+    void handleData(const transport::Header &h,
+                    std::vector<std::uint8_t> &&payload);
+    void handleAck(const transport::Header &h);
+    void sendAck(const transport::Header &h, std::uint32_t next);
+
+    /** Charge node protocol cost and transmit via the raw net. */
+    sim::Task<void> transmit(std::uint16_t dst,
+                             std::vector<std::uint8_t> pkt,
+                             bool isAck);
+
+    Node &host;
+    RawNet &net;
+    StackConfig cfg;
+    StackStats _stats;
+
+    std::map<std::uint64_t, std::unique_ptr<SenderFlow>> senders;
+    std::map<std::uint64_t, ReceiverFlow> receivers;
+    std::map<std::uint16_t, PortQueue> ports;
+    std::uint32_t nextMsgId = 1;
+};
+
+} // namespace nectar::node

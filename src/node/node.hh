@@ -1,0 +1,151 @@
+/**
+ * @file
+ * Nectar nodes: the existing machines attached to CABs over VME.
+ *
+ * Section 3.2: "a node can be any system running UNIX or Mach with a
+ * VME interface" (Sun-3s, Sun-4s and Warp systems in the initial
+ * system).  The node model charges the 1989-era host costs that the
+ * paper's software architecture is designed to avoid: system calls,
+ * data copies, per-packet interrupts, and process context switches
+ * ("Typical profiles of networking implementations on UNIX show that
+ * the time spent in the software dominates the time spent on the
+ * wire", Section 3.1, citing [3,5,11]).
+ */
+
+#pragma once
+
+#include <string>
+
+#include "cab/cpu.hh"
+#include "sim/component.hh"
+#include "sim/coro.hh"
+#include "sim/stats.hh"
+
+namespace nectar::node {
+
+using sim::Tick;
+using namespace sim::ticks;
+
+/**
+ * Host operation costs (order-of-magnitude 1989 UNIX workstation,
+ * calibrated against the paper's reference measurements [3,5,11]).
+ */
+struct NodeCostModel
+{
+    /** System call entry/exit. */
+    Tick syscall = 20 * us;
+
+    /** Interrupt dispatch through the driver to a wakeup. */
+    Tick interrupt = 50 * us;
+
+    /** Process context switch (full UNIX process, not a thread). */
+    Tick contextSwitch = 80 * us;
+
+    /** Per-byte memory copy (user/kernel crossing): ~10 MB/s. */
+    double copyPerByteNs = 100.0;
+
+    /** Polling granularity for the shared-memory interface. */
+    Tick pollInterval = 10 * us;
+
+    /**
+     * In-kernel transport processing per packet when the node runs
+     * the protocol suite itself (the network-driver interface and
+     * the LAN baseline).
+     */
+    Tick protocolPerPacketSend = 150 * us;
+    Tick protocolPerPacketRecv = 200 * us;
+};
+
+/**
+ * The VME bus between one node and its CAB: 10 megabytes/second
+ * (Section 5.2), shared by all transfers in both directions.
+ */
+class VmeBus : public sim::Component
+{
+  public:
+    VmeBus(sim::EventQueue &eq, std::string name,
+           Tick byteTime = sim::proto::vmeByteTime)
+        : sim::Component(eq, std::move(name)), byteTime(byteTime)
+    {}
+
+    /**
+     * Reserve the bus for a transfer of @p bytes.
+     * @return Completion tick (transfers serialize on the bus).
+     */
+    Tick
+    transfer(std::uint32_t bytes)
+    {
+        Tick start = std::max(now(), _busyUntil);
+        Tick duration = static_cast<Tick>(bytes) * byteTime;
+        _busyUntil = start + duration;
+        _busyTicks += duration;
+        _bytes.add(bytes);
+        return _busyUntil;
+    }
+
+    /** Awaitable form of transfer(). */
+    auto
+    transferAwait(std::uint32_t bytes)
+    {
+        Tick done = transfer(bytes);
+        return sim::Delay{eventq(), done - now()};
+    }
+
+    std::uint64_t bytesTransferred() const { return _bytes.value(); }
+    Tick busyTicks() const { return _busyTicks; }
+
+  private:
+    Tick byteTime;
+    Tick _busyUntil = 0;
+    Tick _busyTicks = 0;
+    sim::Counter _bytes;
+};
+
+/**
+ * A node: host CPU (serialized resource) plus its VME bus.
+ */
+class Node : public sim::Component
+{
+  public:
+    Node(sim::EventQueue &eq, std::string name,
+         const NodeCostModel &costs = {})
+        : sim::Component(eq, name), _costs(costs),
+          _cpu(eq, name + ".cpu"), _vme(eq, name + ".vme")
+    {}
+
+    const NodeCostModel &costs() const { return _costs; }
+    cab::CpuResource &cpu() { return _cpu; }
+    VmeBus &vme() { return _vme; }
+
+    /** Awaitable: charge a system call on the host CPU. */
+    auto syscall() { return _cpu.compute(_costs.syscall); }
+
+    /** Awaitable: charge a user/kernel copy of @p bytes. */
+    auto
+    copy(std::uint64_t bytes)
+    {
+        return _cpu.compute(static_cast<Tick>(
+            static_cast<double>(bytes) * _costs.copyPerByteNs));
+    }
+
+    /**
+     * Deliver a device interrupt to the node: charges interrupt
+     * dispatch on the host CPU, then runs @p handler.
+     */
+    void
+    raiseInterrupt(std::function<void()> handler)
+    {
+        _interrupts.add();
+        _cpu.chargeThen(_costs.interrupt, std::move(handler));
+    }
+
+    std::uint64_t interruptsTaken() const { return _interrupts.value(); }
+
+  private:
+    NodeCostModel _costs;
+    cab::CpuResource _cpu;
+    VmeBus _vme;
+    sim::Counter _interrupts;
+};
+
+} // namespace nectar::node

@@ -1,0 +1,39 @@
+#include "node_process.hh"
+
+namespace nectar::node {
+
+nectarine::TaskId
+NodeProcessRunner::spawn(
+    std::size_t siteIndex, Node &host, const std::string &name,
+    std::function<sim::Task<void>(NodeProcess &)> body)
+{
+    nectarine::TaskId id = api.registerExternalTask(siteIndex, name);
+    nectarine::CabSite &site = api.siteOf(id);
+    interfaces.push_back(
+        std::make_unique<SharedMemoryInterface>(host, site));
+    SharedMemoryInterface &shm = *interfaces.back();
+
+    auto proc = std::make_shared<NodeProcess>(
+        api, host, site, id, nectarine::Nectarine::inboxId(id.index),
+        shm);
+
+    // Start from the event queue so processes created together all
+    // exist before any of them runs (as Kernel::spawnThread does).
+    host.eventq().scheduleIn(
+        0,
+        [this, proc, body = std::move(body)] {
+            sim::spawn(
+                [](std::shared_ptr<NodeProcess> p,
+                   std::function<sim::Task<void>(NodeProcess &)> body,
+                   std::shared_ptr<int> done,
+                   nectarine::Nectarine &api) -> sim::Task<void> {
+                    co_await body(*p);
+                    ++*done;
+                    api.noteExternalTaskDone();
+                }(proc, std::move(body), done, api));
+        },
+        sim::EventPriority::software);
+    return id;
+}
+
+} // namespace nectar::node

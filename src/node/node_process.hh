@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Node-resident Nectarine tasks.
+ *
+ * Section 6.3: "Tasks are processes on any CAB or node."  A
+ * NodeProcess is a task running on a node's CPU: it communicates with
+ * CAB-resident tasks (and other node processes) through the
+ * shared-memory CAB-node interface — building messages in CAB memory,
+ * receiving by polling its inbox mailbox — so every send and receive
+ * pays the node-side costs the paper describes.
+ */
+
+#pragma once
+
+#include <functional>
+
+#include "nectarine/nectarine.hh"
+#include "node/interfaces.hh"
+#include "node/node.hh"
+
+namespace nectar::node {
+
+/**
+ * The execution context of a task living on a node.
+ */
+class NodeProcess
+{
+  public:
+    /**
+     * @param api The Nectarine runtime (task directory).
+     * @param host The node this process runs on.
+     * @param site The CAB the node is attached to.
+     * @param id This process's task identity.
+     * @param inbox Id of this process's inbox mailbox (on the CAB).
+     * @param shm The shared-memory interface used for all I/O.
+     */
+    NodeProcess(nectarine::Nectarine &api, Node &host,
+                nectarine::CabSite &site, nectarine::TaskId id,
+                cabos::MailboxId inbox, SharedMemoryInterface &shm)
+        : api(api), _host(host), site(site), _id(id), inbox(inbox),
+          shm(shm)
+    {}
+
+    nectarine::TaskId id() const { return _id; }
+    Node &host() { return _host; }
+
+    /** Simulated compute on the node's CPU. */
+    auto compute(sim::Tick cost) { return _host.cpu().compute(cost); }
+
+    /** Send a message to any task (CAB- or node-resident). */
+    sim::Task<bool>
+    send(nectarine::TaskId to, std::vector<std::uint8_t> msg,
+         bool reliable = true)
+    {
+        co_return co_await shm.send(
+            to.cab, nectarine::Nectarine::inboxId(to.index),
+            std::move(msg), reliable);
+    }
+
+    /** Blocking receive from this process's inbox (polling). */
+    sim::Task<cabos::Message>
+    receive()
+    {
+        co_return co_await shm.receive(inbox);
+    }
+
+    /** Non-blocking receive. */
+    std::optional<cabos::Message>
+    tryReceive()
+    {
+        return shm.tryReceive(inbox);
+    }
+
+  private:
+    nectarine::Nectarine &api;
+    Node &_host;
+    nectarine::CabSite &site;
+    nectarine::TaskId _id;
+    cabos::MailboxId inbox;
+    SharedMemoryInterface &shm;
+};
+
+/**
+ * Creates and runs node-resident tasks over one Nectarine runtime.
+ */
+class NodeProcessRunner
+{
+  public:
+    explicit NodeProcessRunner(nectarine::Nectarine &api) : api(api) {}
+
+    /**
+     * Start a node process.
+     *
+     * A Nectarine task is registered (so CAB tasks can address it by
+     * name/id), its inbox mailbox lives in the CAB's memory, and the
+     * body runs against the node's cost model.
+     *
+     * @param siteIndex CAB site the node attaches to.
+     * @param host The node.
+     * @param name Unique task name.
+     * @param body The process body.
+     */
+    nectarine::TaskId
+    spawn(std::size_t siteIndex, Node &host, const std::string &name,
+          std::function<sim::Task<void>(NodeProcess &)> body);
+
+    /** Processes whose body has completed. */
+    int completed() const { return *done; }
+
+  private:
+    nectarine::Nectarine &api;
+    std::shared_ptr<int> done = std::make_shared<int>(0);
+    std::vector<std::unique_ptr<SharedMemoryInterface>> interfaces;
+};
+
+} // namespace nectar::node

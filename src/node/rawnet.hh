@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Raw packet networks, as seen by a node-resident protocol stack.
+ *
+ * Section 6.2.3, third interface: "a Berkeley UNIX network driver for
+ * Nectar.  In this case, Nectar is used as a 'dumb' network and all
+ * transport protocol processing is performed on the node."  RawNet is
+ * the driver-level abstraction that the node stack (netstack.hh)
+ * runs over; NectarRawNet implements it on a CAB used as a plain
+ * network interface, and baseline::EthernetNic implements it on the
+ * 10 Mb/s LAN the paper compares against.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "nectarine/system.hh"
+#include "node/node.hh"
+#include "sim/coro.hh"
+
+namespace nectar::node {
+
+/**
+ * A best-effort packet network between nodes.
+ *
+ * Implementations charge their own link/driver costs; delivery
+ * invokes rxRaw on the destination (already on the destination
+ * node's interrupt path).
+ */
+class RawNet
+{
+  public:
+    virtual ~RawNet() = default;
+
+    /** This interface's network address. */
+    virtual std::uint16_t rawAddress() const = 0;
+
+    /**
+     * Transmit one packet (best effort).
+     * @return true when the packet left this station.
+     */
+    virtual sim::Task<bool> rawSend(std::uint16_t dst,
+                                    std::vector<std::uint8_t> bytes) = 0;
+
+    /** Upcall on packet arrival (set by the node stack). */
+    std::function<void(std::vector<std::uint8_t> &&)> rxRaw;
+};
+
+/**
+ * A CAB used as a dumb network interface.
+ *
+ * Takes over the site's datalink receive handler: a site driven
+ * through NectarRawNet must not simultaneously use its CAB-resident
+ * Transport.  Every arriving packet crosses the VME bus and
+ * interrupts the node — exactly the per-packet burden the CAB
+ * architecture exists to remove (Section 3.1).
+ */
+class NectarRawNet : public RawNet, public sim::Component
+{
+  public:
+    /**
+     * @param host The node.
+     * @param site The CAB site acting as the NIC.
+     * @param directory Route lookup.
+     * @param mode Switching discipline for data packets.
+     */
+    NectarRawNet(Node &host, nectarine::CabSite &site,
+                 transport::NetworkDirectory &directory,
+                 datalink::SwitchMode mode =
+                     datalink::SwitchMode::packet)
+        : sim::Component(host.eventq(), host.name() + ".nectarnic"),
+          host(host), site(site), directory(directory), mode(mode)
+    {
+        site.datalink->rxHandler =
+            [this](std::vector<std::uint8_t> &&bytes, bool corrupted) {
+                onPacket(std::move(bytes), corrupted);
+            };
+    }
+
+    std::uint16_t rawAddress() const override { return site.address; }
+
+    sim::Task<bool>
+    rawSend(std::uint16_t dst, std::vector<std::uint8_t> bytes) override
+    {
+        // Kernel copy and VME transfer into CAB memory.
+        co_await host.copy(bytes.size());
+        co_await host.vme().transferAwait(
+            static_cast<std::uint32_t>(bytes.size()));
+        site.board->memory().account(cab::Accessor::vmeDma,
+                                     bytes.size());
+        const topo::Route &route = directory.route(site.address, dst);
+        bool ok = co_await site.datalink->sendPacket(
+            route, phys::makePayload(std::move(bytes)), mode);
+        co_return ok;
+    }
+
+  private:
+    void
+    onPacket(std::vector<std::uint8_t> &&bytes, bool corrupted)
+    {
+        if (corrupted)
+            return; // dropped by the NIC; the node stack retransmits
+        // The packet crosses the VME bus, then interrupts the node.
+        host.vme().transfer(static_cast<std::uint32_t>(bytes.size()));
+        site.board->memory().account(cab::Accessor::vmeDma,
+                                     bytes.size());
+        auto shared = std::make_shared<std::vector<std::uint8_t>>(
+            std::move(bytes));
+        host.raiseInterrupt([this, shared] {
+            if (rxRaw)
+                rxRaw(std::move(*shared));
+        });
+    }
+
+    Node &host;
+    nectarine::CabSite &site;
+    transport::NetworkDirectory &directory;
+    datalink::SwitchMode mode;
+};
+
+} // namespace nectar::node

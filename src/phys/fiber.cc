@@ -1,0 +1,114 @@
+#include "fiber.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+
+namespace nectar::phys {
+
+FiberLink::FiberLink(sim::EventQueue &eq, std::string name,
+                     Tick propDelay, Tick byteTime)
+    : sim::Component(eq, std::move(name)), propDelay(propDelay),
+      byteTime(byteTime), rng(0)
+{
+    if (byteTime <= 0)
+        sim::fatal("FiberLink: byteTime must be positive");
+    if (propDelay < 0)
+        sim::fatal("FiberLink: negative propagation delay");
+}
+
+void
+FiberLink::setFaults(const FaultModel &model, std::uint64_t seed)
+{
+    faults = model;
+    rng = sim::Random(seed);
+    faultsEnabled = model.any();
+}
+
+bool
+FiberLink::applyFaults(WireItem &item)
+{
+    if (!faultsEnabled)
+        return true;
+    switch (item.kind) {
+      case ItemKind::command:
+        if (rng.chance(faults.dropCommand)) {
+            ++_itemsDropped;
+            return false;
+        }
+        break;
+      case ItemKind::reply:
+      case ItemKind::readySignal:
+        if (rng.chance(faults.dropReply)) {
+            ++_itemsDropped;
+            return false;
+        }
+        break;
+      case ItemKind::data:
+        if (rng.chance(faults.dropData)) {
+            ++_itemsDropped;
+            return false;
+        }
+        if (rng.chance(faults.corruptData)) {
+            item.corrupted = true;
+            ++_itemsCorrupted;
+        }
+        break;
+      default:
+        break;
+    }
+    return true;
+}
+
+void
+FiberLink::send(WireItem item)
+{
+    if (!sink)
+        sim::panic("FiberLink::send on unconnected link " + name());
+
+    const Tick start = std::max(now(), _busyUntil);
+    const Tick duration =
+        static_cast<Tick>(item.byteLength()) * byteTime;
+    _busyUntil = start + duration;
+    _busyTicks += duration;
+    _bytesSent += item.byteLength();
+
+    if (!applyFaults(item))
+        return; // transmitter still consumed the wire time
+
+    // The first byte is on the remote end one byte-time after
+    // transmission starts; the last after the full serialization.
+    const Tick firstByte = start + byteTime + propDelay;
+    const Tick lastByte = _busyUntil + propDelay;
+    deliver(std::move(item), firstByte, lastByte);
+}
+
+void
+FiberLink::sendStolen(WireItem item)
+{
+    if (!sink)
+        sim::panic("FiberLink::sendStolen on unconnected link " +
+                   name());
+
+    if (!applyFaults(item))
+        return;
+
+    const Tick duration =
+        static_cast<Tick>(item.byteLength()) * byteTime;
+    const Tick firstByte = now() + byteTime + propDelay;
+    const Tick lastByte = now() + duration + propDelay;
+    deliver(std::move(item), firstByte, lastByte);
+}
+
+void
+FiberLink::deliver(WireItem item, Tick firstByte, Tick lastByte)
+{
+    eventq().schedule(
+        firstByte,
+        [this, item = std::move(item), firstByte, lastByte]() mutable {
+            sink->fiberDeliver(std::move(item), firstByte, lastByte);
+        },
+        sim::EventPriority::hardware);
+}
+
+} // namespace nectar::phys

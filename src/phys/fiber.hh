@@ -1,0 +1,149 @@
+/**
+ * @file
+ * Unidirectional fiber-optic links with TAXI serialization.
+ *
+ * Every CAB-HUB and HUB-HUB connection in Nectar is a pair of fibers
+ * carrying signals in opposite directions (Section 3.1).  Each fiber
+ * runs at an effective 100 megabits/second (the limit imposed by the
+ * AMD TAXI serializer chips), i.e. one byte per 80 ns.
+ *
+ * FiberLink models a single direction: items are serialized in order
+ * at the byte rate, then delivered to the remote sink after the
+ * propagation delay.  Delivery reports both the arrival tick of the
+ * item's first byte and of its last byte, which is what lets the HUB
+ * model cut-through forwarding without per-byte events.
+ *
+ * Replies and ready signals use sendStolen(): the hardware inserts
+ * them by stealing cycles from the output register, so they are never
+ * blocked behind queued traffic (Section 4.2.1).
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "phys/wire.hh"
+#include "sim/component.hh"
+#include "sim/random.hh"
+#include "sim/stats.hh"
+
+namespace nectar::phys {
+
+/** Receiver interface for a fiber's downstream end. */
+class FiberSink
+{
+  public:
+    virtual ~FiberSink() = default;
+
+    /**
+     * An item has arrived on the fiber.
+     *
+     * Called at @p firstByte (the tick the item's leading byte
+     * arrives); @p lastByte (>= firstByte) is when its trailing byte
+     * will have arrived, enabling cut-through forwarding.
+     */
+    virtual void fiberDeliver(WireItem item, Tick firstByte,
+                              Tick lastByte) = 0;
+};
+
+/**
+ * Configurable fault injection on a link.
+ *
+ * Probabilities are applied per item.  Command loss exercises the
+ * datalink error-recovery path; data corruption exercises transport
+ * checksums and retransmission.
+ */
+struct FaultModel
+{
+    double dropCommand = 0.0;  ///< P(drop a command word).
+    double corruptData = 0.0;  ///< P(mark a data chunk corrupted).
+    double dropReply = 0.0;    ///< P(drop a reply word).
+    double dropData = 0.0;     ///< P(drop a data chunk entirely).
+
+    bool
+    any() const
+    {
+        return dropCommand > 0 || corruptData > 0 || dropReply > 0 ||
+               dropData > 0;
+    }
+};
+
+/**
+ * One direction of a fiber pair.
+ */
+class FiberLink : public sim::Component
+{
+  public:
+    /**
+     * @param eq Event queue.
+     * @param name Instance name.
+     * @param propDelay One-way propagation delay (ns).  Section 2.3
+     *        excludes fiber transmission delays from the latency
+     *        goals, so tests typically use 0; realistic runs use
+     *        ~5 ns/m.
+     * @param byteTime Serialization time per byte.
+     */
+    FiberLink(sim::EventQueue &eq, std::string name,
+              Tick propDelay = 0,
+              Tick byteTime = sim::proto::fiberByteTime);
+
+    /** Attach the downstream receiver; must be set before send(). */
+    void connectTo(FiberSink &s) { sink = &s; }
+
+    /** True once a sink is attached. */
+    bool connected() const { return sink != nullptr; }
+
+    /**
+     * Serialize an item onto the fiber in FIFO order.
+     *
+     * Transmission begins when the transmitter becomes free; the
+     * remote sink's fiberDeliver() runs at first-byte arrival.
+     */
+    void send(WireItem item);
+
+    /**
+     * Insert an item by stealing cycles (replies, ready signals).
+     * Never waits for queued traffic; delivered after its own
+     * serialization time plus propagation delay.
+     */
+    void sendStolen(WireItem item);
+
+    /** Tick at which the transmitter becomes idle. */
+    Tick busyUntil() const { return _busyUntil; }
+
+    /** Enable fault injection with the given model and seed. */
+    void setFaults(const FaultModel &model, std::uint64_t seed);
+
+    /** Total payload-carrying wire bytes sent (excludes stolen). */
+    std::uint64_t bytesSent() const { return _bytesSent; }
+    /** Items dropped by fault injection. */
+    std::uint64_t itemsDropped() const { return _itemsDropped; }
+    /** Items corrupted by fault injection. */
+    std::uint64_t itemsCorrupted() const { return _itemsCorrupted; }
+
+    /** Busy time accumulated, for utilization measurements. */
+    Tick busyTicks() const { return _busyTicks; }
+
+  private:
+    /** Apply fault model; returns false if the item is dropped. */
+    bool applyFaults(WireItem &item);
+
+    void deliver(WireItem item, Tick firstByte, Tick lastByte);
+
+    FiberSink *sink = nullptr;
+    Tick propDelay;
+    Tick byteTime;
+    Tick _busyUntil = 0;
+    Tick _busyTicks = 0;
+
+    FaultModel faults;
+    sim::Random rng;
+    bool faultsEnabled = false;
+
+    std::uint64_t _bytesSent = 0;
+    std::uint64_t _itemsDropped = 0;
+    std::uint64_t _itemsCorrupted = 0;
+};
+
+} // namespace nectar::phys

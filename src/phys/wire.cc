@@ -1,0 +1,64 @@
+#include "wire.hh"
+
+#include <sstream>
+
+namespace nectar::phys {
+
+const char *
+itemKindName(ItemKind kind)
+{
+    switch (kind) {
+      case ItemKind::command: return "command";
+      case ItemKind::reply: return "reply";
+      case ItemKind::startOfPacket: return "startOfPacket";
+      case ItemKind::data: return "data";
+      case ItemKind::endOfPacket: return "endOfPacket";
+      case ItemKind::readySignal: return "readySignal";
+    }
+    return "unknown";
+}
+
+std::uint32_t
+WireItem::byteLength() const
+{
+    switch (kind) {
+      case ItemKind::command:
+      case ItemKind::reply:
+        return 3;
+      case ItemKind::startOfPacket:
+      case ItemKind::endOfPacket:
+      case ItemKind::readySignal:
+        return 1;
+      case ItemKind::data:
+        return dataLen;
+    }
+    return 0;
+}
+
+std::string
+WireItem::describe() const
+{
+    std::ostringstream os;
+    os << itemKindName(kind);
+    switch (kind) {
+      case ItemKind::command:
+        os << "(op=" << int(cmd.op) << " hub=" << int(cmd.hubId)
+           << " param=" << int(cmd.param) << ")";
+        break;
+      case ItemKind::reply:
+        os << "(op=" << int(reply.op) << " hub=" << int(reply.hubId)
+           << " param=" << int(reply.param)
+           << " status=" << int(reply.status) << ")";
+        break;
+      case ItemKind::data:
+        os << "(" << dataLen << "B)";
+        break;
+      default:
+        break;
+    }
+    if (corrupted)
+        os << "[corrupt]";
+    return os.str();
+}
+
+} // namespace nectar::phys

@@ -1,0 +1,171 @@
+/**
+ * @file
+ * The wire-level vocabulary of the Nectar-net.
+ *
+ * A Nectar fiber carries a byte stream in which the HUB I/O ports
+ * recognize several kinds of in-band items (Section 4.1 of the paper:
+ * "The I/O port extracts commands from the incoming byte stream, and
+ * inserts replies to the commands in the outgoing byte stream"):
+ *
+ *  - 3-byte datalink command words: (opcode, hub id, parameter);
+ *  - replies inserted by HUBs (cycle-stealing, never blocked);
+ *  - packet framing markers: start-of-packet / end-of-packet;
+ *  - data bytes between the markers;
+ *  - the ready signal used for inter-HUB packet flow control
+ *    (Section 4.2.3).
+ *
+ * The simulator moves WireItems rather than individual bytes: command
+ * words and markers are individual items (as in hardware), while the
+ * data between markers travels as chunks that reference a shared
+ * payload buffer.  Serialization time is charged per byte, so timing
+ * matches a byte-level model while kilobyte packets cost O(1) events.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sim/types.hh"
+
+namespace nectar::phys {
+
+using sim::Tick;
+
+/** Shared immutable payload referenced by data chunks on the wire. */
+using Payload = std::shared_ptr<const std::vector<std::uint8_t>>;
+
+/** Convenience constructor for payload buffers. */
+inline Payload
+makePayload(std::vector<std::uint8_t> bytes)
+{
+    return std::make_shared<const std::vector<std::uint8_t>>(
+        std::move(bytes));
+}
+
+/** A 3-byte datalink command word. */
+struct CommandWord
+{
+    std::uint8_t op = 0;    ///< Command opcode.
+    std::uint8_t hubId = 0; ///< HUB the command is directed to.
+    std::uint8_t param = 0; ///< Typically a port number on that HUB.
+};
+
+/**
+ * A reply inserted by a HUB into the reverse byte stream.
+ *
+ * Replies echo the command they answer so the issuing CAB can match
+ * them; status carries a result code or queried value.
+ */
+struct ReplyWord
+{
+    std::uint8_t op = 0;     ///< Opcode of the command being answered.
+    std::uint8_t hubId = 0;  ///< HUB that generated the reply.
+    std::uint8_t param = 0;  ///< Parameter of the original command.
+    std::uint8_t status = 0; ///< Result code / queried value.
+};
+
+/** Kinds of item recognized by an I/O port in the byte stream. */
+enum class ItemKind : std::uint8_t {
+    command,       ///< 3-byte datalink command word.
+    reply,         ///< HUB-inserted reply (cycle-stealing).
+    startOfPacket, ///< Packet framing: start marker.
+    data,          ///< Payload bytes between the framing markers.
+    endOfPacket,   ///< Packet framing: end marker.
+    readySignal,   ///< Inter-HUB flow-control signal (cycle-stealing).
+};
+
+/** Human-readable name of an ItemKind (for traces and tests). */
+const char *itemKindName(ItemKind kind);
+
+/**
+ * One item in the simulated byte stream.
+ *
+ * Exactly one of the kind-specific members is meaningful, selected by
+ * @ref kind.  Items are small and copyable; data chunks share their
+ * payload buffer.
+ */
+struct WireItem
+{
+    ItemKind kind = ItemKind::command;
+
+    CommandWord cmd; ///< Valid when kind == command.
+    ReplyWord reply; ///< Valid when kind == reply or readySignal.
+
+    Payload data;                ///< Valid when kind == data.
+    std::uint32_t dataOffset = 0; ///< First payload byte of this chunk.
+    std::uint32_t dataLen = 0;    ///< Chunk length in bytes.
+
+    /** Set by fault injection: the receiver will see a bad checksum. */
+    bool corrupted = false;
+
+    /** Number of bytes this item occupies on the wire. */
+    std::uint32_t byteLength() const;
+
+    /** One-line description for traces. */
+    std::string describe() const;
+
+    /** Construct a command item. */
+    static WireItem
+    command(std::uint8_t op, std::uint8_t hub, std::uint8_t param)
+    {
+        WireItem w;
+        w.kind = ItemKind::command;
+        w.cmd = {op, hub, param};
+        return w;
+    }
+
+    /** Construct a reply item. */
+    static WireItem
+    makeReply(std::uint8_t op, std::uint8_t hub, std::uint8_t param,
+              std::uint8_t status)
+    {
+        WireItem w;
+        w.kind = ItemKind::reply;
+        w.reply = {op, hub, param, status};
+        return w;
+    }
+
+    /** Construct a start-of-packet marker. */
+    static WireItem
+    startPacket()
+    {
+        WireItem w;
+        w.kind = ItemKind::startOfPacket;
+        return w;
+    }
+
+    /** Construct an end-of-packet marker. */
+    static WireItem
+    endPacket()
+    {
+        WireItem w;
+        w.kind = ItemKind::endOfPacket;
+        return w;
+    }
+
+    /** Construct a data chunk covering [offset, offset+len) of @p p. */
+    static WireItem
+    dataChunk(Payload p, std::uint32_t offset, std::uint32_t len)
+    {
+        WireItem w;
+        w.kind = ItemKind::data;
+        w.data = std::move(p);
+        w.dataOffset = offset;
+        w.dataLen = len;
+        return w;
+    }
+
+    /** Construct a ready (flow-control) signal. */
+    static WireItem
+    ready()
+    {
+        WireItem w;
+        w.kind = ItemKind::readySignal;
+        return w;
+    }
+};
+
+} // namespace nectar::phys

@@ -1,0 +1,94 @@
+#include "event_queue.hh"
+
+#include "logging.hh"
+
+namespace nectar::sim {
+
+EventId
+EventQueue::schedule(Tick when, std::function<void()> fn,
+                     EventPriority prio)
+{
+    if (when < _now)
+        panic("EventQueue::schedule: scheduling in the past");
+    if (!fn)
+        panic("EventQueue::schedule: empty callback");
+
+    EventId id = nextId++;
+    heap.push(Entry{when, static_cast<int>(prio), id, std::move(fn)});
+    live.insert(id);
+    return id;
+}
+
+bool
+EventQueue::cancel(EventId id)
+{
+    // The heap entry stays behind and is skipped on pop; only the
+    // live-set membership decides whether an entry fires.
+    return live.erase(id) > 0;
+}
+
+bool
+EventQueue::pending(EventId id) const
+{
+    return live.count(id) > 0;
+}
+
+std::size_t
+EventQueue::pendingCount() const
+{
+    return live.size();
+}
+
+bool
+EventQueue::step()
+{
+    while (!heap.empty()) {
+        Entry e = heap.top();
+        heap.pop();
+        if (!live.erase(e.id))
+            continue; // cancelled
+        _now = e.when;
+        ++_executed;
+        e.fn();
+        return true;
+    }
+    return false;
+}
+
+std::uint64_t
+EventQueue::run(std::uint64_t limit)
+{
+    std::uint64_t n = 0;
+    while (n < limit && step())
+        ++n;
+    if (n == limit)
+        warn("EventQueue::run: event limit reached");
+    return n;
+}
+
+std::uint64_t
+EventQueue::runUntil(Tick until, std::uint64_t limit)
+{
+    if (until < _now)
+        panic("EventQueue::runUntil: target tick in the past");
+
+    std::uint64_t n = 0;
+    while (n < limit && !heap.empty()) {
+        // Drop cancelled entries so the peek below sees a live event.
+        const Entry &top = heap.top();
+        if (!live.count(top.id)) {
+            heap.pop();
+            continue;
+        }
+        if (top.when > until)
+            break;
+        step();
+        ++n;
+    }
+    if (n == limit)
+        warn("EventQueue::runUntil: event limit reached");
+    _now = until;
+    return n;
+}
+
+} // namespace nectar::sim

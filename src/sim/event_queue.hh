@@ -1,0 +1,153 @@
+/**
+ * @file
+ * The deterministic discrete-event queue at the heart of nectar-sim.
+ *
+ * Every hardware and software activity in the simulated Nectar system
+ * is an event on a single queue.  Events fire in (tick, priority,
+ * sequence) order, so two runs with the same seed produce identical
+ * traces.  Events may be cancelled (used heavily by retransmission
+ * timers in the transport layer).
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+#include "types.hh"
+
+namespace nectar::sim {
+
+/** Opaque handle identifying a scheduled event, usable for cancel(). */
+using EventId = std::uint64_t;
+
+/** Sentinel EventId meaning "no event". */
+constexpr EventId invalidEventId = 0;
+
+/**
+ * Relative ordering of events scheduled for the same tick.  Lower
+ * values fire first.  Hardware uses the default; "end of quantum"
+ * bookkeeping can use late priorities.
+ */
+enum class EventPriority : int {
+    first = 0,
+    hardware = 10,
+    normal = 20,
+    software = 30,
+    stats = 40,
+    last = 50,
+};
+
+/**
+ * A single-threaded discrete-event scheduler.
+ *
+ * The queue owns simulated time: now() advances only while run*() pops
+ * events.  Scheduling in the past is a panic (it would break
+ * causality).
+ */
+class EventQueue
+{
+  public:
+    EventQueue() = default;
+
+    EventQueue(const EventQueue &) = delete;
+    EventQueue &operator=(const EventQueue &) = delete;
+
+    /** Current simulated time. */
+    Tick now() const { return _now; }
+
+    /**
+     * Schedule a callback at an absolute tick.
+     *
+     * @param when Absolute tick; must be >= now().
+     * @param fn Callback to invoke.
+     * @param prio Same-tick ordering class.
+     * @return Handle usable with cancel().
+     */
+    EventId schedule(Tick when, std::function<void()> fn,
+                     EventPriority prio = EventPriority::normal);
+
+    /** Schedule a callback @p delay ticks from now. */
+    EventId
+    scheduleIn(Tick delay, std::function<void()> fn,
+               EventPriority prio = EventPriority::normal)
+    {
+        return schedule(_now + delay, std::move(fn), prio);
+    }
+
+    /**
+     * Cancel a pending event.
+     *
+     * @return true if the event was pending and is now cancelled;
+     *         false if it already fired, was already cancelled, or the
+     *         id is invalid.
+     */
+    bool cancel(EventId id);
+
+    /** True if @p id refers to an event that has not yet fired. */
+    bool pending(EventId id) const;
+
+    /** Number of events still scheduled (excluding cancelled ones). */
+    std::size_t pendingCount() const;
+
+    /** True when no live events remain. */
+    bool empty() const { return pendingCount() == 0; }
+
+    /**
+     * Run until the queue drains or @p limit events have fired.
+     *
+     * @param limit Safety valve against runaway simulations.
+     * @return Number of events executed.
+     */
+    std::uint64_t run(std::uint64_t limit = defaultEventLimit);
+
+    /**
+     * Run events with tick <= @p until (inclusive), then set now() to
+     * @p until even if the queue drained earlier.
+     *
+     * @return Number of events executed.
+     */
+    std::uint64_t runUntil(Tick until,
+                           std::uint64_t limit = defaultEventLimit);
+
+    /** Total events executed over the queue's lifetime. */
+    std::uint64_t executedCount() const { return _executed; }
+
+    /** Default event-count safety limit for run()/runUntil(). */
+    static constexpr std::uint64_t defaultEventLimit = 500'000'000;
+
+  private:
+    struct Entry {
+        Tick when;
+        int prio;
+        EventId id;
+        std::function<void()> fn;
+    };
+
+    struct Later {
+        bool
+        operator()(const Entry &a, const Entry &b) const
+        {
+            if (a.when != b.when)
+                return a.when > b.when;
+            if (a.prio != b.prio)
+                return a.prio > b.prio;
+            return a.id > b.id;
+        }
+    };
+
+    /** Pop and execute the next live event, if any. */
+    bool step();
+
+    Tick _now = 0;
+    EventId nextId = 1;
+    std::uint64_t _executed = 0;
+    std::priority_queue<Entry, std::vector<Entry>, Later> heap;
+    /** Ids of scheduled-but-not-yet-fired, not-cancelled events. */
+    std::unordered_set<EventId> live;
+};
+
+} // namespace nectar::sim

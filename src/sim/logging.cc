@@ -1,0 +1,58 @@
+#include "logging.hh"
+
+#include <iostream>
+
+namespace nectar::sim {
+
+namespace {
+
+LogLevel globalLevel = LogLevel::warn;
+
+} // namespace
+
+void
+setLogLevel(LogLevel level)
+{
+    globalLevel = level;
+}
+
+LogLevel
+logLevel()
+{
+    return globalLevel;
+}
+
+void
+inform(const std::string &msg)
+{
+    if (globalLevel >= LogLevel::inform)
+        std::cerr << "info: " << msg << "\n";
+}
+
+void
+warn(const std::string &msg)
+{
+    if (globalLevel >= LogLevel::warn)
+        std::cerr << "warn: " << msg << "\n";
+}
+
+void
+debugLog(const std::string &msg)
+{
+    if (globalLevel >= LogLevel::debug)
+        std::cerr << "debug: " << msg << "\n";
+}
+
+void
+fatal(const std::string &msg)
+{
+    throw FatalError(msg);
+}
+
+void
+panic(const std::string &msg)
+{
+    throw PanicError(msg);
+}
+
+} // namespace nectar::sim

@@ -1,0 +1,79 @@
+#include "random.hh"
+
+#include <cmath>
+
+#include "logging.hh"
+
+namespace nectar::sim {
+
+Random::Random(std::uint64_t seed, std::uint64_t stream)
+    : state(0), inc((stream << 1u) | 1u)
+{
+    next();
+    state += seed;
+    next();
+}
+
+std::uint32_t
+Random::next()
+{
+    std::uint64_t old = state;
+    state = old * 6364136223846793005ULL + inc;
+    auto xorshifted =
+        static_cast<std::uint32_t>(((old >> 18u) ^ old) >> 27u);
+    auto rot = static_cast<std::uint32_t>(old >> 59u);
+    return (xorshifted >> rot) | (xorshifted << ((-rot) & 31u));
+}
+
+std::uint32_t
+Random::below(std::uint32_t bound)
+{
+    if (bound == 0)
+        panic("Random::below: bound must be positive");
+    // Rejection sampling to avoid modulo bias.
+    std::uint32_t threshold = -bound % bound;
+    for (;;) {
+        std::uint32_t r = next();
+        if (r >= threshold)
+            return r % bound;
+    }
+}
+
+int
+Random::range(int lo, int hi)
+{
+    if (lo > hi)
+        panic("Random::range: lo > hi");
+    return lo + static_cast<int>(
+        below(static_cast<std::uint32_t>(hi - lo + 1)));
+}
+
+double
+Random::uniform()
+{
+    return next() * (1.0 / 4294967296.0);
+}
+
+bool
+Random::chance(double p)
+{
+    if (p <= 0.0)
+        return false;
+    if (p >= 1.0)
+        return true;
+    return uniform() < p;
+}
+
+double
+Random::exponential(double mean)
+{
+    if (mean <= 0.0)
+        panic("Random::exponential: mean must be positive");
+    double u = uniform();
+    // Guard against log(0).
+    if (u <= 0.0)
+        u = 1e-12;
+    return -mean * std::log(u);
+}
+
+} // namespace nectar::sim

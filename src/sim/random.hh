@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Seedable deterministic random number generation (PCG32).
+ *
+ * All stochastic behaviour in nectar-sim — workload inter-arrival
+ * times, fault injection, backoff jitter — draws from Random
+ * instances so experiments are exactly reproducible from a seed.
+ */
+
+#pragma once
+
+#include <cstdint>
+
+namespace nectar::sim {
+
+/**
+ * PCG32: a small, fast, statistically strong PRNG
+ * (O'Neill, "PCG: A Family of Simple Fast Space-Efficient
+ * Statistically Good Algorithms for Random Number Generation").
+ */
+class Random
+{
+  public:
+    /**
+     * @param seed Initial state seed.
+     * @param stream Stream selector; generators with different streams
+     *        are independent even with the same seed.
+     */
+    explicit Random(std::uint64_t seed = 0x853c49e6748fea9bULL,
+                    std::uint64_t stream = 0xda3e39cb94b95bdbULL);
+
+    /** Next raw 32-bit value. */
+    std::uint32_t next();
+
+    /** Uniform integer in [0, bound), bias-free. @pre bound > 0 */
+    std::uint32_t below(std::uint32_t bound);
+
+    /** Uniform integer in [lo, hi] inclusive. @pre lo <= hi */
+    int range(int lo, int hi);
+
+    /** Uniform double in [0, 1). */
+    double uniform();
+
+    /** Bernoulli trial with probability @p p of returning true. */
+    bool chance(double p);
+
+    /**
+     * Exponentially distributed value with the given mean.
+     * Used for Poisson inter-arrival processes in workloads.
+     */
+    double exponential(double mean);
+
+  private:
+    std::uint64_t state;
+    std::uint64_t inc;
+};
+
+} // namespace nectar::sim

@@ -1,0 +1,13 @@
+/**
+ * @file
+ * Umbrella header for the nectar-sim core engine.
+ */
+
+#pragma once
+
+#include "component.hh"   // IWYU pragma: export
+#include "event_queue.hh" // IWYU pragma: export
+#include "logging.hh"     // IWYU pragma: export
+#include "random.hh"      // IWYU pragma: export
+#include "stats.hh"       // IWYU pragma: export
+#include "types.hh"       // IWYU pragma: export

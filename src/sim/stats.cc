@@ -1,0 +1,92 @@
+#include "stats.hh"
+
+#include <cmath>
+
+#include "logging.hh"
+
+namespace nectar::sim {
+
+void
+SampleStats::record(double x)
+{
+    ++n;
+    _sum += x;
+    if (n == 1) {
+        _min = _max = x;
+    } else {
+        _min = std::min(_min, x);
+        _max = std::max(_max, x);
+    }
+    double delta = x - _mean;
+    _mean += delta / static_cast<double>(n);
+    m2 += delta * (x - _mean);
+}
+
+double
+SampleStats::variance() const
+{
+    if (n < 2)
+        return 0.0;
+    return m2 / static_cast<double>(n);
+}
+
+double
+SampleStats::stddev() const
+{
+    return std::sqrt(variance());
+}
+
+double
+Histogram::percentile(double p) const
+{
+    if (samples.empty())
+        return 0.0;
+    if (p < 0.0 || p > 100.0)
+        panic("Histogram::percentile: p out of [0, 100]");
+    if (!sorted) {
+        std::sort(samples.begin(), samples.end());
+        sorted = true;
+    }
+    if (p <= 0.0)
+        return samples.front();
+    auto rank = static_cast<std::size_t>(
+        std::ceil(p / 100.0 * static_cast<double>(samples.size())));
+    if (rank == 0)
+        rank = 1;
+    return samples[std::min(rank - 1, samples.size() - 1)];
+}
+
+double
+Histogram::mean() const
+{
+    if (samples.empty())
+        return 0.0;
+    double sum = 0.0;
+    for (double s : samples)
+        sum += s;
+    return sum / static_cast<double>(samples.size());
+}
+
+void
+StatRegistry::dump(std::ostream &os) const
+{
+    for (const auto &[name, c] : counters)
+        os << name << " " << c.value() << "\n";
+    for (const auto &[name, s] : stats) {
+        os << name << ".count " << s.count() << "\n";
+        os << name << ".mean " << s.mean() << "\n";
+        os << name << ".min " << s.min() << "\n";
+        os << name << ".max " << s.max() << "\n";
+    }
+}
+
+void
+StatRegistry::reset()
+{
+    for (auto &[name, c] : counters)
+        c.reset();
+    for (auto &[name, s] : stats)
+        s.reset();
+}
+
+} // namespace nectar::sim

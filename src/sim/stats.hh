@@ -1,0 +1,144 @@
+/**
+ * @file
+ * Statistics collection: counters, sample statistics, histograms.
+ *
+ * These mirror what the Nectar prototype's instrumentation board
+ * (Section 4.1) records in hardware: event counts and latency
+ * distributions for crossbar and controller activity.
+ */
+
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "types.hh"
+
+namespace nectar::sim {
+
+/** A monotonically increasing event counter. */
+class Counter
+{
+  public:
+    /** Increment by @p n. */
+    void add(std::uint64_t n = 1) { _value += n; }
+    /** Current count. */
+    std::uint64_t value() const { return _value; }
+    /** Reset to zero. */
+    void reset() { _value = 0; }
+
+  private:
+    std::uint64_t _value = 0;
+};
+
+/**
+ * Running sample statistics (count/mean/min/max/stddev) using
+ * Welford's online algorithm; O(1) memory.
+ */
+class SampleStats
+{
+  public:
+    /** Record one sample. */
+    void record(double x);
+
+    std::uint64_t count() const { return n; }
+    double mean() const { return n ? _mean : 0.0; }
+    double min() const { return n ? _min : 0.0; }
+    double max() const { return n ? _max : 0.0; }
+    /** Population variance. */
+    double variance() const;
+    double stddev() const;
+    double sum() const { return _sum; }
+
+    void reset() { *this = SampleStats(); }
+
+  private:
+    std::uint64_t n = 0;
+    double _mean = 0.0;
+    double m2 = 0.0;
+    double _min = 0.0;
+    double _max = 0.0;
+    double _sum = 0.0;
+};
+
+/**
+ * A histogram that keeps every sample (suitable for the sample counts
+ * in this simulator) and answers exact percentile queries.
+ */
+class Histogram
+{
+  public:
+    void record(double x) { samples.push_back(x); sorted = false; }
+
+    std::uint64_t count() const { return samples.size(); }
+
+    /**
+     * Exact percentile by nearest-rank.
+     * @param p In [0, 100].
+     */
+    double percentile(double p) const;
+
+    double median() const { return percentile(50.0); }
+
+    double mean() const;
+
+    void reset() { samples.clear(); sorted = true; }
+
+  private:
+    mutable std::vector<double> samples;
+    mutable bool sorted = true;
+};
+
+/**
+ * Tracks utilization of a resource: total busy time over a window.
+ */
+class UtilizationStat
+{
+  public:
+    /** Record that the resource was busy for @p busy ticks. */
+    void addBusy(Tick busy) { busyTicks += busy; }
+
+    /** Fraction busy over [start, end]. */
+    double
+    utilization(Tick start, Tick end) const
+    {
+        if (end <= start)
+            return 0.0;
+        return static_cast<double>(busyTicks) /
+               static_cast<double>(end - start);
+    }
+
+    Tick busy() const { return busyTicks; }
+    void reset() { busyTicks = 0; }
+
+  private:
+    Tick busyTicks = 0;
+};
+
+/**
+ * A named registry of statistics, dumpable as a table; the software
+ * analogue of reading out the instrumentation board.
+ */
+class StatRegistry
+{
+  public:
+    /** Register (or fetch) a named counter. */
+    Counter &counter(const std::string &name) { return counters[name]; }
+    /** Register (or fetch) named sample statistics. */
+    SampleStats &samples(const std::string &name) { return stats[name]; }
+
+    /** Write all statistics as "name value" lines. */
+    void dump(std::ostream &os) const;
+
+    void reset();
+
+  private:
+    std::map<std::string, Counter> counters;
+    std::map<std::string, SampleStats> stats;
+};
+
+} // namespace nectar::sim

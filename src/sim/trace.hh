@@ -1,0 +1,129 @@
+/**
+ * @file
+ * A lightweight event trace sink.
+ *
+ * Components emit timestamped, named trace records; sinks either
+ * format them to a stream (for debugging simulations) or retain them
+ * in memory (for assertions in tests).  This is the software analogue
+ * of watching the prototype's instrumentation board scroll by.
+ */
+
+#pragma once
+
+#include <deque>
+#include <functional>
+#include <ostream>
+#include <string>
+
+#include "event_queue.hh"
+#include "types.hh"
+
+namespace nectar::sim {
+
+/** One trace record. */
+struct TraceRecord
+{
+    Tick when = 0;
+    std::string source; ///< Component name.
+    std::string event;  ///< Short event tag, e.g. "open".
+    std::string detail; ///< Free-form payload.
+};
+
+/** Receives trace records. */
+class TraceSink
+{
+  public:
+    virtual ~TraceSink() = default;
+    virtual void trace(const TraceRecord &rec) = 0;
+};
+
+/** Formats records as "[tick] source event: detail" lines. */
+class StreamTraceSink : public TraceSink
+{
+  public:
+    explicit StreamTraceSink(std::ostream &os) : os(os) {}
+
+    void
+    trace(const TraceRecord &rec) override
+    {
+        os << "[" << rec.when << "] " << rec.source << " "
+           << rec.event;
+        if (!rec.detail.empty())
+            os << ": " << rec.detail;
+        os << "\n";
+    }
+
+  private:
+    std::ostream &os;
+};
+
+/** Retains the most recent records in memory (for tests). */
+class MemoryTraceSink : public TraceSink
+{
+  public:
+    explicit MemoryTraceSink(std::size_t capacity = 65536)
+        : capacity(capacity)
+    {}
+
+    void
+    trace(const TraceRecord &rec) override
+    {
+        if (records.size() == capacity)
+            records.pop_front();
+        records.push_back(rec);
+    }
+
+    const std::deque<TraceRecord> &all() const { return records; }
+
+    /** Number of records whose event tag equals @p event. */
+    std::size_t
+    count(const std::string &event) const
+    {
+        std::size_t n = 0;
+        for (const auto &r : records)
+            if (r.event == event)
+                ++n;
+        return n;
+    }
+
+    void clear() { records.clear(); }
+
+  private:
+    std::size_t capacity;
+    std::deque<TraceRecord> records;
+};
+
+/**
+ * A tracer bound to one source component; no-op when unattached, so
+ * tracing costs one branch when disabled.
+ */
+class Tracer
+{
+  public:
+    Tracer() = default;
+
+    Tracer(const EventQueue &eq, std::string source)
+        : eq(&eq), source(std::move(source))
+    {}
+
+    void attach(TraceSink &s) { sink = &s; }
+    void detach() { sink = nullptr; }
+    bool enabled() const { return sink != nullptr; }
+
+    void
+    operator()(const std::string &event,
+               const std::string &detail = "") const
+    {
+        if (!sink)
+            return;
+        sink->trace(TraceRecord{eq ? eq->now() : 0, source, event,
+                                detail});
+    }
+
+  private:
+    const EventQueue *eq = nullptr;
+    std::string source;
+    TraceSink *sink = nullptr;
+};
+
+} // namespace nectar::sim

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Fundamental simulation types and time units.
+ *
+ * All of nectar-sim measures simulated time in integer nanoseconds
+ * (Tick).  The Nectar prototype's natural constants are expressible
+ * exactly in this unit: the HUB cycle is 70 ns and the effective fiber
+ * rate of 100 megabits/second serializes one byte every 80 ns.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace nectar::sim {
+
+/** Simulated time, in nanoseconds. */
+using Tick = std::int64_t;
+
+/** Largest representable tick; used as "never". */
+constexpr Tick maxTick = std::numeric_limits<Tick>::max();
+
+namespace ticks {
+
+/** One nanosecond. */
+constexpr Tick ns = 1;
+/** One microsecond. */
+constexpr Tick us = 1000 * ns;
+/** One millisecond. */
+constexpr Tick ms = 1000 * us;
+/** One second. */
+constexpr Tick sec = 1000 * ms;
+
+} // namespace ticks
+
+/**
+ * Timing constants of the Nectar prototype hardware, from the paper.
+ */
+namespace proto {
+
+/** HUB central-controller cycle time (Section 4, goal 2). */
+constexpr Tick hubCycle = 70 * ticks::ns;
+
+/** Cycles to set up a connection and transfer the first byte. */
+constexpr int hubSetupCycles = 10;
+
+/** Cycles of latency to transfer a byte through an open connection. */
+constexpr int hubTransferCycles = 5;
+
+/**
+ * Effective fiber bandwidth imposed by the TAXI chips:
+ * 100 megabits/second, i.e. one byte per 80 ns.
+ */
+constexpr Tick fiberByteTime = 80 * ticks::ns;
+
+/** HUB input queue capacity; also the maximum packet size (Section 4.2.3). */
+constexpr int hubInputQueueBytes = 1024;
+
+/** Number of I/O ports on the prototype HUB. */
+constexpr int hubPorts = 16;
+
+/** VME bandwidth between node and CAB (Section 5.2): 10 MB/s. */
+constexpr Tick vmeByteTime = 100 * ticks::ns;
+
+/** CAB data-memory bandwidth (Section 5.2): 66 MB/s aggregate. */
+constexpr double cabMemoryBytesPerNs = 0.066;
+
+/** CAB CPU clock: 16 MHz SPARC, 62.5 ns per cycle. */
+constexpr Tick cabCpuCycle = 62 * ticks::ns;
+
+/** Memory-protection page size on the CAB (Section 5.2). */
+constexpr int cabPageBytes = 1024;
+
+/** Number of protection domains supported by the CAB. */
+constexpr int cabProtectionDomains = 32;
+
+} // namespace proto
+
+} // namespace nectar::sim

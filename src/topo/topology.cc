@@ -1,0 +1,261 @@
+#include "topology.hh"
+
+#include <algorithm>
+#include <deque>
+#include <functional>
+#include <map>
+
+#include "sim/logging.hh"
+
+namespace nectar::topo {
+
+Topology::Topology(sim::EventQueue &eq, const hub::HubConfig &config)
+    : eq(eq), config(config), _wiring(eq)
+{
+}
+
+int
+Topology::addHub(const std::string &name)
+{
+    int index = numHubs();
+    if (index > 255)
+        sim::fatal("Topology: more than 256 HUBs");
+    std::string hub_name =
+        name.empty() ? "hub" + std::to_string(index) : name;
+    hubs.push_back(std::make_unique<hub::Hub>(
+        eq, hub_name, static_cast<std::uint8_t>(index), config));
+    adjacency.emplace_back();
+    portUsed.emplace_back(config.numPorts, false);
+    return index;
+}
+
+hub::Hub &
+Topology::hubAt(int i)
+{
+    if (i < 0 || i >= numHubs())
+        sim::panic("Topology::hubAt: bad index");
+    return *hubs[i];
+}
+
+const hub::Hub &
+Topology::hubAt(int i) const
+{
+    if (i < 0 || i >= numHubs())
+        sim::panic("Topology::hubAt: bad index");
+    return *hubs[i];
+}
+
+bool
+Topology::portFree(int hubIndex, hub::PortId port) const
+{
+    if (hubIndex < 0 || hubIndex >= numHubs())
+        sim::panic("Topology::portFree: bad hub index");
+    if (port < 0 || port >= config.numPorts)
+        return false;
+    return !portUsed[hubIndex][port];
+}
+
+hub::PortId
+Topology::firstFreePort(int hubIndex) const
+{
+    for (int p = 0; p < config.numPorts; ++p)
+        if (portFree(hubIndex, p))
+            return p;
+    return hub::noPort;
+}
+
+void
+Topology::linkHubs(int a, hub::PortId pa, int b, hub::PortId pb,
+                   sim::Tick propDelay)
+{
+    if (!portFree(a, pa) || !portFree(b, pb))
+        sim::fatal("Topology::linkHubs: port already wired");
+    if (a == b)
+        sim::fatal("Topology::linkHubs: self-link");
+    _wiring.connectHubPorts(*hubs[a], pa, *hubs[b], pb, propDelay);
+    portUsed[a][pa] = true;
+    portUsed[b][pb] = true;
+    adjacency[a].push_back(Adj{b, pa});
+    adjacency[b].push_back(Adj{a, pb});
+}
+
+phys::FiberLink &
+Topology::attachEndpoint(phys::FiberSink &rx, int hubIndex,
+                         hub::PortId port, const std::string &name,
+                         sim::Tick propDelay)
+{
+    if (!portFree(hubIndex, port))
+        sim::fatal("Topology::attachEndpoint: port already wired");
+    portUsed[hubIndex][port] = true;
+    return _wiring.connectEndpoint(rx, *hubs[hubIndex], port, name,
+                                   propDelay);
+}
+
+std::vector<std::pair<int, hub::PortId>>
+Topology::bfs(int root) const
+{
+    std::vector<std::pair<int, hub::PortId>> prev(
+        numHubs(), {-1, hub::noPort});
+    std::vector<bool> seen(numHubs(), false);
+    std::deque<int> frontier{root};
+    seen[root] = true;
+    while (!frontier.empty()) {
+        int h = frontier.front();
+        frontier.pop_front();
+        for (const Adj &a : adjacency[h]) {
+            if (!seen[a.neighbor]) {
+                seen[a.neighbor] = true;
+                prev[a.neighbor] = {h, a.myPort};
+                frontier.push_back(a.neighbor);
+            }
+        }
+    }
+    return prev;
+}
+
+Route
+Topology::route(const Endpoint &from, const Endpoint &to) const
+{
+    if (from.hubIndex < 0 || from.hubIndex >= numHubs() ||
+        to.hubIndex < 0 || to.hubIndex >= numHubs())
+        sim::fatal("Topology::route: bad endpoint");
+
+    // Hub path from source hub to destination hub.
+    auto prev = bfs(from.hubIndex);
+    if (to.hubIndex != from.hubIndex &&
+        prev[to.hubIndex].first == -1)
+        sim::fatal("Topology::route: no path between hubs");
+
+    std::vector<int> path; // hub indices, destination first
+    for (int h = to.hubIndex; h != from.hubIndex;
+         h = prev[h].first)
+        path.push_back(h);
+    path.push_back(from.hubIndex);
+    std::reverse(path.begin(), path.end());
+
+    Route r;
+    for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+        r.push_back(Hop{hubs[path[i]]->hubId(),
+                        prev[path[i + 1]].second, false});
+    }
+    // Final hop: open the destination CAB's port, with reply.
+    r.push_back(Hop{hubs[to.hubIndex]->hubId(), to.port, true});
+    return r;
+}
+
+Route
+Topology::multicastRoute(const Endpoint &from,
+                         const std::vector<Endpoint> &to) const
+{
+    if (to.empty())
+        sim::fatal("Topology::multicastRoute: no destinations");
+
+    auto prev = bfs(from.hubIndex);
+
+    // Union of the per-destination hub paths forms the tree:
+    // child hub -> (parent hub, parent's port toward child).
+    // Terminal opens (CAB ports) are collected per hub.
+    std::map<int, std::vector<hub::PortId>> terminals;
+    std::map<int, std::vector<std::pair<hub::PortId, int>>> children;
+    std::vector<bool> inTree(numHubs(), false);
+    inTree[from.hubIndex] = true;
+
+    for (const Endpoint &dst : to) {
+        if (dst.hubIndex < 0 || dst.hubIndex >= numHubs())
+            sim::fatal("Topology::multicastRoute: bad endpoint");
+        if (dst.hubIndex != from.hubIndex &&
+            prev[dst.hubIndex].first == -1)
+            sim::fatal("Topology::multicastRoute: unreachable "
+                       "destination");
+        terminals[dst.hubIndex].push_back(dst.port);
+        for (int h = dst.hubIndex; !inTree[h]; h = prev[h].first) {
+            inTree[h] = true;
+            auto [parent, port] = prev[h];
+            auto &kids = children[parent];
+            if (std::find(kids.begin(), kids.end(),
+                          std::make_pair(port, h)) == kids.end())
+                kids.emplace_back(port, h);
+        }
+    }
+
+    // Depth-first emission, matching the Section 4.2.2 example:
+    // at each hub, first open terminal (CAB) ports with reply, then
+    // recurse into child hubs.
+    Route r;
+    std::vector<int> stack{from.hubIndex};
+    // Iterative DFS preserving child order; emit on first visit.
+    std::function<void(int)> visit = [&](int h) {
+        auto t = terminals.find(h);
+        if (t != terminals.end()) {
+            for (hub::PortId p : t->second)
+                r.push_back(Hop{hubs[h]->hubId(), p, true});
+        }
+        auto c = children.find(h);
+        if (c != children.end()) {
+            for (auto [port, child] : c->second) {
+                r.push_back(Hop{hubs[h]->hubId(), port, false});
+                visit(child);
+            }
+        }
+    };
+    visit(from.hubIndex);
+    return r;
+}
+
+int
+Topology::hopCount(const Endpoint &from, const Endpoint &to) const
+{
+    return static_cast<int>(route(from, to).size());
+}
+
+std::unique_ptr<Topology>
+makeSingleHub(sim::EventQueue &eq, const hub::HubConfig &config)
+{
+    auto t = std::make_unique<Topology>(eq, config);
+    t->addHub();
+    return t;
+}
+
+std::unique_ptr<Topology>
+makeMesh2D(sim::EventQueue &eq, int rows, int cols,
+           const hub::HubConfig &config, sim::Tick interHubDelay)
+{
+    if (rows < 1 || cols < 1)
+        sim::fatal("makeMesh2D: dimensions must be positive");
+    if (config.numPorts < 5 && rows * cols > 1)
+        sim::fatal("makeMesh2D: need at least 5 ports per HUB");
+
+    auto t = std::make_unique<Topology>(eq, config);
+    for (int r = 0; r < rows; ++r) {
+        for (int c = 0; c < cols; ++c) {
+            t->addHub("hub_r" + std::to_string(r) + "c" +
+                      std::to_string(c));
+        }
+    }
+
+    // Port convention: east/west/south/north on the four highest
+    // ports, leaving the rest for CABs.
+    const int east = config.numPorts - 4;
+    const int west = config.numPorts - 3;
+    const int south = config.numPorts - 2;
+    const int north = config.numPorts - 1;
+
+    for (int r = 0; r < rows; ++r) {
+        for (int c = 0; c < cols; ++c) {
+            int here = meshHubIndex(r, c, cols);
+            if (c + 1 < cols) {
+                t->linkHubs(here, east,
+                            meshHubIndex(r, c + 1, cols), west,
+                            interHubDelay);
+            }
+            if (r + 1 < rows) {
+                t->linkHubs(here, south,
+                            meshHubIndex(r + 1, c, cols), north,
+                            interHubDelay);
+            }
+        }
+    }
+    return t;
+}
+
+} // namespace nectar::topo

@@ -1,0 +1,170 @@
+/**
+ * @file
+ * System topologies: HUB clusters connected by inter-HUB fibers.
+ *
+ * Sections 3.1 and 4.2: a single-HUB system connects all CABs to one
+ * HUB (Figure 2); larger systems connect HUB clusters "in any topology
+ * appropriate to the application environment", e.g. a 2-D mesh
+ * (Figure 4).  Because HUB-HUB and CAB-HUB ports are identical, the
+ * same attachment primitive serves both.
+ *
+ * Topology also computes routes: the ordered (hub, output port) hops a
+ * command packet must open to reach a destination, including multicast
+ * trees with the command ordering of Section 4.2.2.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "hub/hub.hh"
+#include "topo/wiring.hh"
+
+namespace nectar::topo {
+
+/** An endpoint attachment point: which HUB and which port. */
+struct Endpoint
+{
+    int hubIndex = -1;
+    hub::PortId port = hub::noPort;
+
+    bool operator==(const Endpoint &) const = default;
+};
+
+/** One hop of a route: a connection to open on a specific HUB. */
+struct Hop
+{
+    std::uint8_t hubId = 0;      ///< HUB addressed by the command.
+    hub::PortId outPort = hub::noPort; ///< Output port to open.
+    bool reply = false;          ///< Request a reply on this open.
+
+    bool operator==(const Hop &) const = default;
+};
+
+/** A route: the hops in command-packet order. */
+using Route = std::vector<Hop>;
+
+/**
+ * A set of HUBs, their interconnections, and attached endpoints.
+ */
+class Topology
+{
+  public:
+    /**
+     * @param eq Event queue.
+     * @param config Configuration applied to every HUB.
+     */
+    explicit Topology(sim::EventQueue &eq,
+                      const hub::HubConfig &config = {});
+
+    /**
+     * Create a HUB.  Its datalink hub id is its index (so ids stay
+     * unique and 8-bit addressable).
+     * @return The new HUB's index.
+     */
+    int addHub(const std::string &name = "");
+
+    int numHubs() const { return static_cast<int>(hubs.size()); }
+
+    hub::Hub &hubAt(int i);
+    const hub::Hub &hubAt(int i) const;
+
+    /**
+     * Connect two HUBs with a fiber pair.
+     * Both ports must be unused.
+     */
+    void linkHubs(int a, hub::PortId pa, int b, hub::PortId pb,
+                  sim::Tick propDelay = 0);
+
+    /**
+     * Attach an endpoint (CAB or test harness) to a HUB port.
+     *
+     * @return The fiber link the endpoint transmits on.
+     */
+    phys::FiberLink &attachEndpoint(phys::FiberSink &rx, int hubIndex,
+                                    hub::PortId port,
+                                    const std::string &name,
+                                    sim::Tick propDelay = 0);
+
+    /** True if the port on the given HUB is not yet wired. */
+    bool portFree(int hubIndex, hub::PortId port) const;
+
+    /** First free port on a HUB, or noPort. */
+    hub::PortId firstFreePort(int hubIndex) const;
+
+    /**
+     * Compute the shortest route from @p from to @p to.
+     *
+     * The final hop opens the destination CAB's port and carries the
+     * reply request; intermediate hops open inter-HUB connections.
+     *
+     * @throws sim::FatalError if no route exists.
+     */
+    Route route(const Endpoint &from, const Endpoint &to) const;
+
+    /**
+     * Compute a multicast tree from @p from to several destinations,
+     * in the command order of Section 4.2.2: depth-first, with a
+     * reply requested on each terminal (CAB-port) open.
+     */
+    Route multicastRoute(const Endpoint &from,
+                         const std::vector<Endpoint> &to) const;
+
+    /** Number of HUB-to-HUB hops on the route between two endpoints. */
+    int hopCount(const Endpoint &from, const Endpoint &to) const;
+
+    Wiring &wiring() { return _wiring; }
+
+  private:
+    /** Per-hub adjacency: (neighbor hub, my port toward it). */
+    struct Adj
+    {
+        int neighbor;
+        hub::PortId myPort;
+    };
+
+    /** BFS predecessor tree from @p root: (prevHub, portFromPrev). */
+    std::vector<std::pair<int, hub::PortId>>
+    bfs(int root) const;
+
+    sim::EventQueue &eq;
+    hub::HubConfig config;
+    Wiring _wiring;
+    std::vector<std::unique_ptr<hub::Hub>> hubs;
+    std::vector<std::vector<Adj>> adjacency;
+    std::vector<std::vector<bool>> portUsed;
+};
+
+/**
+ * Build a single-HUB star (Figure 2): one HUB, @p cabs endpoints
+ * expected on ports [0, cabs).  Endpoint attachment is left to the
+ * caller (the CAB layer).
+ */
+std::unique_ptr<Topology>
+makeSingleHub(sim::EventQueue &eq, const hub::HubConfig &config = {});
+
+/**
+ * Build a 2-D mesh of HUB clusters (Figure 4).
+ *
+ * Inter-HUB links use the four highest port numbers (east, west,
+ * south, north), leaving numPorts-4 ports per HUB for CABs.
+ *
+ * @param rows Mesh rows.
+ * @param cols Mesh columns.
+ */
+std::unique_ptr<Topology>
+makeMesh2D(sim::EventQueue &eq, int rows, int cols,
+           const hub::HubConfig &config = {},
+           sim::Tick interHubDelay = 0);
+
+/** Mesh helper: index of the HUB at (row, col). */
+inline int
+meshHubIndex(int row, int col, int cols)
+{
+    return row * cols + col;
+}
+
+} // namespace nectar::topo

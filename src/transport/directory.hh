@@ -1,0 +1,82 @@
+/**
+ * @file
+ * The network directory: CAB addresses, attachment points, routes.
+ *
+ * The Nectar prototype's CABs know the network topology (routes are
+ * sequences of HUB commands, Section 4.2); this directory is the
+ * shared name service mapping a CAB address to its attachment point
+ * and caching the command routes between CAB pairs.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <map>
+
+#include "sim/logging.hh"
+#include "topo/topology.hh"
+#include "transport/header.hh"
+
+namespace nectar::transport {
+
+/** Maps CAB addresses to attachment points; caches routes. */
+class NetworkDirectory
+{
+  public:
+    /** @param topo The system topology routes are computed on. */
+    explicit NetworkDirectory(topo::Topology &topo) : topo(topo) {}
+
+    /** Register a CAB's attachment point. */
+    void
+    registerCab(CabAddress cab, const topo::Endpoint &at)
+    {
+        if (!attachments.emplace(cab, at).second)
+            sim::fatal("NetworkDirectory: CAB address already "
+                       "registered: " + std::to_string(cab));
+    }
+
+    /** Attachment point of @p cab. */
+    const topo::Endpoint &
+    endpointOf(CabAddress cab) const
+    {
+        auto it = attachments.find(cab);
+        if (it == attachments.end())
+            sim::fatal("NetworkDirectory: unknown CAB address " +
+                       std::to_string(cab));
+        return it->second;
+    }
+
+    /** True if @p cab is registered. */
+    bool
+    known(CabAddress cab) const
+    {
+        return attachments.count(cab) > 0;
+    }
+
+    /** Command route from @p from to @p to (cached). */
+    const topo::Route &
+    route(CabAddress from, CabAddress to)
+    {
+        auto key = std::make_pair(from, to);
+        auto it = routes.find(key);
+        if (it == routes.end()) {
+            it = routes
+                     .emplace(key, topo.route(endpointOf(from),
+                                              endpointOf(to)))
+                     .first;
+        }
+        return it->second;
+    }
+
+    /** Number of registered CABs. */
+    std::size_t size() const { return attachments.size(); }
+
+    topo::Topology &topology() { return topo; }
+
+  private:
+    topo::Topology &topo;
+    std::map<CabAddress, topo::Endpoint> attachments;
+    std::map<std::pair<CabAddress, CabAddress>, topo::Route> routes;
+};
+
+} // namespace nectar::transport

@@ -1,0 +1,113 @@
+#include "header.hh"
+
+#include "cab/checksum.hh"
+
+namespace nectar::transport {
+
+namespace {
+
+void
+put8(std::vector<std::uint8_t> &v, std::size_t off, std::uint8_t x)
+{
+    v[off] = x;
+}
+
+void
+put16(std::vector<std::uint8_t> &v, std::size_t off, std::uint16_t x)
+{
+    v[off] = static_cast<std::uint8_t>(x >> 8);
+    v[off + 1] = static_cast<std::uint8_t>(x);
+}
+
+void
+put32(std::vector<std::uint8_t> &v, std::size_t off, std::uint32_t x)
+{
+    v[off] = static_cast<std::uint8_t>(x >> 24);
+    v[off + 1] = static_cast<std::uint8_t>(x >> 16);
+    v[off + 2] = static_cast<std::uint8_t>(x >> 8);
+    v[off + 3] = static_cast<std::uint8_t>(x);
+}
+
+std::uint16_t
+get16(const std::vector<std::uint8_t> &v, std::size_t off)
+{
+    return static_cast<std::uint16_t>((v[off] << 8) | v[off + 1]);
+}
+
+std::uint32_t
+get32(const std::vector<std::uint8_t> &v, std::size_t off)
+{
+    return (static_cast<std::uint32_t>(v[off]) << 24) |
+           (static_cast<std::uint32_t>(v[off + 1]) << 16) |
+           (static_cast<std::uint32_t>(v[off + 2]) << 8) |
+           static_cast<std::uint32_t>(v[off + 3]);
+}
+
+} // namespace
+
+std::vector<std::uint8_t>
+encodePacket(Header h, const std::vector<std::uint8_t> &payload)
+{
+    h.length = static_cast<std::uint16_t>(payload.size());
+
+    std::vector<std::uint8_t> out(Header::wireSize + payload.size(), 0);
+    put8(out, 0, static_cast<std::uint8_t>(h.protocol));
+    put8(out, 1, h.flags);
+    put16(out, 2, h.srcCab);
+    put16(out, 4, h.dstCab);
+    put16(out, 6, h.srcMailbox);
+    put16(out, 8, h.dstMailbox);
+    put32(out, 10, h.seq);
+    put32(out, 14, h.ack);
+    put16(out, 18, h.window);
+    put32(out, 20, h.msgId);
+    put16(out, 24, h.fragIndex);
+    put16(out, 26, h.fragCount);
+    put16(out, 28, h.length);
+    // Checksum field (offset 30) stays zero for the computation.
+    std::copy(payload.begin(), payload.end(),
+              out.begin() + Header::wireSize);
+
+    std::uint16_t sum = cab::checksum16(out.data(), out.size());
+    put16(out, 30, sum);
+    return out;
+}
+
+std::optional<Header>
+decodePacket(const std::vector<std::uint8_t> &bytes,
+             std::vector<std::uint8_t> &payload)
+{
+    if (bytes.size() < Header::wireSize)
+        return std::nullopt;
+
+    Header h;
+    h.protocol = static_cast<Proto>(bytes[0]);
+    h.flags = bytes[1];
+    h.srcCab = get16(bytes, 2);
+    h.dstCab = get16(bytes, 4);
+    h.srcMailbox = get16(bytes, 6);
+    h.dstMailbox = get16(bytes, 8);
+    h.seq = get32(bytes, 10);
+    h.ack = get32(bytes, 14);
+    h.window = get16(bytes, 18);
+    h.msgId = get32(bytes, 20);
+    h.fragIndex = get16(bytes, 24);
+    h.fragCount = get16(bytes, 26);
+    h.length = get16(bytes, 28);
+    h.checksum = get16(bytes, 30);
+
+    if (bytes.size() != Header::wireSize + h.length)
+        return std::nullopt;
+
+    // Verify the checksum over the packet with the field zeroed.
+    std::vector<std::uint8_t> copy = bytes;
+    copy[30] = 0;
+    copy[31] = 0;
+    if (cab::checksum16(copy.data(), copy.size()) != h.checksum)
+        return std::nullopt;
+
+    payload.assign(bytes.begin() + Header::wireSize, bytes.end());
+    return h;
+}
+
+} // namespace nectar::transport

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * The Nectar transport packet header.
+ *
+ * Section 6.2.2: "The current transport protocols are simple and
+ * Nectar-specific."  All three protocols (datagram, byte-stream,
+ * request-response) share one 32-byte header carrying addressing
+ * (CAB + mailbox), sequencing, acknowledgment and window fields,
+ * message reassembly coordinates, and a 16-bit checksum computed by
+ * the CAB's hardware checksum unit.
+ *
+ * Fields are serialized big-endian into real bytes: receivers parse
+ * what actually travelled through the simulated network.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+namespace nectar::transport {
+
+/** Network-wide CAB address. */
+using CabAddress = std::uint16_t;
+
+/** Protocol discriminator. */
+enum class Proto : std::uint8_t {
+    datagram = 1, ///< Best-effort, no delivery guarantee.
+    stream = 2,   ///< Reliable byte-stream (windowed, retransmitted).
+    request = 3,  ///< RPC request.
+    response = 4, ///< RPC response.
+    ack = 5,      ///< Cumulative acknowledgment for stream flows.
+};
+
+/** Header flags. */
+namespace flags {
+constexpr std::uint8_t none = 0;
+constexpr std::uint8_t lastFragment = 1; ///< Final fragment of a message.
+} // namespace flags
+
+/** The on-wire transport header. */
+struct Header
+{
+    Proto protocol = Proto::datagram;
+    std::uint8_t flags = 0;
+    CabAddress srcCab = 0;
+    CabAddress dstCab = 0;
+    std::uint16_t srcMailbox = 0;
+    std::uint16_t dstMailbox = 0;
+    std::uint32_t seq = 0;    ///< Packet sequence / request id.
+    std::uint32_t ack = 0;    ///< Cumulative ack (next expected seq).
+    std::uint16_t window = 0; ///< Receiver window, in packets.
+    std::uint32_t msgId = 0;  ///< Message id for reassembly.
+    std::uint16_t fragIndex = 0;
+    std::uint16_t fragCount = 1;
+    std::uint16_t length = 0; ///< Payload bytes following the header.
+    std::uint16_t checksum = 0;
+
+    /** Serialized header size in bytes. */
+    static constexpr std::uint32_t wireSize = 32;
+};
+
+/**
+ * Serialize @p h followed by @p payload into one packet buffer,
+ * computing the checksum over the whole packet (with the checksum
+ * field zeroed), as the CAB's checksum hardware does during DMA.
+ */
+std::vector<std::uint8_t> encodePacket(
+    Header h, const std::vector<std::uint8_t> &payload);
+
+/**
+ * Parse and verify a received packet.
+ *
+ * @param bytes The raw packet (header + payload).
+ * @param[out] payload The payload bytes on success.
+ * @return The header, or nullopt if the packet is malformed or fails
+ *         its checksum.
+ */
+std::optional<Header> decodePacket(
+    const std::vector<std::uint8_t> &bytes,
+    std::vector<std::uint8_t> &payload);
+
+} // namespace nectar::transport

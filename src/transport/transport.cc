@@ -1,0 +1,558 @@
+#include "transport.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+
+namespace nectar::transport {
+
+Transport::Transport(cabos::Kernel &kernel, datalink::Datalink &dl,
+                     NetworkDirectory &directory, CabAddress self,
+                     const TransportConfig &config)
+    : sim::Component(kernel.eventq(),
+                     kernel.board().name() + ".transport"),
+      _kernel(kernel), dl(dl), directory(directory), self(self),
+      cfg(config)
+{
+    dl.rxHandler = [this](std::vector<std::uint8_t> &&bytes,
+                          bool corrupted) {
+        handlePacket(std::move(bytes), corrupted);
+    };
+}
+
+// --------------------------------------------------------------------
+// Transmit helpers.
+// --------------------------------------------------------------------
+
+sim::Task<void>
+Transport::transmitPacket(CabAddress dst,
+                          std::vector<std::uint8_t> packet)
+{
+    co_await _kernel.board().cpu().compute(
+        _kernel.costs().transportSendPerPacket);
+    _stats.packetsSent.add();
+    if (dst == self) {
+        // Local loopback: tasks on the same CAB communicate through
+        // the mailboxes directly, without touching the Nectar-net.
+        handlePacket(std::move(packet), false);
+        co_return;
+    }
+    const topo::Route &route = directory.route(self, dst);
+    bool ok = co_await dl.sendPacket(route,
+                                     phys::makePayload(std::move(packet)),
+                                     cfg.mode);
+    if (!ok) {
+        // Route establishment failed after datalink retries; for the
+        // stream protocol the retransmission machinery covers this,
+        // for datagrams it is a loss.
+        ;
+    }
+}
+
+void
+Transport::transmitAsync(CabAddress dst, std::vector<std::uint8_t> pkt)
+{
+    sim::spawn(transmitPacket(dst, std::move(pkt)));
+}
+
+// --------------------------------------------------------------------
+// Datagram protocol.
+// --------------------------------------------------------------------
+
+sim::Task<bool>
+Transport::sendDatagram(CabAddress dst, std::uint16_t dstMailbox,
+                        std::vector<std::uint8_t> data)
+{
+    _stats.messagesSent.add();
+    std::uint32_t msg_id = nextMsgId++;
+    auto frag_count = static_cast<std::uint16_t>(
+        std::max<std::size_t>(1, (data.size() + cfg.mtu - 1) / cfg.mtu));
+
+    for (std::uint16_t i = 0; i < frag_count; ++i) {
+        std::size_t off = static_cast<std::size_t>(i) * cfg.mtu;
+        std::size_t len = std::min<std::size_t>(cfg.mtu,
+                                                data.size() - off);
+        Header h;
+        h.protocol = Proto::datagram;
+        h.srcCab = self;
+        h.dstCab = dst;
+        h.dstMailbox = dstMailbox;
+        h.msgId = msg_id;
+        h.fragIndex = i;
+        h.fragCount = frag_count;
+        if (i + 1 == frag_count)
+            h.flags |= flags::lastFragment;
+        std::vector<std::uint8_t> frag(data.begin() + off,
+                                       data.begin() + off + len);
+        co_await transmitPacket(dst, encodePacket(h, frag));
+    }
+    co_return true;
+}
+
+// --------------------------------------------------------------------
+// Byte-stream protocol (sender side).
+// --------------------------------------------------------------------
+
+Transport::SenderFlow &
+Transport::senderFlow(CabAddress peer, std::uint16_t mb)
+{
+    auto key = flowKey(peer, mb);
+    auto it = senders.find(key);
+    if (it == senders.end()) {
+        it = senders
+                 .emplace(key,
+                          std::make_unique<SenderFlow>(eventq()))
+                 .first;
+    }
+    return *it->second;
+}
+
+namespace {
+
+/** Parks the coroutine on a flow's waiter list. */
+struct FlowWait
+{
+    std::vector<std::coroutine_handle<>> &list;
+
+    bool await_ready() const { return false; }
+    void await_suspend(std::coroutine_handle<> h) { list.push_back(h); }
+    void await_resume() const {}
+};
+
+} // namespace
+
+void
+Transport::wakeFlow(SenderFlow &flow)
+{
+    auto waiters = std::move(flow.waiters);
+    flow.waiters.clear();
+    for (auto h : waiters) {
+        eventq().scheduleIn(0, [h] { h.resume(); },
+                            sim::EventPriority::software);
+    }
+}
+
+void
+Transport::armTimer(CabAddress peer, std::uint16_t mb, SenderFlow &flow)
+{
+    auto &timers = _kernel.board().timers();
+    if (timers.armed(flow.timer))
+        timers.cancel(flow.timer);
+    _kernel.board().cpu().charge(_kernel.costs().timerOp);
+    flow.timer = timers.set(cfg.retransmitTimeout,
+                            [this, peer, mb] { onTimeout(peer, mb); });
+}
+
+void
+Transport::onTimeout(CabAddress peer, std::uint16_t mb)
+{
+    SenderFlow &flow = senderFlow(peer, mb);
+    if (flow.unacked.empty())
+        return;
+
+    if (++flow.timeouts > cfg.maxRetransmits) {
+        // The flow is broken: fail the pending send.
+        flow.failed = true;
+        flow.unacked.clear();
+        flow.base = flow.nextSeq;
+        _stats.sendFailures.add();
+        wakeFlow(flow);
+        return;
+    }
+
+    // Go-back-N: retransmit everything outstanding, in order.
+    for (const auto &[seq, pkt] : flow.unacked) {
+        _stats.retransmissions.add();
+        transmitAsync(peer, pkt);
+    }
+    armTimer(peer, mb, flow);
+}
+
+sim::Task<bool>
+Transport::sendReliable(CabAddress dst, std::uint16_t dstMailbox,
+                        std::vector<std::uint8_t> data)
+{
+    _stats.messagesSent.add();
+    SenderFlow &flow = senderFlow(dst, dstMailbox);
+
+    // One message at a time per flow keeps receiver reassembly
+    // state simple (fragments of one message are contiguous in
+    // sequence space).
+    co_await flow.mutex.lock();
+    flow.failed = false;
+    flow.timeouts = 0;
+
+    std::uint32_t msg_id = nextMsgId++;
+    auto frag_count = static_cast<std::uint16_t>(
+        std::max<std::size_t>(1, (data.size() + cfg.mtu - 1) / cfg.mtu));
+
+    for (std::uint16_t i = 0; i < frag_count && !flow.failed; ++i) {
+        // Sliding window: at most windowPackets outstanding.
+        while (!flow.failed &&
+               flow.nextSeq - flow.base >= cfg.windowPackets)
+            co_await FlowWait{flow.waiters};
+        if (flow.failed)
+            break;
+
+        std::size_t off = static_cast<std::size_t>(i) * cfg.mtu;
+        std::size_t len = std::min<std::size_t>(cfg.mtu,
+                                                data.size() - off);
+        Header h;
+        h.protocol = Proto::stream;
+        h.srcCab = self;
+        h.dstCab = dst;
+        h.dstMailbox = dstMailbox;
+        h.seq = flow.nextSeq++;
+        h.window = static_cast<std::uint16_t>(cfg.windowPackets);
+        h.msgId = msg_id;
+        h.fragIndex = i;
+        h.fragCount = frag_count;
+        if (i + 1 == frag_count)
+            h.flags |= flags::lastFragment;
+
+        std::vector<std::uint8_t> frag(data.begin() + off,
+                                       data.begin() + off + len);
+        auto pkt = encodePacket(h, frag);
+        flow.unacked.emplace(h.seq, pkt);
+        armTimer(dst, dstMailbox, flow);
+        co_await transmitPacket(dst, std::move(pkt));
+    }
+
+    // Wait until everything is acknowledged (or the flow failed).
+    while (!flow.failed && flow.base != flow.nextSeq)
+        co_await FlowWait{flow.waiters};
+
+    bool ok = !flow.failed;
+    flow.mutex.unlock();
+    co_return ok;
+}
+
+void
+Transport::handleAck(const Header &h)
+{
+    _stats.acksReceived.add();
+    // The ack's srcMailbox echoes the flow's destination mailbox.
+    SenderFlow &flow = senderFlow(h.srcCab, h.srcMailbox);
+    if (h.ack <= flow.base)
+        return; // stale or duplicate ack
+    flow.base = std::min(h.ack, flow.nextSeq);
+    flow.timeouts = 0;
+    while (!flow.unacked.empty() &&
+           flow.unacked.begin()->first < flow.base)
+        flow.unacked.erase(flow.unacked.begin());
+
+    auto &timers = _kernel.board().timers();
+    if (flow.unacked.empty()) {
+        if (timers.armed(flow.timer))
+            timers.cancel(flow.timer);
+    } else {
+        armTimer(h.srcCab, h.srcMailbox, flow);
+    }
+    wakeFlow(flow);
+}
+
+// --------------------------------------------------------------------
+// Receive path.
+// --------------------------------------------------------------------
+
+void
+Transport::handlePacket(std::vector<std::uint8_t> &&bytes,
+                        bool corrupted)
+{
+    _stats.packetsReceived.add();
+
+    std::vector<std::uint8_t> payload;
+    auto header = decodePacket(bytes, payload);
+    if (!header || corrupted) {
+        // Damaged packets are dropped; the byte-stream protocol's
+        // retransmission recovers them (Section 6.2.2).
+        _stats.checksumDrops.add();
+        return;
+    }
+    if (header->dstCab != self) {
+        _stats.checksumDrops.add(); // misrouted; treat as damage
+        return;
+    }
+
+    // Charge the receive-path CPU cost, then process.
+    Header h = *header;
+    auto shared = std::make_shared<std::vector<std::uint8_t>>(
+        std::move(payload));
+    _kernel.board().cpu().chargeThen(
+        _kernel.costs().transportRecvPerPacket, [this, h, shared] {
+            processPacket(h, std::move(*shared));
+        });
+}
+
+void
+Transport::processPacket(const Header &h,
+                         std::vector<std::uint8_t> &&payload)
+{
+    switch (h.protocol) {
+      case Proto::stream:
+        handleStreamData(h, std::move(payload));
+        break;
+      case Proto::ack:
+        handleAck(h);
+        break;
+      case Proto::datagram:
+        handleDatagram(h, std::move(payload));
+        break;
+      case Proto::request:
+        handleRequest(h, std::move(payload));
+        break;
+      case Proto::response:
+        handleResponse(h, std::move(payload));
+        break;
+      default:
+        _stats.checksumDrops.add();
+        break;
+    }
+}
+
+bool
+Transport::deliver(std::uint16_t dstMailbox,
+                   std::vector<std::uint8_t> &&msg, std::uint64_t tag)
+{
+    cabos::Mailbox *box = _kernel.mailbox(dstMailbox);
+    if (!box)
+        return false;
+    cabos::Message m(std::move(msg), tag);
+    if (!box->tryPut(std::move(m)))
+        return false;
+    _stats.messagesDelivered.add();
+    return true;
+}
+
+void
+Transport::sendAck(const Header &h, std::uint32_t nextExpected)
+{
+    Header ack;
+    ack.protocol = Proto::ack;
+    ack.srcCab = self;
+    ack.dstCab = h.srcCab;
+    // Echo the flow's destination mailbox so the sender can find its
+    // flow state.
+    ack.srcMailbox = h.dstMailbox;
+    ack.ack = nextExpected;
+    _stats.acksSent.add();
+    transmitAsync(h.srcCab, encodePacket(ack, {}));
+}
+
+void
+Transport::handleStreamData(const Header &h,
+                            std::vector<std::uint8_t> &&payload)
+{
+    auto key = flowKey(h.srcCab, h.dstMailbox);
+    ReceiverFlow &flow = receivers[key];
+
+    if (h.seq < flow.expected) {
+        _stats.duplicates.add();
+        sendAck(h, flow.expected);
+        return;
+    }
+    if (h.seq > flow.expected) {
+        // Go-back-N receiver: out-of-order packets are discarded and
+        // the sender learns the next needed seq from the dup-ack.
+        _stats.outOfOrder.add();
+        sendAck(h, flow.expected);
+        return;
+    }
+
+    // In-order packet: reassemble.
+    if (h.fragIndex == 0) {
+        flow.assembling = true;
+        flow.msgId = h.msgId;
+        flow.assembly.clear();
+    }
+    if (!flow.assembling || flow.msgId != h.msgId) {
+        // Mid-message fragment without a start: protocol confusion
+        // (e.g. after a failed flow); resynchronize by dropping.
+        flow.assembling = false;
+        sendAck(h, flow.expected);
+        return;
+    }
+
+    if (h.flags & flags::lastFragment) {
+        // Deliver before acknowledging: a full mailbox stalls the
+        // flow (backpressure) rather than losing the message.
+        std::vector<std::uint8_t> whole = flow.assembly;
+        whole.insert(whole.end(), payload.begin(), payload.end());
+        if (!deliver(h.dstMailbox, std::move(whole), h.msgId)) {
+            _stats.deliveryStalls.add();
+            sendAck(h, flow.expected); // do not advance
+            return;
+        }
+        flow.assembling = false;
+        flow.assembly.clear();
+    } else {
+        flow.assembly.insert(flow.assembly.end(), payload.begin(),
+                             payload.end());
+    }
+
+    ++flow.expected;
+    sendAck(h, flow.expected);
+}
+
+void
+Transport::handleDatagram(const Header &h,
+                          std::vector<std::uint8_t> &&payload)
+{
+    if (h.fragCount <= 1) {
+        if (!deliver(h.dstMailbox, std::move(payload), h.msgId))
+            _stats.datagramsDropped.add();
+        return;
+    }
+
+    // Multi-fragment datagram: reassemble per (source, message).
+    auto key = (static_cast<std::uint64_t>(h.srcCab) << 32) | h.msgId;
+    DatagramAssembly &as = datagramAsm[key];
+    if (as.frags.empty()) {
+        as.fragCount = h.fragCount;
+        as.started = now();
+    }
+    as.frags[h.fragIndex] = std::move(payload);
+    if (as.frags.size() < as.fragCount)
+        return;
+
+    std::vector<std::uint8_t> whole;
+    for (auto &[idx, frag] : as.frags)
+        whole.insert(whole.end(), frag.begin(), frag.end());
+    datagramAsm.erase(key);
+    if (!deliver(h.dstMailbox, std::move(whole), h.msgId))
+        _stats.datagramsDropped.add();
+
+    // Opportunistically discard stale partial datagrams (a fragment
+    // was lost and will never arrive).
+    for (auto it = datagramAsm.begin(); it != datagramAsm.end();) {
+        if (now() - it->second.started > 100 * ms)
+            it = datagramAsm.erase(it);
+        else
+            ++it;
+    }
+}
+
+// --------------------------------------------------------------------
+// Request-response protocol.
+// --------------------------------------------------------------------
+
+sim::Task<std::optional<std::vector<std::uint8_t>>>
+Transport::request(CabAddress dst, std::uint16_t serviceMailbox,
+                   std::vector<std::uint8_t> req)
+{
+    if (req.size() > cfg.mtu)
+        sim::fatal(name() + ": request exceeds one MTU; use the "
+                   "byte-stream protocol for bulk data");
+
+    _stats.requestsSent.add();
+    std::uint32_t seq = nextRequestSeq++;
+
+    Header h;
+    h.protocol = Proto::request;
+    h.srcCab = self;
+    h.dstCab = dst;
+    h.dstMailbox = serviceMailbox;
+    h.seq = seq;
+    auto pkt = encodePacket(h, req);
+
+    sim::Channel<std::optional<std::vector<std::uint8_t>>> responses(
+        eventq());
+    pendingRequests[seq] = &responses;
+
+    std::optional<std::vector<std::uint8_t>> result;
+    for (int attempt = 0; attempt < cfg.maxRequestAttempts; ++attempt) {
+        if (attempt > 0)
+            _stats.requestRetries.add();
+        co_await transmitPacket(dst, pkt);
+
+        // A timeout pushes nullopt; a real (possibly empty) response
+        // pushes a value.
+        sim::EventId timer = eventq().scheduleIn(
+            cfg.requestTimeout,
+            [&responses] { responses.push(std::nullopt); },
+            sim::EventPriority::software);
+        auto r = co_await responses.pop();
+        eventq().cancel(timer);
+        if (r.has_value()) {
+            result = std::move(r);
+            break;
+        }
+    }
+    pendingRequests.erase(seq);
+    if (!result)
+        _stats.requestsFailed.add();
+    co_return result;
+}
+
+void
+Transport::handleRequest(const Header &h,
+                         std::vector<std::uint8_t> &&payload)
+{
+    std::uint64_t tag =
+        (static_cast<std::uint64_t>(h.srcCab) << 32) | h.seq;
+
+    // Duplicate suppression: answer repeats from the response cache.
+    auto cached = responseCache.find(tag);
+    if (cached != responseCache.end()) {
+        _stats.cachedResponseHits.add();
+        Header rh;
+        rh.protocol = Proto::response;
+        rh.srcCab = self;
+        rh.dstCab = h.srcCab;
+        rh.seq = h.seq;
+        transmitAsync(h.srcCab, encodePacket(rh, cached->second));
+        return;
+    }
+    if (pendingServer.count(tag))
+        return; // already queued for the server thread
+
+    pendingServer[tag] = ServerRequest{h.srcCab, h.srcMailbox, h.seq};
+    if (!deliver(h.dstMailbox, std::move(payload), tag)) {
+        // Service mailbox missing or full: drop; the client retries.
+        pendingServer.erase(tag);
+        _stats.datagramsDropped.add();
+    }
+}
+
+void
+Transport::respond(std::uint64_t requestTag,
+                   std::vector<std::uint8_t> response)
+{
+    if (response.size() > cfg.mtu)
+        sim::fatal(name() + ": response exceeds one MTU");
+
+    auto it = pendingServer.find(requestTag);
+    if (it == pendingServer.end())
+        return; // duplicate respond or unknown tag
+    ServerRequest sr = it->second;
+    pendingServer.erase(it);
+
+    Header h;
+    h.protocol = Proto::response;
+    h.srcCab = self;
+    h.dstCab = sr.client;
+    h.dstMailbox = sr.replyMailbox;
+    h.seq = sr.seq;
+    _stats.responsesServed.add();
+    transmitAsync(sr.client, encodePacket(h, response));
+
+    // Cache for duplicate-request suppression (bounded FIFO).
+    responseCache[requestTag] = std::move(response);
+    responseCacheOrder.push_back(requestTag);
+    while (responseCacheOrder.size() > cfg.responseCacheSize) {
+        responseCache.erase(responseCacheOrder.front());
+        responseCacheOrder.pop_front();
+    }
+}
+
+void
+Transport::handleResponse(const Header &h,
+                          std::vector<std::uint8_t> &&payload)
+{
+    auto it = pendingRequests.find(h.seq);
+    if (it == pendingRequests.end())
+        return; // late duplicate response
+    it->second->push(std::move(payload));
+}
+
+} // namespace nectar::transport

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Scientific halo-exchange workload (Section 7).
+ *
+ * "Large-scale scientific applications that execute well on
+ * loosely-coupled arrays of processors are also easily ported to
+ * Nectar.  Powerful, general-purpose Nectar nodes can provide
+ * sufficient processing power ... and the Nectar-net has the
+ * bandwidth to meet their communication needs."
+ *
+ * Model: a logical grid of tasks; each iteration every task sends a
+ * halo to its 4-neighbourhood, waits for all neighbour halos of that
+ * iteration, then computes.  Measures per-iteration time.
+ */
+
+#pragma once
+
+#include <vector>
+
+#include "nectarine/nectarine.hh"
+#include "sim/stats.hh"
+
+namespace nectar::workload {
+
+using sim::Tick;
+using namespace sim::ticks;
+
+/** Parameters for HaloExchange. */
+struct HaloConfig
+{
+    int rows = 2;
+    int cols = 2;
+    int iterations = 10;
+    std::uint32_t haloBytes = 2048;
+    Tick computePerIteration = 500 * us;
+};
+
+/** Iterative nearest-neighbour exchange on a logical 2-D grid. */
+class HaloExchange
+{
+  public:
+    using Config = HaloConfig;
+
+    /**
+     * @param api Runtime.
+     * @param sites rows*cols site indices, row-major.
+     */
+    HaloExchange(nectarine::Nectarine &api,
+                 std::vector<std::size_t> sites,
+                 const HaloConfig &config = {});
+
+    /** Grid cells that completed all iterations. */
+    int completedCells() const { return *done; }
+
+    /** Wall time of each completed iteration, across cells (ns). */
+    const sim::Histogram &iterationTime() const { return _iterTime; }
+
+    bool
+    finished() const
+    {
+        return *done == cfg.rows * cfg.cols;
+    }
+
+  private:
+    Config cfg;
+    std::shared_ptr<int> done = std::make_shared<int>(0);
+    sim::Histogram _iterTime;
+};
+
+} // namespace nectar::workload

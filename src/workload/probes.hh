@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Measurement probes: ping-pong latency and bulk-stream throughput.
+ *
+ * These drive the latency and bandwidth experiments (E3, E4, E6, E10,
+ * E11 in DESIGN.md): the paper's communication goals are stated as
+ * process-to-process latencies (Section 2.3) and link/aggregate
+ * bandwidths (Section 3.1).
+ */
+
+#pragma once
+
+#include <string>
+
+#include "nectarine/nectarine.hh"
+#include "sim/stats.hh"
+
+namespace nectar::workload {
+
+using sim::Tick;
+
+/** Parameters for PingPong. */
+struct PingPongConfig
+{
+    int iterations = 100;
+    std::uint32_t messageBytes = 64;
+    nectarine::Delivery delivery = nectarine::Delivery::datagram;
+    /** Extra label so several probes can coexist. */
+    std::string label = "pp";
+};
+
+/**
+ * Round-trip latency probe between two tasks.
+ *
+ * Construct, run the event queue, then read the statistics.
+ */
+class PingPong
+{
+  public:
+    using Config = PingPongConfig;
+
+    /**
+     * @param api Nectarine runtime.
+     * @param siteA Initiator site index.
+     * @param siteB Responder site index.
+     */
+    PingPong(nectarine::Nectarine &api, std::size_t siteA,
+             std::size_t siteB, const PingPongConfig &config = {});
+
+    /** Round-trip times (ns), one sample per iteration. */
+    const sim::Histogram &rtt() const { return _rtt; }
+
+    double
+    meanRttUs() const
+    {
+        return _rtt.mean() / 1000.0;
+    }
+
+    /** Estimated one-way latency (half RTT), in microseconds. */
+    double
+    meanOneWayUs() const
+    {
+        return meanRttUs() / 2.0;
+    }
+
+    bool finished() const { return _finished; }
+
+  private:
+    Config cfg;
+    sim::Histogram _rtt;
+    bool _finished = false;
+};
+
+/** Parameters for StreamMeter. */
+struct StreamMeterConfig
+{
+    std::uint64_t totalBytes = 1 << 20;
+    std::uint32_t messageBytes = 32 * 1024;
+    std::string label = "stream";
+};
+
+/**
+ * Bulk throughput probe: one reliable stream of messages from A to B.
+ */
+class StreamMeter
+{
+  public:
+    using Config = StreamMeterConfig;
+
+    StreamMeter(nectarine::Nectarine &api, std::size_t siteA,
+                std::size_t siteB,
+                const StreamMeterConfig &config = {});
+
+    /** Simulated time from first send to last delivery. */
+    Tick elapsed() const { return _end - _start; }
+
+    /** Goodput in megabytes per second of simulated time. */
+    double
+    megabytesPerSecond() const
+    {
+        if (_end <= _start)
+            return 0.0;
+        return static_cast<double>(delivered) * 1000.0 /
+               static_cast<double>(_end - _start);
+    }
+
+    std::uint64_t bytesDelivered() const { return delivered; }
+    bool finished() const { return _finished; }
+
+  private:
+    Config cfg;
+    Tick _start = 0;
+    Tick _end = 0;
+    std::uint64_t delivered = 0;
+    bool _finished = false;
+};
+
+} // namespace nectar::workload

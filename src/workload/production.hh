@@ -1,0 +1,86 @@
+/**
+ * @file
+ * The parallel production system workload (Section 7).
+ *
+ * "We are implementing a parallel production system as an example of
+ * an application that requires run-time load balancing.  Matching is
+ * performed in parallel using a distributed RETE network, and tokens
+ * that propagate through the network are stored in a distributed task
+ * queue.  The low latency communication of Nectar provides good
+ * support for the fine-grained parallelism required by this
+ * application."
+ *
+ * Model: worker tasks hold partitions of the RETE network.  A root
+ * task seeds tokens; each match consumes a token (costed compute) and
+ * probabilistically emits follow-on tokens to random workers (the
+ * distributed task queue).  The measured quantities are token
+ * throughput and per-hop token latency — both dominated by message
+ * latency, which is the paper's point.
+ */
+
+#pragma once
+
+#include <vector>
+
+#include "nectarine/nectarine.hh"
+#include "sim/random.hh"
+#include "sim/stats.hh"
+
+namespace nectar::workload {
+
+using sim::Tick;
+using namespace sim::ticks;
+
+/** Parameters for ProductionWorkload. */
+struct ProductionConfig
+{
+    int seedTokens = 32;       ///< Tokens injected by the root.
+    int maxTokens = 2000;      ///< Stop after this many matches.
+    Tick matchCompute = 30 * us; ///< Work per token match.
+    double fanoutProbability = 0.45; ///< P(emit a new token).
+    int fanout = 2;            ///< Tokens emitted on a match.
+    std::uint32_t tokenBytes = 64;
+    std::uint64_t seed = 11;
+};
+
+/** A distributed RETE-style token-passing computation. */
+class ProductionWorkload
+{
+  public:
+    using Config = ProductionConfig;
+
+    /**
+     * @param api Runtime.
+     * @param workerSites One worker task per entry.
+     */
+    ProductionWorkload(nectarine::Nectarine &api,
+                       std::vector<std::size_t> workerSites,
+                       const ProductionConfig &config = {});
+
+    /** Tokens matched across all workers. */
+    int tokensProcessed() const { return *processed; }
+
+    /** Per-hop token latency (send to match start), ns. */
+    const sim::Histogram &tokenLatency() const { return _tokenLat; }
+
+    /** Simulated time of the last match. */
+    Tick lastMatchAt() const { return _lastMatch; }
+
+    /** Tokens matched per millisecond of simulated time. */
+    double
+    tokensPerMs() const
+    {
+        if (_lastMatch <= 0)
+            return 0.0;
+        return static_cast<double>(*processed) /
+               (static_cast<double>(_lastMatch) / ms);
+    }
+
+  private:
+    Config cfg;
+    std::shared_ptr<int> processed = std::make_shared<int>(0);
+    sim::Histogram _tokenLat;
+    Tick _lastMatch = 0;
+};
+
+} // namespace nectar::workload

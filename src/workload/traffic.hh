@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Random background traffic for contention experiments (E13).
+ *
+ * Section 3.1: "the use of crossbar switches substantially reduces
+ * network contention" — this generator drives many sites with
+ * Poisson datagram traffic to uniformly random destinations and
+ * records delivery rate and latency, on Nectar or (via the node
+ * stack) on the LAN baseline.
+ */
+
+#pragma once
+
+#include <vector>
+
+#include "nectarine/nectarine.hh"
+#include "sim/random.hh"
+#include "sim/stats.hh"
+
+namespace nectar::workload {
+
+using sim::Tick;
+using namespace sim::ticks;
+
+/** Parameters for RandomTraffic. */
+struct RandomTrafficConfig
+{
+    /** Mean inter-message gap per site (Poisson process). */
+    Tick meanGap = 200 * us;
+    std::uint32_t messageBytes = 512;
+    /** Messages each site sends before stopping. */
+    int messagesPerSite = 50;
+    std::uint64_t seed = 1;
+};
+
+/**
+ * Uniform random datagram traffic among all sites of a system.
+ */
+class RandomTraffic
+{
+  public:
+    using Config = RandomTrafficConfig;
+
+    /**
+     * Creates one sender and one receiver task per site.
+     * @param api Runtime over the system under test.
+     */
+    RandomTraffic(nectarine::Nectarine &api, const RandomTrafficConfig &config = {});
+
+    /** Messages handed to the transport. */
+    std::uint64_t sent() const { return _sent; }
+
+    /** Messages that reached a destination inbox. */
+    std::uint64_t delivered() const { return _delivered; }
+
+    double
+    deliveryRate() const
+    {
+        return _sent ? static_cast<double>(_delivered) /
+                           static_cast<double>(_sent)
+                     : 0.0;
+    }
+
+    /** One-way delivery latency samples (ns). */
+    const sim::Histogram &latency() const { return _latency; }
+
+  private:
+    Config cfg;
+    std::uint64_t _sent = 0;
+    std::uint64_t _delivered = 0;
+    sim::Histogram _latency;
+    std::vector<nectarine::TaskId> receivers;
+};
+
+} // namespace nectar::workload

@@ -1,0 +1,97 @@
+/**
+ * @file
+ * The vision application workload (Section 7).
+ *
+ * "One of the first Nectar applications is in the area of vision.
+ * The application uses a Warp machine for low-level vision analysis
+ * and Sun workstations for manipulating image features that are
+ * stored in a distributed spatial database.  It requires both high
+ * bandwidth for image transfer and low latency for communication
+ * between nodes in the database.  This application has a static
+ * computational model."
+ *
+ * Model: a camera task streams image frames to a Warp task (bulk,
+ * reliable); the Warp extracts features (costed compute) and scatters
+ * feature records across database shard tasks; client tasks issue
+ * spatial queries against the shards (request-response).
+ */
+
+#pragma once
+
+#include <vector>
+
+#include "nectarine/nectarine.hh"
+#include "sim/stats.hh"
+
+namespace nectar::workload {
+
+using sim::Tick;
+using namespace sim::ticks;
+
+/** Parameters for VisionWorkload. */
+struct VisionConfig
+{
+    int frames = 8;
+    std::uint32_t frameBytes = 128 * 1024; ///< One image frame.
+    Tick frameInterval = 4 * ms;           ///< Camera rate.
+    /** Warp compute per frame (systolic low-level vision). */
+    Tick warpComputePerFrame = 2 * ms;
+    std::uint32_t featureBytes = 4 * 1024; ///< Per-frame features.
+    int queriesPerClient = 20;
+    std::uint32_t queryBytes = 64;
+    std::uint32_t answerBytes = 256;
+    /** Database lookup compute per query. */
+    Tick dbComputePerQuery = 50 * us;
+    std::uint64_t seed = 7;
+};
+
+/** The static task placement and parameters of the vision pipeline. */
+class VisionWorkload
+{
+  public:
+    using Config = VisionConfig;
+
+    /**
+     * Lay out the pipeline on a system.
+     *
+     * @param api Runtime.
+     * @param cameraSite Site of the frame source.
+     * @param warpSite Site of the Warp machine's CAB.
+     * @param dbSites Database shard sites.
+     * @param clientSites Query client sites.
+     */
+    VisionWorkload(nectarine::Nectarine &api, std::size_t cameraSite,
+                   std::size_t warpSite,
+                   std::vector<std::size_t> dbSites,
+                   std::vector<std::size_t> clientSites,
+                   const VisionConfig &config = {});
+
+    /** Frames fully processed by the Warp task. */
+    int framesProcessed() const { return _frames; }
+
+    /** End-to-end frame latency: camera send to features stored. */
+    const sim::Histogram &frameLatency() const { return _frameLat; }
+
+    /** Query round-trip latency at the clients (ns). */
+    const sim::Histogram &queryLatency() const { return _queryLat; }
+
+    /** Queries answered across all shards. */
+    int queriesAnswered() const { return _queries; }
+
+    bool
+    finished() const
+    {
+        return _frames >= cfg.frames && clientsDone == clientCount;
+    }
+
+  private:
+    Config cfg;
+    int _frames = 0;
+    int _queries = 0;
+    int clientsDone = 0;
+    int clientCount = 0;
+    sim::Histogram _frameLat;
+    sim::Histogram _queryLat;
+};
+
+} // namespace nectar::workload

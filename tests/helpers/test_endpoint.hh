@@ -1,0 +1,159 @@
+/**
+ * @file
+ * A minimal fiber endpoint for HUB-level tests: records everything it
+ * receives and can inject raw command/packet streams, standing in for
+ * a CAB's fiber interface.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <numeric>
+#include <vector>
+
+#include "hub/commands.hh"
+#include "phys/fiber.hh"
+#include "phys/wire.hh"
+#include "sim/event_queue.hh"
+
+namespace nectar::test {
+
+using phys::ItemKind;
+using phys::WireItem;
+
+/** Records deliveries; sends raw streams. */
+class TestEndpoint : public phys::FiberSink
+{
+  public:
+    struct Rx
+    {
+        WireItem item;
+        sim::Tick firstByte;
+        sim::Tick lastByte;
+    };
+
+    explicit TestEndpoint(sim::EventQueue &eq) : eq(eq) {}
+
+    /** Attach the link this endpoint transmits on (toward its HUB). */
+    void attachTx(phys::FiberLink &link) { tx = &link; }
+
+    phys::FiberLink *txLink() { return tx; }
+
+    /**
+     * If true (default), acknowledge each received start-of-packet
+     * with a ready signal, as a CAB whose input queue drains promptly
+     * would.
+     */
+    bool autoReady = true;
+
+    void
+    fiberDeliver(WireItem item, sim::Tick firstByte,
+                 sim::Tick lastByte) override
+    {
+        received.push_back(Rx{item, firstByte, lastByte});
+        if (item.kind == ItemKind::startOfPacket && autoReady && tx)
+            tx->sendStolen(WireItem::ready());
+    }
+
+    // --- Senders ---------------------------------------------------
+
+    void
+    sendCommand(hub::Op op, std::uint8_t hubId, std::uint8_t param)
+    {
+        tx->send(WireItem::command(static_cast<std::uint8_t>(op),
+                                   hubId, param));
+    }
+
+    /** Send SOP + payload + EOP, optionally followed by closeAll. */
+    void
+    sendPacket(std::vector<std::uint8_t> payload,
+               bool closeAllAfter = false, std::uint8_t hubId = 0,
+               std::uint32_t chunkBytes = 256)
+    {
+        tx->send(WireItem::startPacket());
+        auto p = phys::makePayload(std::move(payload));
+        std::uint32_t size = static_cast<std::uint32_t>(p->size());
+        for (std::uint32_t off = 0; off < size; off += chunkBytes) {
+            std::uint32_t len = std::min(chunkBytes, size - off);
+            tx->send(WireItem::dataChunk(p, off, len));
+        }
+        tx->send(WireItem::endPacket());
+        if (closeAllAfter) {
+            tx->send(WireItem::command(
+                static_cast<std::uint8_t>(hub::Op::closeAll), hubId,
+                0));
+        }
+    }
+
+    // --- Inspection ------------------------------------------------
+
+    std::size_t
+    countKind(ItemKind kind) const
+    {
+        std::size_t n = 0;
+        for (const auto &r : received)
+            if (r.item.kind == kind)
+                ++n;
+        return n;
+    }
+
+    /** Total data bytes received. */
+    std::uint64_t
+    dataBytes() const
+    {
+        std::uint64_t n = 0;
+        for (const auto &r : received)
+            if (r.item.kind == ItemKind::data)
+                n += r.item.dataLen;
+        return n;
+    }
+
+    /** Reassemble all received data bytes in order. */
+    std::vector<std::uint8_t>
+    collectData() const
+    {
+        std::vector<std::uint8_t> out;
+        for (const auto &r : received) {
+            if (r.item.kind != ItemKind::data)
+                continue;
+            const auto &buf = *r.item.data;
+            out.insert(out.end(), buf.begin() + r.item.dataOffset,
+                       buf.begin() + r.item.dataOffset + r.item.dataLen);
+        }
+        return out;
+    }
+
+    /** All replies received, in order. */
+    std::vector<phys::ReplyWord>
+    replies() const
+    {
+        std::vector<phys::ReplyWord> out;
+        for (const auto &r : received)
+            if (r.item.kind == ItemKind::reply)
+                out.push_back(r.item.reply);
+        return out;
+    }
+
+    /** First-byte arrival tick of the i-th item of the given kind. */
+    sim::Tick
+    arrivalOf(ItemKind kind, std::size_t index = 0) const
+    {
+        std::size_t seen = 0;
+        for (const auto &r : received) {
+            if (r.item.kind == kind) {
+                if (seen == index)
+                    return r.firstByte;
+                ++seen;
+            }
+        }
+        return -1;
+    }
+
+    std::vector<Rx> received;
+
+  private:
+    sim::EventQueue &eq;
+    phys::FiberLink *tx = nullptr;
+};
+
+} // namespace nectar::test

@@ -1,0 +1,313 @@
+/**
+ * @file
+ * Unit tests for the CAB kernel: buffer allocator, threads with
+ * costed context switches, mailboxes (FIFO, out-of-order, blocking),
+ * and protection-domain management.
+ */
+
+#include <gtest/gtest.h>
+
+#include "cab/cab.hh"
+#include "cabos/kernel.hh"
+#include "sim/coro.hh"
+
+using namespace nectar;
+using namespace nectar::cabos;
+using sim::Task;
+using sim::Tick;
+using sim::ticks::us;
+
+// ----- BufferAllocator ----------------------------------------------
+
+TEST(BufferAllocator, AllocatesAndReleases)
+{
+    BufferAllocator a(0x1000, 4096);
+    auto p = a.allocate(100);
+    ASSERT_TRUE(p.has_value());
+    EXPECT_EQ(*p, 0x1000u);
+    EXPECT_EQ(a.bytesInUse(), 100u);
+    EXPECT_TRUE(a.release(*p));
+    EXPECT_EQ(a.bytesInUse(), 0u);
+}
+
+TEST(BufferAllocator, FirstFitPacksSequentially)
+{
+    BufferAllocator a(0, 1024);
+    auto p1 = a.allocate(100);
+    auto p2 = a.allocate(100);
+    ASSERT_TRUE(p1 && p2);
+    EXPECT_EQ(*p2, 100u);
+}
+
+TEST(BufferAllocator, ExhaustionFails)
+{
+    BufferAllocator a(0, 256);
+    EXPECT_TRUE(a.allocate(200).has_value());
+    EXPECT_FALSE(a.allocate(100).has_value());
+    EXPECT_EQ(a.failedAllocs(), 1u);
+}
+
+TEST(BufferAllocator, CoalescesFreedNeighbours)
+{
+    BufferAllocator a(0, 300);
+    auto p1 = a.allocate(100);
+    auto p2 = a.allocate(100);
+    auto p3 = a.allocate(100);
+    ASSERT_TRUE(p1 && p2 && p3);
+    a.release(*p1);
+    a.release(*p3);
+    EXPECT_EQ(a.largestFreeBlock(), 100u);
+    a.release(*p2); // merges all three
+    EXPECT_EQ(a.largestFreeBlock(), 300u);
+    EXPECT_TRUE(a.allocate(300).has_value());
+}
+
+TEST(BufferAllocator, DoubleReleaseReturnsFalse)
+{
+    BufferAllocator a(0, 256);
+    auto p = a.allocate(10);
+    EXPECT_TRUE(a.release(*p));
+    EXPECT_FALSE(a.release(*p));
+    EXPECT_FALSE(a.release(0xDEAD));
+}
+
+TEST(BufferAllocator, ZeroLengthAllocFails)
+{
+    BufferAllocator a(0, 256);
+    EXPECT_FALSE(a.allocate(0).has_value());
+}
+
+// ----- Kernel fixture -------------------------------------------------
+
+class KernelTest : public ::testing::Test
+{
+  protected:
+    KernelTest() : board(eq, "cab0"), kernel(board) {}
+
+    sim::EventQueue eq;
+    cab::Cab board;
+    Kernel kernel;
+};
+
+// ----- Threads --------------------------------------------------------
+
+TEST_F(KernelTest, SpawnedThreadRunsAndCompletes)
+{
+    bool ran = false;
+    kernel.spawnThread("t", [](bool &ran) -> Task<void> {
+        ran = true;
+        co_return;
+    }(ran));
+    eq.run();
+    EXPECT_TRUE(ran);
+    EXPECT_EQ(kernel.threadsSpawned(), 1u);
+    EXPECT_EQ(kernel.aliveThreads(), 0);
+}
+
+TEST_F(KernelTest, SleepChargesSwitchOnWakeup)
+{
+    // Section 6.1: "Thread switching takes between 10 and 15
+    // microseconds."  A sleeping thread pays a switch when resumed.
+    Tick woke = -1;
+    kernel.spawnThread("sleeper",
+                       [](Kernel &k, sim::EventQueue &eq,
+                          Tick &woke) -> Task<void> {
+        co_await k.sleepFor(100 * us);
+        woke = eq.now();
+    }(kernel, eq, woke));
+    eq.run();
+    Tick switch_cost = woke - 100 * us;
+    EXPECT_GE(switch_cost, 10 * us);
+    EXPECT_LE(switch_cost, 15 * us);
+    EXPECT_EQ(kernel.threadSwitches(), 1u);
+}
+
+TEST_F(KernelTest, NonPreemptiveInterleaving)
+{
+    // Two threads sleeping different intervals interleave by time.
+    std::vector<int> order;
+    auto worker = [](Kernel &k, std::vector<int> &order, int id,
+                     Tick t) -> Task<void> {
+        co_await k.sleepFor(t);
+        order.push_back(id);
+    };
+    kernel.spawnThread("a", worker(kernel, order, 1, 300 * us));
+    kernel.spawnThread("b", worker(kernel, order, 2, 100 * us));
+    kernel.spawnThread("c", worker(kernel, order, 3, 200 * us));
+    EXPECT_EQ(kernel.aliveThreads(), 3);
+    eq.run();
+    EXPECT_EQ(order, (std::vector<int>{2, 3, 1}));
+    EXPECT_EQ(kernel.aliveThreads(), 0);
+}
+
+// ----- Mailboxes -------------------------------------------------------
+
+TEST_F(KernelTest, MailboxFifoOrder)
+{
+    auto &mb = kernel.createMailbox("mb", 4096);
+    EXPECT_TRUE(mb.tryPut(Message{{1}, 0, 0, 0}));
+    EXPECT_TRUE(mb.tryPut(Message{{2}, 0, 0, 0}));
+    auto m1 = mb.tryGet();
+    auto m2 = mb.tryGet();
+    ASSERT_TRUE(m1 && m2);
+    EXPECT_EQ(m1->bytes[0], 1);
+    EXPECT_EQ(m2->bytes[0], 2);
+    EXPECT_FALSE(mb.tryGet().has_value());
+}
+
+TEST_F(KernelTest, MailboxCapacityEnforced)
+{
+    auto &mb = kernel.createMailbox("mb", 100);
+    EXPECT_TRUE(mb.tryPut(Message{std::vector<std::uint8_t>(80), 0, 0,
+                                  0}));
+    EXPECT_FALSE(mb.tryPut(Message{std::vector<std::uint8_t>(40), 0, 0,
+                                   0}));
+    EXPECT_EQ(mb.putFailures(), 1u);
+}
+
+TEST_F(KernelTest, MailboxBackedByDataRam)
+{
+    auto &mb = kernel.createMailbox("mb", 4096);
+    auto before = kernel.allocator().bytesInUse();
+    mb.tryPut(Message{std::vector<std::uint8_t>(256), 0, 0, 0});
+    EXPECT_EQ(kernel.allocator().bytesInUse(), before + 256);
+    mb.tryGet();
+    EXPECT_EQ(kernel.allocator().bytesInUse(), before);
+}
+
+TEST_F(KernelTest, BlockingGetWokenByPut)
+{
+    auto &mb = kernel.createMailbox("mb", 4096);
+    std::uint8_t got = 0;
+    Tick when = -1;
+    kernel.spawnThread("reader",
+                       [](Kernel &k, Mailbox &mb, std::uint8_t &got,
+                          Tick &when) -> Task<void> {
+        Message m = co_await mb.get();
+        got = m.bytes[0];
+        when = k.now();
+    }(kernel, mb, got, when));
+    eq.schedule(1000, [&] { mb.tryPut(Message{{42}, 0, 0, 0}); });
+    eq.run();
+    EXPECT_EQ(got, 42);
+    // The reader paid a context switch after the 1 us wakeup.
+    EXPECT_GE(when, 1000 + 10 * us);
+    EXPECT_EQ(kernel.threadSwitches(), 1u);
+}
+
+TEST_F(KernelTest, ImmediateGetSkipsContextSwitch)
+{
+    auto &mb = kernel.createMailbox("mb", 4096);
+    mb.tryPut(Message{{9}, 0, 0, 0});
+    std::uint8_t got = 0;
+    kernel.spawnThread("reader",
+                       [](Mailbox &mb, std::uint8_t &got) -> Task<void> {
+        Message m = co_await mb.get();
+        got = m.bytes[0];
+    }(mb, got));
+    eq.run();
+    EXPECT_EQ(got, 9);
+    EXPECT_EQ(kernel.threadSwitches(), 0u);
+}
+
+TEST_F(KernelTest, OutOfOrderTagReads)
+{
+    // "Mailboxes also support ... out-of-order reads" (Section 6.1).
+    auto &mb = kernel.createMailbox("mb", 4096);
+    mb.tryPut(Message{{1}, /*tag=*/10, 0, 0});
+    mb.tryPut(Message{{2}, /*tag=*/20, 0, 0});
+    mb.tryPut(Message{{3}, /*tag=*/30, 0, 0});
+    auto m = mb.tryGetTag(20);
+    ASSERT_TRUE(m.has_value());
+    EXPECT_EQ(m->bytes[0], 2);
+    // FIFO order preserved among the rest.
+    EXPECT_EQ(mb.tryGet()->bytes[0], 1);
+    EXPECT_EQ(mb.tryGet()->bytes[0], 3);
+}
+
+TEST_F(KernelTest, BlockingTagReadersAreServedSelectively)
+{
+    auto &mb = kernel.createMailbox("mb", 4096);
+    std::vector<std::pair<int, std::uint64_t>> served;
+    auto server = [](Mailbox &mb, int id, std::uint64_t tag,
+                     std::vector<std::pair<int, std::uint64_t>> &served)
+        -> Task<void> {
+        Message m = co_await mb.getTag(tag);
+        served.emplace_back(id, m.tag);
+    };
+    // "multiple servers operate on different messages in the same
+    // mailbox" (Section 6.1).
+    kernel.spawnThread("s1", server(mb, 1, 100, served));
+    kernel.spawnThread("s2", server(mb, 2, 200, served));
+    eq.schedule(10, [&] { mb.tryPut(Message{{1}, 200, 0, 0}); });
+    eq.schedule(20, [&] { mb.tryPut(Message{{2}, 100, 0, 0}); });
+    eq.run();
+    ASSERT_EQ(served.size(), 2u);
+    EXPECT_EQ(served[0], std::make_pair(2, std::uint64_t(200)));
+    EXPECT_EQ(served[1], std::make_pair(1, std::uint64_t(100)));
+}
+
+TEST_F(KernelTest, BlockingPutWaitsForSpace)
+{
+    auto &mb = kernel.createMailbox("mb", 100);
+    mb.tryPut(Message{std::vector<std::uint8_t>(100), 0, 0, 0});
+    bool put_done = false;
+    kernel.spawnThread("writer",
+                       [](Mailbox &mb, bool &done) -> Task<void> {
+        co_await mb.put(Message{std::vector<std::uint8_t>(50), 0, 0,
+                                0});
+        done = true;
+    }(mb, put_done));
+    eq.runUntil(50 * us);
+    EXPECT_FALSE(put_done);
+    mb.tryGet(); // free space; wakes the writer
+    eq.run();
+    EXPECT_TRUE(put_done);
+    EXPECT_EQ(mb.count(), 1u);
+}
+
+TEST_F(KernelTest, MailboxRegistryLookup)
+{
+    auto &a = kernel.createMailbox("a", 128);
+    auto &b = kernel.createMailbox("b", 128, 77);
+    EXPECT_EQ(kernel.mailbox(a.id()), &a);
+    EXPECT_EQ(kernel.mailbox(77), &b);
+    EXPECT_EQ(kernel.mailbox(999), nullptr);
+    EXPECT_TRUE(kernel.destroyMailbox(77));
+    EXPECT_EQ(kernel.mailbox(77), nullptr);
+}
+
+TEST_F(KernelTest, DuplicateMailboxIdIsFatal)
+{
+    kernel.createMailbox("a", 128, 5);
+    EXPECT_THROW(kernel.createMailbox("b", 128, 5), sim::FatalError);
+}
+
+// ----- Protection domains ----------------------------------------------
+
+TEST_F(KernelTest, DomainAllocationAndExhaustion)
+{
+    std::vector<cab::Domain> got;
+    for (int i = 0; i < 30; ++i) {
+        cab::Domain d = kernel.allocateDomain();
+        ASSERT_GE(d, 1);
+        ASSERT_LT(d, cab::vmeDomain);
+        got.push_back(d);
+    }
+    // 30 user domains (32 minus kernel minus VME) exhaust the pool.
+    EXPECT_EQ(kernel.allocateDomain(), -1);
+    kernel.freeDomain(got[7]);
+    EXPECT_EQ(kernel.allocateDomain(), got[7]);
+}
+
+TEST_F(KernelTest, FreeDomainRevokesPermissions)
+{
+    cab::Domain d = kernel.allocateDomain();
+    auto &prot = board.memory().protection();
+    prot.setPerms(d, cab::addrmap::dataRamBase, 1024, cab::permRW);
+    EXPECT_TRUE(prot.check(d, cab::addrmap::dataRamBase, 4,
+                           cab::permWrite));
+    kernel.freeDomain(d);
+    EXPECT_FALSE(prot.check(d, cab::addrmap::dataRamBase, 4,
+                            cab::permWrite));
+}

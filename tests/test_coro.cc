@@ -1,0 +1,185 @@
+/**
+ * @file
+ * Unit tests for coroutine support: Task, spawn, Delay, Channel.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/coro.hh"
+#include "sim/event_queue.hh"
+
+using namespace nectar::sim;
+
+namespace {
+
+Task<int>
+addLater(int a, int b)
+{
+    co_return a + b;
+}
+
+Task<int>
+nested()
+{
+    int x = co_await addLater(1, 2);
+    int y = co_await addLater(x, 10);
+    co_return y;
+}
+
+} // namespace
+
+TEST(Coro, TaskReturnsValue)
+{
+    EventQueue eq;
+    int result = 0;
+    spawn([](int &out) -> Task<void> {
+        out = co_await addLater(2, 3);
+    }(result));
+    eq.run();
+    EXPECT_EQ(result, 5);
+}
+
+TEST(Coro, NestedTasksCompose)
+{
+    EventQueue eq;
+    int result = 0;
+    spawn([](int &out) -> Task<void> {
+        out = co_await nested();
+    }(result));
+    eq.run();
+    EXPECT_EQ(result, 13);
+}
+
+TEST(Coro, DelaySuspendsForSimulatedTime)
+{
+    EventQueue eq;
+    std::vector<Tick> stamps;
+    spawn([](EventQueue &eq, std::vector<Tick> &stamps) -> Task<void> {
+        stamps.push_back(eq.now());
+        co_await Delay{eq, 100};
+        stamps.push_back(eq.now());
+        co_await Delay{eq, 50};
+        stamps.push_back(eq.now());
+    }(eq, stamps));
+    eq.run();
+    EXPECT_EQ(stamps, (std::vector<Tick>{0, 100, 150}));
+}
+
+TEST(Coro, SpawnRunsEagerlyToFirstSuspension)
+{
+    EventQueue eq;
+    bool started = false;
+    spawn([](EventQueue &eq, bool &started) -> Task<void> {
+        started = true;
+        co_await Delay{eq, 10};
+    }(eq, started));
+    EXPECT_TRUE(started);
+    eq.run();
+}
+
+TEST(Coro, ParallelCoroutinesInterleaveByTime)
+{
+    EventQueue eq;
+    std::vector<int> order;
+    auto worker = [](EventQueue &eq, std::vector<int> &order, int id,
+                     Tick delay) -> Task<void> {
+        co_await Delay{eq, delay};
+        order.push_back(id);
+    };
+    spawn(worker(eq, order, 1, 30));
+    spawn(worker(eq, order, 2, 10));
+    spawn(worker(eq, order, 3, 20));
+    eq.run();
+    EXPECT_EQ(order, (std::vector<int>{2, 3, 1}));
+}
+
+TEST(Coro, ChannelDeliversInFifoOrder)
+{
+    EventQueue eq;
+    Channel<int> ch(eq);
+    std::vector<int> got;
+    spawn([](Channel<int> &ch, std::vector<int> &got) -> Task<void> {
+        for (int i = 0; i < 3; ++i)
+            got.push_back(co_await ch.pop());
+    }(ch, got));
+    ch.push(1);
+    ch.push(2);
+    ch.push(3);
+    eq.run();
+    EXPECT_EQ(got, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(Coro, ChannelBlocksUntilPush)
+{
+    EventQueue eq;
+    Channel<int> ch(eq);
+    Tick when = -1;
+    spawn([](EventQueue &eq, Channel<int> &ch, Tick &when) -> Task<void> {
+        co_await ch.pop();
+        when = eq.now();
+    }(eq, ch, when));
+    eq.schedule(500, [&] { ch.push(7); });
+    eq.run();
+    EXPECT_EQ(when, 500);
+}
+
+TEST(Coro, ChannelTryPop)
+{
+    EventQueue eq;
+    Channel<int> ch(eq);
+    EXPECT_FALSE(ch.tryPop().has_value());
+    ch.push(9);
+    auto v = ch.tryPop();
+    ASSERT_TRUE(v.has_value());
+    EXPECT_EQ(*v, 9);
+    EXPECT_FALSE(ch.tryPop().has_value());
+}
+
+TEST(Coro, ChannelMultipleWaitersServedInOrder)
+{
+    EventQueue eq;
+    Channel<int> ch(eq);
+    std::vector<std::pair<int, int>> got; // (waiter, value)
+    auto waiter = [](Channel<int> &ch,
+                     std::vector<std::pair<int, int>> &got,
+                     int id) -> Task<void> {
+        int v = co_await ch.pop();
+        got.emplace_back(id, v);
+    };
+    spawn(waiter(ch, got, 1));
+    spawn(waiter(ch, got, 2));
+    eq.schedule(10, [&] { ch.push(100); });
+    eq.schedule(20, [&] { ch.push(200); });
+    eq.run();
+    ASSERT_EQ(got.size(), 2u);
+    EXPECT_EQ(got[0], std::make_pair(1, 100));
+    EXPECT_EQ(got[1], std::make_pair(2, 200));
+}
+
+TEST(Coro, ChannelSizeAndWaiters)
+{
+    EventQueue eq;
+    Channel<int> ch(eq);
+    EXPECT_EQ(ch.size(), 0u);
+    EXPECT_EQ(ch.waiters(), 0u);
+    spawn([](Channel<int> &ch) -> Task<void> {
+        co_await ch.pop();
+    }(ch));
+    EXPECT_EQ(ch.waiters(), 1u);
+    ch.push(1);
+    eq.run();
+    EXPECT_EQ(ch.waiters(), 0u);
+}
+
+TEST(Coro, DetachedExceptionPanics)
+{
+    EventQueue eq;
+    auto thrower = [](EventQueue &eq) -> Task<void> {
+        co_await Delay{eq, 1};
+        throw std::runtime_error("boom");
+    };
+    spawn(thrower(eq));
+    EXPECT_THROW(eq.run(), PanicError);
+}

@@ -1,0 +1,176 @@
+/**
+ * @file
+ * Unit tests for the crossbar status table: exclusivity, multicast
+ * fan-out, locks.
+ */
+
+#include <gtest/gtest.h>
+
+#include "hub/crossbar.hh"
+#include "sim/logging.hh"
+
+using namespace nectar::hub;
+using nectar::sim::PanicError;
+
+TEST(Crossbar, OpensAndTracksOwner)
+{
+    Crossbar x(16);
+    EXPECT_EQ(x.ownerOf(5), noPort);
+    EXPECT_TRUE(x.open(2, 5));
+    EXPECT_EQ(x.ownerOf(5), 2);
+    EXPECT_EQ(x.connectionCount(), 1);
+}
+
+TEST(Crossbar, OutputExclusivity)
+{
+    Crossbar x(16);
+    EXPECT_TRUE(x.open(2, 5));
+    // "only one input queue can be connected to an output register at
+    // a time" (Section 4.1).
+    EXPECT_FALSE(x.open(3, 5));
+    EXPECT_EQ(x.ownerOf(5), 2);
+}
+
+TEST(Crossbar, ReopenByOwnerIsIdempotent)
+{
+    Crossbar x(16);
+    EXPECT_TRUE(x.open(2, 5));
+    // A duplicate open from the owning input succeeds without
+    // creating extra state (datalink recovery resends depend on it).
+    EXPECT_TRUE(x.open(2, 5));
+    EXPECT_EQ(x.connectionCount(), 1);
+    EXPECT_EQ(x.outputsOf(2).size(), 1u);
+}
+
+TEST(Crossbar, MulticastFanOutFromOneInput)
+{
+    Crossbar x(16);
+    // "An input queue can be connected to multiple output registers
+    // (for multicast)" (Section 4.1).
+    EXPECT_TRUE(x.open(1, 4));
+    EXPECT_TRUE(x.open(1, 7));
+    EXPECT_TRUE(x.open(1, 9));
+    EXPECT_EQ(x.outputsOf(1).size(), 3u);
+    EXPECT_TRUE(x.connected(1));
+    EXPECT_EQ(x.connectionCount(), 3);
+}
+
+TEST(Crossbar, CloseReturnsFormerOwner)
+{
+    Crossbar x(16);
+    x.open(2, 5);
+    EXPECT_EQ(x.close(5), 2);
+    EXPECT_EQ(x.ownerOf(5), noPort);
+    EXPECT_EQ(x.close(5), noPort); // idempotent
+    EXPECT_EQ(x.connectionCount(), 0);
+}
+
+TEST(Crossbar, CloseAllFromReleasesEverything)
+{
+    Crossbar x(16);
+    x.open(1, 4);
+    x.open(1, 7);
+    x.open(2, 9);
+    x.closeAllFrom(1);
+    EXPECT_FALSE(x.connected(1));
+    EXPECT_EQ(x.ownerOf(4), noPort);
+    EXPECT_EQ(x.ownerOf(7), noPort);
+    EXPECT_EQ(x.ownerOf(9), 2); // untouched
+    EXPECT_EQ(x.connectionCount(), 1);
+}
+
+TEST(Crossbar, ReopenAfterClose)
+{
+    Crossbar x(16);
+    x.open(2, 5);
+    x.close(5);
+    EXPECT_TRUE(x.open(3, 5));
+    EXPECT_EQ(x.ownerOf(5), 3);
+}
+
+TEST(Crossbar, LockBlocksOtherInputs)
+{
+    Crossbar x(16);
+    EXPECT_TRUE(x.acquireLock(5, 1));
+    EXPECT_EQ(x.lockHolder(5), 1);
+    // Another input cannot open a locked output...
+    EXPECT_FALSE(x.open(2, 5));
+    // ...but the lock holder can.
+    EXPECT_TRUE(x.open(1, 5));
+}
+
+TEST(Crossbar, LockReacquisitionByHolderSucceeds)
+{
+    Crossbar x(16);
+    EXPECT_TRUE(x.acquireLock(5, 1));
+    EXPECT_TRUE(x.acquireLock(5, 1));
+    EXPECT_FALSE(x.acquireLock(5, 2));
+}
+
+TEST(Crossbar, UnlockOnlyByHolder)
+{
+    Crossbar x(16);
+    x.acquireLock(5, 1);
+    EXPECT_FALSE(x.releaseLock(5, 2));
+    EXPECT_EQ(x.lockHolder(5), 1);
+    EXPECT_TRUE(x.releaseLock(5, 1));
+    EXPECT_EQ(x.lockHolder(5), noPort);
+}
+
+TEST(Crossbar, ReleaseLocksOfHolder)
+{
+    Crossbar x(16);
+    x.acquireLock(3, 1);
+    x.acquireLock(4, 1);
+    x.acquireLock(5, 2);
+    x.releaseLocksOf(1);
+    EXPECT_EQ(x.lockHolder(3), noPort);
+    EXPECT_EQ(x.lockHolder(4), noPort);
+    EXPECT_EQ(x.lockHolder(5), 2);
+}
+
+TEST(Crossbar, ResetClearsEverything)
+{
+    Crossbar x(16);
+    x.open(1, 4);
+    x.acquireLock(5, 2);
+    x.reset();
+    EXPECT_EQ(x.ownerOf(4), noPort);
+    EXPECT_EQ(x.lockHolder(5), noPort);
+    EXPECT_EQ(x.connectionCount(), 0);
+}
+
+TEST(Crossbar, BadPortIdsPanic)
+{
+    Crossbar x(16);
+    EXPECT_THROW(x.open(-1, 5), PanicError);
+    EXPECT_THROW(x.open(0, 16), PanicError);
+    EXPECT_THROW(x.ownerOf(99), PanicError);
+    EXPECT_THROW(x.close(-2), PanicError);
+}
+
+TEST(Crossbar, TooFewPortsIsFatal)
+{
+    EXPECT_THROW(Crossbar x(1), nectar::sim::FatalError);
+}
+
+// Property sweep: on an N-port crossbar, opening out-port i from
+// input (i+1) mod N always succeeds and preserves exclusivity.
+class CrossbarSize : public ::testing::TestWithParam<int>
+{};
+
+TEST_P(CrossbarSize, FullPermutationConnects)
+{
+    int n = GetParam();
+    Crossbar x(n);
+    for (int out = 0; out < n; ++out)
+        EXPECT_TRUE(x.open((out + 1) % n, out));
+    EXPECT_EQ(x.connectionCount(), n);
+    for (int out = 0; out < n; ++out) {
+        EXPECT_EQ(x.ownerOf(out), (out + 1) % n);
+        EXPECT_FALSE(x.open((out + 2) % n, out));
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, CrossbarSize,
+                         ::testing::Values(2, 4, 8, 16, 32, 128));

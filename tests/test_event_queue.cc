@@ -1,0 +1,187 @@
+/**
+ * @file
+ * Unit tests for the discrete-event queue: ordering, determinism,
+ * cancellation, and time semantics.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/event_queue.hh"
+#include "sim/logging.hh"
+
+using namespace nectar::sim;
+
+TEST(EventQueue, StartsAtTickZero)
+{
+    EventQueue eq;
+    EXPECT_EQ(eq.now(), 0);
+    EXPECT_TRUE(eq.empty());
+}
+
+TEST(EventQueue, ExecutesInTimeOrder)
+{
+    EventQueue eq;
+    std::vector<int> order;
+    eq.schedule(30, [&] { order.push_back(3); });
+    eq.schedule(10, [&] { order.push_back(1); });
+    eq.schedule(20, [&] { order.push_back(2); });
+    eq.run();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+    EXPECT_EQ(eq.now(), 30);
+}
+
+TEST(EventQueue, SameTickOrderedByPriorityThenSequence)
+{
+    EventQueue eq;
+    std::vector<int> order;
+    eq.schedule(5, [&] { order.push_back(2); }, EventPriority::software);
+    eq.schedule(5, [&] { order.push_back(1); }, EventPriority::hardware);
+    eq.schedule(5, [&] { order.push_back(3); }, EventPriority::software);
+    eq.run();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueue, NowAdvancesOnlyWhenEventsFire)
+{
+    EventQueue eq;
+    Tick seen = -1;
+    eq.schedule(100, [&] { seen = eq.now(); });
+    eq.run();
+    EXPECT_EQ(seen, 100);
+}
+
+TEST(EventQueue, SchedulingInPastPanics)
+{
+    EventQueue eq;
+    eq.schedule(50, [] {});
+    eq.run();
+    EXPECT_THROW(eq.schedule(10, [] {}), PanicError);
+}
+
+TEST(EventQueue, EmptyCallbackPanics)
+{
+    EventQueue eq;
+    EXPECT_THROW(eq.schedule(1, std::function<void()>()), PanicError);
+}
+
+TEST(EventQueue, CancelPreventsExecution)
+{
+    EventQueue eq;
+    bool fired = false;
+    EventId id = eq.schedule(10, [&] { fired = true; });
+    EXPECT_TRUE(eq.pending(id));
+    EXPECT_TRUE(eq.cancel(id));
+    EXPECT_FALSE(eq.pending(id));
+    eq.run();
+    EXPECT_FALSE(fired);
+}
+
+TEST(EventQueue, CancelTwiceReturnsFalse)
+{
+    EventQueue eq;
+    EventId id = eq.schedule(10, [] {});
+    EXPECT_TRUE(eq.cancel(id));
+    EXPECT_FALSE(eq.cancel(id));
+}
+
+TEST(EventQueue, CancelAfterFireReturnsFalse)
+{
+    EventQueue eq;
+    EventId id = eq.schedule(10, [] {});
+    eq.run();
+    EXPECT_FALSE(eq.cancel(id));
+    EXPECT_FALSE(eq.pending(id));
+}
+
+TEST(EventQueue, CancelInvalidIdReturnsFalse)
+{
+    EventQueue eq;
+    EXPECT_FALSE(eq.cancel(invalidEventId));
+    EXPECT_FALSE(eq.cancel(9999));
+}
+
+TEST(EventQueue, EventsCanScheduleMoreEvents)
+{
+    EventQueue eq;
+    int count = 0;
+    std::function<void()> chain = [&] {
+        if (++count < 5)
+            eq.scheduleIn(10, chain);
+    };
+    eq.schedule(0, chain);
+    eq.run();
+    EXPECT_EQ(count, 5);
+    EXPECT_EQ(eq.now(), 40);
+}
+
+TEST(EventQueue, RunUntilStopsAtBoundaryInclusive)
+{
+    EventQueue eq;
+    std::vector<Tick> fired;
+    for (Tick t : {10, 20, 30, 40})
+        eq.schedule(t, [&fired, t] { fired.push_back(t); });
+    eq.runUntil(20);
+    EXPECT_EQ(fired, (std::vector<Tick>{10, 20}));
+    EXPECT_EQ(eq.now(), 20);
+    eq.runUntil(100);
+    EXPECT_EQ(fired.size(), 4u);
+    EXPECT_EQ(eq.now(), 100);
+}
+
+TEST(EventQueue, RunUntilAdvancesNowWhenQueueEmpty)
+{
+    EventQueue eq;
+    eq.runUntil(500);
+    EXPECT_EQ(eq.now(), 500);
+}
+
+TEST(EventQueue, PendingCountTracksLiveEvents)
+{
+    EventQueue eq;
+    EventId a = eq.schedule(10, [] {});
+    eq.schedule(20, [] {});
+    EXPECT_EQ(eq.pendingCount(), 2u);
+    eq.cancel(a);
+    EXPECT_EQ(eq.pendingCount(), 1u);
+    eq.run();
+    EXPECT_EQ(eq.pendingCount(), 0u);
+}
+
+TEST(EventQueue, RunRespectsEventLimit)
+{
+    EventQueue eq;
+    int count = 0;
+    std::function<void()> forever = [&] {
+        ++count;
+        eq.scheduleIn(1, forever);
+    };
+    eq.schedule(0, forever);
+    std::uint64_t n = eq.run(1000);
+    EXPECT_EQ(n, 1000u);
+    EXPECT_EQ(count, 1000);
+}
+
+TEST(EventQueue, ExecutedCountAccumulates)
+{
+    EventQueue eq;
+    eq.schedule(1, [] {});
+    eq.schedule(2, [] {});
+    eq.run();
+    EXPECT_EQ(eq.executedCount(), 2u);
+}
+
+TEST(EventQueue, DeterministicInterleavingAcrossRuns)
+{
+    auto trace = [] {
+        EventQueue eq;
+        std::vector<int> order;
+        for (int i = 0; i < 100; ++i) {
+            eq.schedule((i * 7) % 50, [&order, i] { order.push_back(i); });
+        }
+        eq.run();
+        return order;
+    };
+    EXPECT_EQ(trace(), trace());
+}

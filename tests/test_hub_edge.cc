@@ -1,0 +1,205 @@
+/**
+ * @file
+ * Additional HUB edge cases: inter-HUB ready-bit flow control,
+ * closeInput, supervisor ready overrides, instrumentation board
+ * capacity, and hub-size configuration sweeps.
+ */
+
+#include <gtest/gtest.h>
+
+#include "helpers/test_endpoint.hh"
+#include "hub/hub.hh"
+#include "topo/topology.hh"
+
+using namespace nectar;
+using namespace nectar::hub;
+using nectar::test::TestEndpoint;
+using phys::ItemKind;
+using sim::ticks::us;
+
+class HubEdge : public ::testing::Test
+{
+  protected:
+    HubEdge() : wiring(eq) {}
+
+    void
+    makeHub(std::uint8_t id = 0, HubConfig cfg = {})
+    {
+        h = std::make_unique<Hub>(eq, "hub", id, cfg, &mon);
+    }
+
+    TestEndpoint &
+    addEp(PortId port)
+    {
+        eps.push_back(std::make_unique<TestEndpoint>(eq));
+        auto &ep = *eps.back();
+        ep.attachTx(wiring.connectEndpoint(
+            ep, *h, port, "ep" + std::to_string(port)));
+        return ep;
+    }
+
+    sim::EventQueue eq;
+    RecordingMonitor mon;
+    topo::Wiring wiring;
+    std::unique_ptr<Hub> h;
+    std::vector<std::unique_ptr<TestEndpoint>> eps;
+};
+
+TEST_F(HubEdge, InterHubReadyBitRoundTrip)
+{
+    // Two hubs: the upstream port's ready bit clears when a packet
+    // passes and returns when the downstream queue forwards its SOP.
+    topo::Topology topo(eq);
+    topo.addHub("H0");
+    topo.addHub("H1");
+    topo.linkHubs(0, 8, 1, 3);
+    TestEndpoint src(eq), dst(eq);
+    src.attachTx(topo.attachEndpoint(src, 0, 0, "src"));
+    dst.attachTx(topo.attachEndpoint(dst, 1, 9, "dst"));
+
+    auto route = topo.route({0, 0}, {1, 9});
+    for (const auto &hop : route) {
+        src.sendCommand(Op::openRetry, hop.hubId, hop.outPort);
+    }
+    src.sendPacket(std::vector<std::uint8_t>(100, 1));
+    eq.run();
+    EXPECT_EQ(dst.dataBytes(), 100u);
+    // After the packet flowed, the inter-hub ready bit is back to 1
+    // (H1's queue forwarded the SOP and signalled readiness).
+    EXPECT_TRUE(topo.hubAt(0).port(8).ready());
+}
+
+TEST_F(HubEdge, CloseInputReleasesAllOutputsOfThatInput)
+{
+    makeHub();
+    auto &a = addEp(0);
+    addEp(1);
+    addEp(2);
+    a.sendCommand(Op::open, 0, 1);
+    a.sendCommand(Op::open, 0, 2);
+    eq.run();
+    EXPECT_EQ(h->crossbar().connectionCount(), 2);
+    a.sendCommand(Op::closeInput, 0, 0);
+    eq.run();
+    EXPECT_EQ(h->crossbar().connectionCount(), 0);
+}
+
+TEST_F(HubEdge, SupervisorClearReadyBlocksTestOpen)
+{
+    makeHub();
+    auto &a = addEp(0);
+    auto &c = addEp(2);
+    addEp(1);
+    c.sendCommand(Op::svClearReady, 0, 1);
+    eq.run();
+    EXPECT_FALSE(h->port(1).ready());
+
+    // test open fail-fast against the forced-down ready bit.
+    a.sendCommand(Op::testOpen, 0, 1);
+    eq.runUntil(100 * us);
+    EXPECT_EQ(h->crossbar().connectionCount(), 0);
+
+    c.sendCommand(Op::svSetReady, 0, 1);
+    a.sendCommand(Op::testOpen, 0, 1);
+    eq.run();
+    EXPECT_EQ(h->crossbar().ownerOf(1), 0);
+}
+
+TEST_F(HubEdge, NoopIsHarmless)
+{
+    makeHub();
+    auto &a = addEp(0);
+    a.sendCommand(Op::noop, 0, 0);
+    eq.run();
+    EXPECT_EQ(h->errorCount(), 0);
+    EXPECT_EQ(h->crossbar().connectionCount(), 0);
+}
+
+TEST_F(HubEdge, UnknownOpcodeCountsBadCommand)
+{
+    makeHub();
+    auto &a = addEp(0);
+    a.sendCommand(static_cast<Op>(0x3F), 0, 0);
+    eq.run();
+    EXPECT_GE(h->stats().badCommands.value(), 1u);
+    EXPECT_GE(h->errorCount(), 1);
+}
+
+TEST_F(HubEdge, OpenToInvalidPortIsBadCommand)
+{
+    makeHub();
+    auto &a = addEp(0);
+    a.sendCommand(Op::open, 0, 200); // beyond numPorts
+    a.sendCommand(Op::open, 0, 0);   // to the arrival port itself
+    eq.run();
+    EXPECT_EQ(h->stats().badCommands.value(), 2u);
+    EXPECT_EQ(h->crossbar().connectionCount(), 0);
+}
+
+TEST_F(HubEdge, RecordingMonitorEvictsOldest)
+{
+    RecordingMonitor small(4);
+    for (int i = 0; i < 10; ++i)
+        small.record(i, HubEvent::commandExecuted, i, noPort);
+    EXPECT_EQ(small.events().size(), 4u);
+    EXPECT_EQ(small.events().front().when, 6);
+    EXPECT_EQ(small.count(HubEvent::commandExecuted), 4u);
+    small.clear();
+    EXPECT_TRUE(small.events().empty());
+}
+
+TEST_F(HubEdge, LockedPortSurvivesOwnersCloseAll)
+{
+    makeHub();
+    auto &a = addEp(0);
+    addEp(1);
+    auto &c = addEp(2);
+    a.sendCommand(Op::lock, 0, 1);
+    a.sendCommand(Op::open, 0, 1);
+    eq.run();
+    // closeAll releases the connection but not the lock.
+    a.sendCommand(Op::closeAll, 0, 0);
+    eq.run();
+    EXPECT_EQ(h->crossbar().connectionCount(), 0);
+    EXPECT_EQ(h->crossbar().lockHolder(1), 0);
+    c.sendCommand(Op::openReply, 0, 1);
+    eq.run();
+    EXPECT_EQ(c.replies().back().status, status::failure);
+}
+
+// ---- Parameterized: the HUB works at any crossbar size -------------
+
+class HubSize : public ::testing::TestWithParam<int>
+{};
+
+TEST_P(HubSize, FullPortPermutationDelivers)
+{
+    int ports = GetParam();
+    sim::EventQueue eq;
+    hub::HubConfig cfg;
+    cfg.numPorts = ports;
+    Hub h(eq, "hub", 0, cfg);
+    topo::Wiring wiring(eq);
+    std::vector<std::unique_ptr<TestEndpoint>> eps;
+    for (int i = 0; i < ports; ++i) {
+        eps.push_back(std::make_unique<TestEndpoint>(eq));
+        eps[i]->attachTx(wiring.connectEndpoint(
+            *eps[i], h, i, "ep" + std::to_string(i)));
+    }
+    // Every port opens to its neighbour and sends one packet.
+    for (int i = 0; i < ports; ++i) {
+        eps[i]->sendCommand(Op::openRetry, 0,
+                            static_cast<std::uint8_t>((i + 1) % ports));
+        eps[i]->sendPacket(
+            std::vector<std::uint8_t>(64, std::uint8_t(i)), true);
+    }
+    eq.run();
+    for (int i = 0; i < ports; ++i) {
+        EXPECT_EQ(eps[(i + 1) % ports]->dataBytes(), 64u)
+            << "port " << i;
+    }
+    EXPECT_EQ(h.crossbar().connectionCount(), 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, HubSize,
+                         ::testing::Values(2, 4, 8, 16, 32, 128));

@@ -1,0 +1,327 @@
+/**
+ * @file
+ * Internet-protocols-over-Nectar tests (the Section 6.2.2 follow-on
+ * experiment): IPv4 encapsulation and TCP — handshake, data transfer,
+ * windowing, retransmission under loss, teardown.
+ */
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "inet/ip.hh"
+#include "inet/tcp.hh"
+#include "nectarine/system.hh"
+
+using namespace nectar;
+using namespace nectar::inet;
+using nectarine::NectarSystem;
+using sim::Task;
+using sim::Tick;
+using sim::ticks::ms;
+
+namespace {
+
+std::vector<std::uint8_t>
+iotaBytes(std::size_t n)
+{
+    std::vector<std::uint8_t> v(n);
+    std::iota(v.begin(), v.end(), std::uint8_t(0));
+    return v;
+}
+
+} // namespace
+
+// ----- IPv4 codec -----------------------------------------------------
+
+TEST(Ipv4, HeaderRoundTrip)
+{
+    Ipv4Header h;
+    h.protocol = proto::tcp;
+    h.src = ipOfCab(1);
+    h.dst = ipOfCab(2);
+    h.id = 77;
+    auto bytes = encodeIp(h, iotaBytes(40));
+    std::vector<std::uint8_t> payload;
+    auto got = decodeIp(bytes, payload);
+    ASSERT_TRUE(got.has_value());
+    EXPECT_EQ(got->protocol, proto::tcp);
+    EXPECT_EQ(got->src, ipOfCab(1));
+    EXPECT_EQ(got->dst, ipOfCab(2));
+    EXPECT_EQ(got->id, 77);
+    EXPECT_EQ(payload, iotaBytes(40));
+}
+
+TEST(Ipv4, HeaderChecksumCatchesCorruption)
+{
+    Ipv4Header h;
+    h.src = ipOfCab(1);
+    auto bytes = encodeIp(h, {});
+    bytes[15] ^= 0x01; // flip a bit in src
+    std::vector<std::uint8_t> payload;
+    EXPECT_FALSE(decodeIp(bytes, payload).has_value());
+}
+
+TEST(Ipv4, AddressMapping)
+{
+    EXPECT_EQ(ipOfCab(0x0102), 0x0A000102u);
+    EXPECT_EQ(cabOfIp(0x0A000102u), 0x0102);
+    EXPECT_FALSE(cabOfIp(0xC0A80001u).has_value()); // 192.168.0.1
+}
+
+TEST(Tcp, HeaderRoundTrip)
+{
+    TcpHeader h;
+    h.srcPort = 1234;
+    h.dstPort = 80;
+    h.seq = 0xAABBCCDD;
+    h.ack = 0x11223344;
+    h.flags = tcpflags::syn | tcpflags::ack;
+    h.window = 8192;
+    auto bytes = encodeTcp(h, iotaBytes(13));
+    std::vector<std::uint8_t> payload;
+    auto got = decodeTcp(bytes, payload);
+    ASSERT_TRUE(got.has_value());
+    EXPECT_EQ(got->srcPort, 1234);
+    EXPECT_EQ(got->dstPort, 80);
+    EXPECT_EQ(got->seq, 0xAABBCCDDu);
+    EXPECT_EQ(got->ack, 0x11223344u);
+    EXPECT_EQ(got->flags, tcpflags::syn | tcpflags::ack);
+    EXPECT_EQ(payload, iotaBytes(13));
+}
+
+// ----- End-to-end fixture ----------------------------------------------
+
+class InetTest : public ::testing::Test
+{
+  protected:
+    void
+    build(int cabs = 2, TcpConfig tcfg = {})
+    {
+        sys = NectarSystem::singleHub(eq, cabs);
+        for (int i = 0; i < cabs; ++i) {
+            ips.push_back(std::make_unique<IpLayer>(
+                *sys->site(i).kernel, *sys->site(i).datalink,
+                sys->directory(), sys->site(i).address));
+            tcps.push_back(std::make_unique<Tcp>(*ips[i], tcfg));
+        }
+    }
+
+    sim::EventQueue eq;
+    std::unique_ptr<NectarSystem> sys;
+    std::vector<std::unique_ptr<IpLayer>> ips;
+    std::vector<std::unique_ptr<Tcp>> tcps;
+};
+
+TEST_F(InetTest, IpDatagramDelivery)
+{
+    build();
+    std::vector<std::uint8_t> got;
+    ips[1]->registerProtocol(99, [&](const Ipv4Header &,
+                                     std::vector<std::uint8_t> &&pl) {
+        got = std::move(pl);
+    });
+    sim::spawn([](IpLayer &ip, IpAddress dst) -> Task<void> {
+        co_await ip.send(dst, 99, iotaBytes(100));
+    }(*ips[0], ipOfCab(2)));
+    eq.run();
+    EXPECT_EQ(got, iotaBytes(100));
+    EXPECT_EQ(ips[1]->stats().received.value(), 1u);
+}
+
+TEST_F(InetTest, IpUnknownProtocolCounted)
+{
+    build();
+    sim::spawn([](IpLayer &ip, IpAddress dst) -> Task<void> {
+        std::vector<std::uint8_t> pl(8, 1);
+        co_await ip.send(dst, 50, std::move(pl));
+    }(*ips[0], ipOfCab(2)));
+    eq.run();
+    EXPECT_EQ(ips[1]->stats().unknownProto.value(), 1u);
+}
+
+TEST_F(InetTest, TcpHandshakeEstablishes)
+{
+    build();
+    TcpSocket *server = nullptr, *client = nullptr;
+    sim::spawn([](Tcp &tcp, TcpSocket *&out) -> Task<void> {
+        out = co_await tcp.accept(80);
+    }(*tcps[1], server));
+    sim::spawn([](Tcp &tcp, IpAddress dst,
+                  TcpSocket *&out) -> Task<void> {
+        out = co_await tcp.connect(dst, 80);
+    }(*tcps[0], ipOfCab(2), client));
+    eq.run();
+    ASSERT_NE(client, nullptr);
+    ASSERT_NE(server, nullptr);
+    EXPECT_EQ(client->state(), TcpState::established);
+    EXPECT_EQ(server->state(), TcpState::established);
+}
+
+TEST_F(InetTest, TcpConnectTimesOutWithoutListener)
+{
+    build();
+    TcpSocket *client = reinterpret_cast<TcpSocket *>(1);
+    sim::spawn([](Tcp &tcp, IpAddress dst,
+                  TcpSocket *&out) -> Task<void> {
+        out = co_await tcp.connect(dst, 81); // nobody listening
+    }(*tcps[0], ipOfCab(2), client));
+    eq.run();
+    EXPECT_EQ(client, nullptr);
+    // The peer answered the stray SYN with a reset.
+    EXPECT_GE(tcps[1]->stats().resetsSent.value(), 1u);
+}
+
+TEST_F(InetTest, TcpStreamTransfer)
+{
+    build();
+    auto data = iotaBytes(20000); // ~40 segments at MSS 512
+    std::vector<std::uint8_t> got;
+    bool sent_ok = false;
+
+    sim::spawn([](Tcp &tcp, std::vector<std::uint8_t> &got,
+                  std::size_t want) -> Task<void> {
+        TcpSocket *s = co_await tcp.accept(80);
+        while (got.size() < want) {
+            auto chunk = co_await s->receive(4096);
+            if (chunk.empty())
+                break;
+            got.insert(got.end(), chunk.begin(), chunk.end());
+        }
+    }(*tcps[1], got, data.size()));
+
+    sim::spawn([](Tcp &tcp, IpAddress dst,
+                  std::vector<std::uint8_t> data,
+                  bool &ok) -> Task<void> {
+        TcpSocket *s = co_await tcp.connect(dst, 80);
+        if (!s)
+            co_return;
+        ok = co_await s->send(std::move(data));
+    }(*tcps[0], ipOfCab(2), data, sent_ok));
+
+    eq.run();
+    EXPECT_TRUE(sent_ok);
+    EXPECT_EQ(got, data);
+}
+
+TEST_F(InetTest, TcpBidirectionalEcho)
+{
+    build();
+    std::vector<std::uint8_t> reply;
+    sim::spawn([](Tcp &tcp) -> Task<void> {
+        TcpSocket *s = co_await tcp.accept(7);
+        auto req = co_await s->receive(4096);
+        for (auto &b : req)
+            b += 1;
+        co_await s->send(std::move(req));
+    }(*tcps[1]));
+    sim::spawn([](Tcp &tcp, IpAddress dst,
+                  std::vector<std::uint8_t> &reply) -> Task<void> {
+        TcpSocket *s = co_await tcp.connect(dst, 7);
+        if (!s)
+            co_return;
+        std::vector<std::uint8_t> req{10, 20, 30};
+        co_await s->send(std::move(req));
+        reply = co_await s->receive(100);
+    }(*tcps[0], ipOfCab(2), reply));
+    eq.run();
+    EXPECT_EQ(reply, (std::vector<std::uint8_t>{11, 21, 31}));
+}
+
+TEST_F(InetTest, TcpRecoversFromSegmentLoss)
+{
+    TcpConfig tcfg;
+    tcfg.rto = 1 * ms;
+    build(2, tcfg);
+    std::uint64_t seed = 41;
+    for (auto &link : sys->topo().wiring().allLinks()) {
+        phys::FaultModel f;
+        f.dropData = 0.08;
+        link->setFaults(f, seed++);
+    }
+
+    auto data = iotaBytes(8000);
+    std::vector<std::uint8_t> got;
+    bool sent_ok = false;
+    sim::spawn([](Tcp &tcp, std::vector<std::uint8_t> &got,
+                  std::size_t want) -> Task<void> {
+        TcpSocket *s = co_await tcp.accept(80);
+        while (got.size() < want) {
+            auto chunk = co_await s->receive(4096);
+            if (chunk.empty())
+                break;
+            got.insert(got.end(), chunk.begin(), chunk.end());
+        }
+    }(*tcps[1], got, data.size()));
+    sim::spawn([](Tcp &tcp, IpAddress dst,
+                  std::vector<std::uint8_t> data,
+                  bool &ok) -> Task<void> {
+        TcpSocket *s = co_await tcp.connect(dst, 80);
+        if (!s)
+            co_return;
+        ok = co_await s->send(std::move(data));
+    }(*tcps[0], ipOfCab(2), data, sent_ok));
+    eq.run();
+    EXPECT_TRUE(sent_ok);
+    EXPECT_EQ(got, data);
+    EXPECT_GT(tcps[0]->stats().retransmissions.value() +
+                  tcps[1]->stats().retransmissions.value(),
+              0u);
+}
+
+TEST_F(InetTest, TcpGracefulClose)
+{
+    build();
+    bool server_saw_eof = false;
+    TcpState client_final = TcpState::established;
+    sim::spawn([](Tcp &tcp, bool &eof) -> Task<void> {
+        TcpSocket *s = co_await tcp.accept(80);
+        auto chunk = co_await s->receive(100);
+        EXPECT_FALSE(chunk.empty());
+        chunk = co_await s->receive(100);
+        eof = chunk.empty();
+        co_await s->close();
+    }(*tcps[1], server_saw_eof));
+    sim::spawn([](Tcp &tcp, IpAddress dst,
+                  TcpState &final_state) -> Task<void> {
+        TcpSocket *s = co_await tcp.connect(dst, 80);
+        if (!s)
+            co_return;
+        std::vector<std::uint8_t> msg(10, 1);
+        co_await s->send(std::move(msg));
+        co_await s->close();
+        final_state = s->state();
+    }(*tcps[0], ipOfCab(2), client_final));
+    eq.run();
+    EXPECT_TRUE(server_saw_eof);
+    EXPECT_TRUE(client_final == TcpState::finWait2 ||
+                client_final == TcpState::closed);
+}
+
+TEST_F(InetTest, TcpMultipleConnectionsDemuxed)
+{
+    build(3);
+    std::vector<int> served;
+    // Site 2 serves two sequential connections on port 80.
+    sim::spawn([](Tcp &tcp, std::vector<int> &served) -> Task<void> {
+        for (int i = 0; i < 2; ++i) {
+            TcpSocket *s = co_await tcp.accept(80);
+            auto req = co_await s->receive(100);
+            served.push_back(req[0]);
+        }
+    }(*tcps[2], served));
+    auto client = [](Tcp &tcp, IpAddress dst, int id) -> Task<void> {
+        TcpSocket *s = co_await tcp.connect(dst, 80);
+        if (!s)
+            co_return;
+        std::vector<std::uint8_t> msg(1, std::uint8_t(id));
+        co_await s->send(std::move(msg));
+    };
+    sim::spawn(client(*tcps[0], ipOfCab(3), 1));
+    eq.schedule(5 * ms, [&] {
+        sim::spawn(client(*tcps[1], ipOfCab(3), 2));
+    });
+    eq.run();
+    ASSERT_EQ(served.size(), 2u);
+    EXPECT_EQ(served[0] + served[1], 3);
+}

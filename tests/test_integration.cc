@@ -1,0 +1,216 @@
+/**
+ * @file
+ * Whole-system integration tests: the full stack (applications over
+ * Nectarine over transport over datalink over HUBs and fibers) under
+ * stress and fault injection, checking end-to-end invariants.
+ */
+
+#include <gtest/gtest.h>
+
+#include "nectarine/ipsc.hh"
+#include "nectarine/nectarine.hh"
+#include "workload/halo.hh"
+#include "workload/probes.hh"
+#include "workload/production.hh"
+#include "workload/traffic.hh"
+#include "workload/vision.hh"
+
+using namespace nectar;
+using namespace nectar::workload;
+using nectarine::Nectarine;
+using nectarine::NectarSystem;
+using sim::Task;
+using sim::ticks::us;
+
+namespace {
+
+void
+injectFaults(NectarSystem &sys, const phys::FaultModel &model,
+             std::uint64_t seed)
+{
+    for (auto &link : sys.topo().wiring().allLinks())
+        link->setFaults(model, seed++);
+}
+
+} // namespace
+
+TEST(Integration, MixedWorkloadsShareOneSystem)
+{
+    // Vision, production, and a latency probe all run concurrently
+    // on one 12-CAB HUB: the crossbar keeps them out of each other's
+    // way.
+    sim::EventQueue eq;
+    hub::HubConfig hc;
+    hc.numPorts = 16;
+    auto sys = NectarSystem::singleHub(eq, 12, {}, hc);
+    Nectarine api(*sys);
+
+    VisionConfig vc;
+    vc.frames = 4;
+    vc.frameBytes = 32 * 1024;
+    vc.queriesPerClient = 10;
+    VisionWorkload vision(api, 0, 1, {2, 3}, {4}, vc);
+
+    ProductionConfig pc;
+    pc.seedTokens = 8;
+    pc.maxTokens = 100;
+    ProductionWorkload prod(api, {5, 6, 7}, pc);
+
+    PingPongConfig ppc;
+    ppc.iterations = 40;
+    PingPong probe(api, 8, 9, ppc);
+
+    eq.run();
+
+    EXPECT_TRUE(vision.finished());
+    EXPECT_EQ(vision.framesProcessed(), 4);
+    EXPECT_GE(prod.tokensProcessed(), pc.seedTokens);
+    EXPECT_TRUE(probe.finished());
+    // The probe pair's ports are untouched by the other workloads:
+    // latency stays in the unloaded range.
+    EXPECT_LT(probe.meanRttUs(), 100.0);
+}
+
+TEST(Integration, ReliableTrafficSurvivesLossyMesh)
+{
+    // 2x2 mesh with per-chunk faults on every link.  Faults apply
+    // per 256-byte wire chunk and compound across the up-to-3 links
+    // of a mesh route, so even these rates cost ~10-15% of packets;
+    // the byte-stream protocol must still deliver everything.
+    sim::EventQueue eq;
+    nectarine::SiteConfig site_cfg;
+    site_cfg.transport.maxRetransmits = 25;
+    auto sys = NectarSystem::mesh2D(eq, 2, 2, 2, site_cfg);
+    phys::FaultModel faults;
+    faults.dropData = 0.01;
+    faults.corruptData = 0.005;
+    injectFaults(*sys, faults, 17);
+
+    Nectarine api(*sys);
+    std::vector<std::unique_ptr<StreamMeter>> streams;
+    for (int p = 0; p < 4; ++p) {
+        StreamMeterConfig cfg;
+        cfg.totalBytes = 64 * 1024;
+        cfg.label = "s" + std::to_string(p);
+        // Pair sites across the mesh: 0->5, 1->6, 2->7, 3->4.
+        streams.push_back(std::make_unique<StreamMeter>(
+            api, p, 4 + (p + 1) % 4, cfg));
+    }
+    eq.run();
+
+    for (auto &s : streams) {
+        EXPECT_TRUE(s->finished());
+        EXPECT_EQ(s->bytesDelivered(), 64u * 1024u);
+    }
+    // Retransmissions actually happened (the faults were real).
+    std::uint64_t retx = 0;
+    for (std::size_t i = 0; i < sys->siteCount(); ++i)
+        retx += sys->site(i).transport->stats()
+                    .retransmissions.value();
+    EXPECT_GT(retx, 0u);
+}
+
+TEST(Integration, IpscCollectiveUnderFaults)
+{
+    sim::EventQueue eq;
+    auto sys = NectarSystem::singleHub(eq, 4);
+    phys::FaultModel faults;
+    faults.dropData = 0.02;
+    injectFaults(*sys, faults, 23);
+
+    Nectarine api(*sys);
+    nectarine::ipsc::IpscSystem cube(api, 8);
+    std::vector<int> sums(8, 0);
+    cube.load([&sums](nectarine::ipsc::IpscNode &self) -> Task<void> {
+        int value = 1 << self.mynode();
+        for (int dim = 0; dim < 3; ++dim) {
+            std::vector<std::uint8_t> out(4);
+            for (int i = 0; i < 4; ++i)
+                out[i] = static_cast<std::uint8_t>(value >> (24 - 8 * i));
+            co_await self.csend(dim, std::move(out),
+                                self.neighbor(dim));
+            auto in = co_await self.crecv(dim);
+            int other = 0;
+            for (int i = 0; i < 4; ++i)
+                other = (other << 8) | in[i];
+            value |= other;
+        }
+        sums[self.mynode()] = value;
+    });
+    eq.run();
+    // OR-reduction of one-hot values: everyone ends with 0xFF.
+    for (int n = 0; n < 8; ++n)
+        EXPECT_EQ(sums[n], 0xFF);
+}
+
+TEST(Integration, ProtocolStatsAreConsistent)
+{
+    sim::EventQueue eq;
+    auto sys = NectarSystem::singleHub(eq, 4);
+    Nectarine api(*sys);
+    RandomTrafficConfig cfg;
+    cfg.messagesPerSite = 30;
+    RandomTraffic rt(api, cfg);
+    eq.run();
+
+    // Conservation: nothing was lost on a fault-free system...
+    EXPECT_EQ(rt.deliveryRate(), 1.0);
+
+    std::uint64_t sent = 0, received = 0, drops = 0;
+    for (std::size_t i = 0; i < sys->siteCount(); ++i) {
+        auto &st = sys->site(i).transport->stats();
+        sent += st.packetsSent.value();
+        received += st.packetsReceived.value();
+        drops += st.checksumDrops.value();
+        EXPECT_EQ(st.sendFailures.value(), 0u);
+    }
+    EXPECT_EQ(drops, 0u);
+    // Every packet handed to a fiber arrived somewhere (loopback
+    // packets never touch the wire but count on both sides).
+    EXPECT_EQ(sent, received);
+
+    // The HUB's own accounting agrees there were no drops.
+    auto &hub = sys->topo().hubAt(0);
+    EXPECT_EQ(hub.stats().queueOverflows.value(), 0u);
+    EXPECT_EQ(hub.errorCount(), 0);
+}
+
+TEST(Integration, HaloExchangeOnLossyLinksStaysLockstep)
+{
+    sim::EventQueue eq;
+    auto sys = NectarSystem::singleHub(eq, 4);
+    phys::FaultModel faults;
+    faults.dropData = 0.05;
+    injectFaults(*sys, faults, 29);
+
+    Nectarine api(*sys);
+    HaloConfig cfg;
+    cfg.rows = 2;
+    cfg.cols = 2;
+    cfg.iterations = 6;
+    HaloExchange he(api, {0, 1, 2, 3}, cfg);
+    eq.run();
+    EXPECT_TRUE(he.finished());
+    EXPECT_EQ(he.iterationTime().count(), 24u);
+}
+
+TEST(Integration, DeterministicReplay)
+{
+    // The same seeds produce byte-identical outcomes: event counts,
+    // latencies, and statistics.
+    auto run = [] {
+        sim::EventQueue eq;
+        auto sys = NectarSystem::mesh2D(eq, 2, 2, 1);
+        phys::FaultModel faults;
+        faults.dropData = 0.04;
+        injectFaults(*sys, faults, 31);
+        Nectarine api(*sys);
+        RandomTrafficConfig cfg;
+        cfg.messagesPerSite = 15;
+        RandomTraffic rt(api, cfg);
+        eq.run();
+        return std::make_tuple(eq.executedCount(), rt.delivered(),
+                               rt.latency().mean(), eq.now());
+    };
+    EXPECT_EQ(run(), run());
+}

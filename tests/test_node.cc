@@ -1,0 +1,272 @@
+/**
+ * @file
+ * Node-layer tests: VME bus, the three CAB-node interfaces, and the
+ * node-to-node latency goal of Section 2.3.
+ */
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "nectarine/system.hh"
+#include "node/interfaces.hh"
+#include "node/netstack.hh"
+#include "node/rawnet.hh"
+
+using namespace nectar;
+using namespace nectar::node;
+using nectarine::NectarSystem;
+using sim::Task;
+using sim::Tick;
+using sim::ticks::ms;
+using sim::ticks::us;
+
+namespace {
+
+std::vector<std::uint8_t>
+iotaBytes(std::size_t n)
+{
+    std::vector<std::uint8_t> v(n);
+    std::iota(v.begin(), v.end(), std::uint8_t(0));
+    return v;
+}
+
+} // namespace
+
+TEST(VmeBus, TenMegabytesPerSecond)
+{
+    sim::EventQueue eq;
+    VmeBus vme(eq, "vme");
+    Tick done = vme.transfer(1000);
+    EXPECT_EQ(done, 100 * us); // 1000 B at 100 ns/B
+    // A second transfer queues behind the first.
+    Tick done2 = vme.transfer(1000);
+    EXPECT_EQ(done2, 200 * us);
+    EXPECT_EQ(vme.bytesTransferred(), 2000u);
+}
+
+TEST(NodeModel, InterruptChargesHostCpu)
+{
+    sim::EventQueue eq;
+    Node n(eq, "node");
+    Tick fired = -1;
+    n.raiseInterrupt([&] { fired = eq.now(); });
+    eq.run();
+    EXPECT_EQ(fired, n.costs().interrupt);
+    EXPECT_EQ(n.interruptsTaken(), 1u);
+}
+
+class NodeIfTest : public ::testing::Test
+{
+  protected:
+    void
+    build()
+    {
+        sys = NectarSystem::singleHub(eq, 2);
+        nodeA = std::make_unique<Node>(eq, "nodeA");
+        nodeB = std::make_unique<Node>(eq, "nodeB");
+    }
+
+    sim::EventQueue eq;
+    std::unique_ptr<NectarSystem> sys;
+    std::unique_ptr<Node> nodeA, nodeB;
+};
+
+TEST_F(NodeIfTest, SharedMemorySendAndPollReceive)
+{
+    build();
+    SharedMemoryInterface shmA(*nodeA, sys->site(0));
+    SharedMemoryInterface shmB(*nodeB, sys->site(1));
+    sys->site(1).kernel->createMailbox("in", 64 * 1024, 10);
+
+    auto data = iotaBytes(256);
+    bool sent = false;
+    std::vector<std::uint8_t> got;
+
+    sim::spawn([](SharedMemoryInterface &shm,
+                  std::vector<std::uint8_t> data,
+                  bool &sent) -> Task<void> {
+        sent = co_await shm.send(2, 10, std::move(data));
+    }(shmA, data, sent));
+    sim::spawn([](SharedMemoryInterface &shm,
+                  std::vector<std::uint8_t> &got) -> Task<void> {
+        auto m = co_await shm.receive(10);
+        got = m.bytes;
+    }(shmB, got));
+    eq.run();
+
+    EXPECT_TRUE(sent);
+    EXPECT_EQ(got, data);
+    EXPECT_GT(shmB.pollCycles(), 0u);
+    // No syscalls or interrupts on either node.
+    EXPECT_EQ(nodeA->interruptsTaken(), 0u);
+    EXPECT_EQ(nodeB->interruptsTaken(), 0u);
+}
+
+TEST_F(NodeIfTest, NodeToNodeLatencyUnderHundredMicroseconds)
+{
+    // Section 2.3: "the corresponding latency for processes residing
+    // in nodes should be under 100 microseconds."
+    build();
+    SharedMemoryInterface shmA(*nodeA, sys->site(0));
+    SharedMemoryInterface shmB(*nodeB, sys->site(1));
+    sys->site(1).kernel->createMailbox("in", 4096, 10);
+
+    const Tick start = 1 * ms;
+    Tick received = -1;
+    sim::spawn([](sim::EventQueue &eq, SharedMemoryInterface &shm,
+                  Tick start) -> Task<void> {
+        co_await sim::Delay{eq, start};
+        std::vector<std::uint8_t> msg(64, 1);
+        co_await shm.send(2, 10, std::move(msg), /*reliable=*/false);
+    }(eq, shmA, start));
+    sim::spawn([](sim::EventQueue &eq, SharedMemoryInterface &shm,
+                  Tick &received) -> Task<void> {
+        co_await shm.receive(10);
+        received = eq.now();
+    }(eq, shmB, received));
+    eq.run();
+
+    ASSERT_GT(received, 0);
+    EXPECT_LT(received - start, 100 * us);
+}
+
+TEST_F(NodeIfTest, SocketSendAndBlockingReceive)
+{
+    build();
+    SocketInterface sockA(*nodeA, sys->site(0));
+    SocketInterface sockB(*nodeB, sys->site(1));
+    sys->site(1).kernel->createMailbox("in", 64 * 1024, 10);
+
+    auto data = iotaBytes(1000);
+    bool sent = false;
+    std::vector<std::uint8_t> got;
+    sim::spawn([](SocketInterface &sock, std::vector<std::uint8_t> data,
+                  bool &sent) -> Task<void> {
+        sent = co_await sock.send(2, 10, std::move(data));
+    }(sockA, data, sent));
+    sim::spawn([](SocketInterface &sock,
+                  std::vector<std::uint8_t> &got) -> Task<void> {
+        auto m = co_await sock.receive(10);
+        got = m.bytes;
+    }(sockB, got));
+    eq.run();
+
+    EXPECT_TRUE(sent);
+    EXPECT_EQ(got, data);
+    // The blocking receive was woken by a VME interrupt.
+    EXPECT_GE(nodeB->interruptsTaken(), 1u);
+}
+
+TEST_F(NodeIfTest, NetworkDriverStackRoundTrip)
+{
+    build();
+    NectarRawNet nicA(*nodeA, sys->site(0), sys->directory());
+    NectarRawNet nicB(*nodeB, sys->site(1), sys->directory());
+    NodeNetStack stackA(*nodeA, nicA);
+    NodeNetStack stackB(*nodeB, nicB);
+
+    auto data = iotaBytes(5000);
+    bool sent = false;
+    std::vector<std::uint8_t> got;
+    sim::spawn([](NodeNetStack &s, std::vector<std::uint8_t> data,
+                  bool &sent) -> Task<void> {
+        sent = co_await s.sendMessage(2, 7, std::move(data));
+    }(stackA, data, sent));
+    sim::spawn([](NodeNetStack &s,
+                  std::vector<std::uint8_t> &got) -> Task<void> {
+        got = co_await s.receive(7);
+    }(stackB, got));
+    eq.run();
+
+    EXPECT_TRUE(sent);
+    EXPECT_EQ(got, data);
+    // Every data and ack packet interrupted the receiving host.
+    EXPECT_GT(nodeB->interruptsTaken(), 5u);
+    EXPECT_GT(nodeA->interruptsTaken(), 5u);
+}
+
+TEST_F(NodeIfTest, InterfaceLatencyOrdering)
+{
+    // Section 6.2.3's tradeoff: shared memory < socket < network
+    // driver in end-to-end latency.
+    auto measure = [&](int which) -> Tick {
+        sim::EventQueue local_eq;
+        auto local_sys = NectarSystem::singleHub(local_eq, 2);
+        Node a(local_eq, "a"), b(local_eq, "b");
+        local_sys->site(1).kernel->createMailbox("in", 64 * 1024, 10);
+        const Tick start = 1 * ms;
+        Tick received = -1;
+        auto data = iotaBytes(256);
+
+        if (which == 0) {
+            auto shmA = std::make_shared<SharedMemoryInterface>(
+                a, local_sys->site(0));
+            auto shmB = std::make_shared<SharedMemoryInterface>(
+                b, local_sys->site(1));
+            sim::spawn([](sim::EventQueue &eq,
+                          std::shared_ptr<SharedMemoryInterface> shm,
+                          std::vector<std::uint8_t> data,
+                          Tick start) -> Task<void> {
+                co_await sim::Delay{eq, start};
+                co_await shm->send(2, 10, std::move(data), false);
+            }(local_eq, shmA, data, start));
+            sim::spawn([](sim::EventQueue &eq,
+                          std::shared_ptr<SharedMemoryInterface> shm,
+                          Tick &received) -> Task<void> {
+                co_await shm->receive(10);
+                received = eq.now();
+            }(local_eq, shmB, received));
+            local_eq.run();
+        } else if (which == 1) {
+            auto sockA = std::make_shared<SocketInterface>(
+                a, local_sys->site(0));
+            auto sockB = std::make_shared<SocketInterface>(
+                b, local_sys->site(1));
+            sim::spawn([](sim::EventQueue &eq,
+                          std::shared_ptr<SocketInterface> sock,
+                          std::vector<std::uint8_t> data,
+                          Tick start) -> Task<void> {
+                co_await sim::Delay{eq, start};
+                co_await sock->send(2, 10, std::move(data), false);
+            }(local_eq, sockA, data, start));
+            sim::spawn([](sim::EventQueue &eq,
+                          std::shared_ptr<SocketInterface> sock,
+                          Tick &received) -> Task<void> {
+                co_await sock->receive(10);
+                received = eq.now();
+            }(local_eq, sockB, received));
+            local_eq.run();
+        } else {
+            auto nicA = std::make_shared<NectarRawNet>(
+                a, local_sys->site(0), local_sys->directory());
+            auto nicB = std::make_shared<NectarRawNet>(
+                b, local_sys->site(1), local_sys->directory());
+            auto stackA = std::make_shared<NodeNetStack>(a, *nicA);
+            auto stackB = std::make_shared<NodeNetStack>(b, *nicB);
+            sim::spawn([](sim::EventQueue &eq,
+                          std::shared_ptr<NodeNetStack> s,
+                          [[maybe_unused]] std::shared_ptr<NectarRawNet> nic,
+                          std::vector<std::uint8_t> data,
+                          Tick start) -> Task<void> {
+                co_await sim::Delay{eq, start};
+                co_await s->sendMessage(2, 10, std::move(data));
+            }(local_eq, stackA, nicA, data, start));
+            sim::spawn([](sim::EventQueue &eq,
+                          std::shared_ptr<NodeNetStack> s,
+                          [[maybe_unused]] std::shared_ptr<NectarRawNet> nic,
+                          Tick &received) -> Task<void> {
+                co_await s->receive(10);
+                received = eq.now();
+            }(local_eq, stackB, nicB, received));
+            local_eq.run();
+        }
+        return received - start;
+    };
+
+    Tick shm = measure(0);
+    Tick sock = measure(1);
+    Tick drv = measure(2);
+    EXPECT_LT(shm, sock);
+    EXPECT_LT(sock, drv);
+}

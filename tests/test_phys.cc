@@ -1,0 +1,211 @@
+/**
+ * @file
+ * Physical-layer tests: wire item encoding, fiber serialization
+ * timing, cycle-stealing sends, propagation delay, fault injection.
+ */
+
+#include <gtest/gtest.h>
+
+#include "phys/fiber.hh"
+#include "phys/wire.hh"
+#include "sim/event_queue.hh"
+#include "sim/logging.hh"
+
+using namespace nectar;
+using namespace nectar::phys;
+using sim::Tick;
+
+namespace {
+
+/** Minimal sink recording (item, firstByte, lastByte). */
+struct Sink : FiberSink
+{
+    struct Rx
+    {
+        WireItem item;
+        Tick firstByte;
+        Tick lastByte;
+    };
+    std::vector<Rx> got;
+
+    void
+    fiberDeliver(WireItem item, Tick fb, Tick lb) override
+    {
+        got.push_back(Rx{std::move(item), fb, lb});
+    }
+};
+
+} // namespace
+
+TEST(WireItem, ByteLengths)
+{
+    EXPECT_EQ(WireItem::command(1, 2, 3).byteLength(), 3u);
+    EXPECT_EQ(WireItem::makeReply(1, 2, 3, 4).byteLength(), 3u);
+    EXPECT_EQ(WireItem::startPacket().byteLength(), 1u);
+    EXPECT_EQ(WireItem::endPacket().byteLength(), 1u);
+    EXPECT_EQ(WireItem::ready().byteLength(), 1u);
+    auto p = makePayload(std::vector<std::uint8_t>(100));
+    EXPECT_EQ(WireItem::dataChunk(p, 10, 80).byteLength(), 80u);
+}
+
+TEST(WireItem, DescribeNamesKindAndFields)
+{
+    auto c = WireItem::command(2, 7, 9);
+    EXPECT_NE(c.describe().find("command"), std::string::npos);
+    EXPECT_NE(c.describe().find("hub=7"), std::string::npos);
+    auto p = makePayload(std::vector<std::uint8_t>(5));
+    auto d = WireItem::dataChunk(p, 0, 5);
+    d.corrupted = true;
+    EXPECT_NE(d.describe().find("corrupt"), std::string::npos);
+}
+
+TEST(FiberLink, SerializesAtByteRate)
+{
+    sim::EventQueue eq;
+    Sink sink;
+    FiberLink link(eq, "f");
+    link.connectTo(sink);
+
+    // A 3-byte command at 80 ns/byte: first byte at 80, last at 240.
+    link.send(WireItem::command(1, 0, 0));
+    eq.run();
+    ASSERT_EQ(sink.got.size(), 1u);
+    EXPECT_EQ(sink.got[0].firstByte, 80);
+    EXPECT_EQ(sink.got[0].lastByte, 240);
+    EXPECT_EQ(link.bytesSent(), 3u);
+}
+
+TEST(FiberLink, BackToBackItemsQueueOnTransmitter)
+{
+    sim::EventQueue eq;
+    Sink sink;
+    FiberLink link(eq, "f");
+    link.connectTo(sink);
+    link.send(WireItem::startPacket()); // 1 byte: [0, 80]
+    auto p = makePayload(std::vector<std::uint8_t>(10));
+    link.send(WireItem::dataChunk(p, 0, 10)); // [80, 880]
+    eq.run();
+    ASSERT_EQ(sink.got.size(), 2u);
+    EXPECT_EQ(sink.got[0].firstByte, 80);
+    EXPECT_EQ(sink.got[1].firstByte, 160);
+    EXPECT_EQ(sink.got[1].lastByte, 880);
+    EXPECT_EQ(link.busyUntil(), 880);
+}
+
+TEST(FiberLink, PropagationDelayAddsToArrival)
+{
+    sim::EventQueue eq;
+    Sink sink;
+    FiberLink link(eq, "f", /*propDelay=*/500);
+    link.connectTo(sink);
+    link.send(WireItem::startPacket());
+    eq.run();
+    EXPECT_EQ(sink.got[0].firstByte, 580);
+}
+
+TEST(FiberLink, StolenSendsBypassTheQueue)
+{
+    sim::EventQueue eq;
+    Sink sink;
+    FiberLink link(eq, "f");
+    link.connectTo(sink);
+    auto p = makePayload(std::vector<std::uint8_t>(100));
+    link.send(WireItem::dataChunk(p, 0, 100)); // busy until 8000
+    link.sendStolen(WireItem::ready());        // arrives at 80
+    eq.run();
+    ASSERT_EQ(sink.got.size(), 2u);
+    // The stolen item arrives at its own serialization time (80 ns),
+    // not after the 8 us data transmission completes.
+    const Sink::Rx *ready = nullptr, *data = nullptr;
+    for (const auto &rx : sink.got) {
+        if (rx.item.kind == ItemKind::readySignal)
+            ready = &rx;
+        else
+            data = &rx;
+    }
+    ASSERT_NE(ready, nullptr);
+    ASSERT_NE(data, nullptr);
+    EXPECT_EQ(ready->firstByte, 80);
+    // The data transmission was not delayed by the stolen item.
+    EXPECT_EQ(data->lastByte, 8000);
+}
+
+TEST(FiberLink, SendWithoutSinkPanics)
+{
+    sim::EventQueue eq;
+    FiberLink link(eq, "f");
+    EXPECT_THROW(link.send(WireItem::startPacket()), sim::PanicError);
+}
+
+TEST(FiberLink, BadConfigIsFatal)
+{
+    sim::EventQueue eq;
+    EXPECT_THROW(FiberLink(eq, "f", 0, 0), sim::FatalError);
+    EXPECT_THROW(FiberLink(eq, "f", -5), sim::FatalError);
+}
+
+TEST(FiberLink, FaultInjectionDropsCommands)
+{
+    sim::EventQueue eq;
+    Sink sink;
+    FiberLink link(eq, "f");
+    link.connectTo(sink);
+    FaultModel faults;
+    faults.dropCommand = 1.0;
+    link.setFaults(faults, 1);
+    link.send(WireItem::command(1, 0, 0));
+    link.send(WireItem::startPacket()); // markers unaffected
+    eq.run();
+    ASSERT_EQ(sink.got.size(), 1u);
+    EXPECT_EQ(sink.got[0].item.kind, ItemKind::startOfPacket);
+    EXPECT_EQ(link.itemsDropped(), 1u);
+    // The dropped command still consumed wire time.
+    EXPECT_EQ(link.bytesSent(), 4u);
+}
+
+TEST(FiberLink, FaultInjectionCorruptsData)
+{
+    sim::EventQueue eq;
+    Sink sink;
+    FiberLink link(eq, "f");
+    link.connectTo(sink);
+    FaultModel faults;
+    faults.corruptData = 1.0;
+    link.setFaults(faults, 2);
+    auto p = makePayload(std::vector<std::uint8_t>(8));
+    link.send(WireItem::dataChunk(p, 0, 8));
+    eq.run();
+    ASSERT_EQ(sink.got.size(), 1u);
+    EXPECT_TRUE(sink.got[0].item.corrupted);
+    EXPECT_EQ(link.itemsCorrupted(), 1u);
+}
+
+TEST(FiberLink, FaultRatesAreApproximatelyHonoured)
+{
+    sim::EventQueue eq;
+    Sink sink;
+    FiberLink link(eq, "f");
+    link.connectTo(sink);
+    FaultModel faults;
+    faults.dropData = 0.25;
+    link.setFaults(faults, 3);
+    auto p = makePayload(std::vector<std::uint8_t>(1));
+    const int n = 2000;
+    for (int i = 0; i < n; ++i)
+        link.send(WireItem::dataChunk(p, 0, 1));
+    eq.run();
+    double rate = static_cast<double>(link.itemsDropped()) / n;
+    EXPECT_NEAR(rate, 0.25, 0.04);
+}
+
+TEST(FiberLink, UtilizationAccounting)
+{
+    sim::EventQueue eq;
+    Sink sink;
+    FiberLink link(eq, "f");
+    link.connectTo(sink);
+    auto p = makePayload(std::vector<std::uint8_t>(125));
+    link.send(WireItem::dataChunk(p, 0, 125)); // 10 us of wire time
+    eq.run();
+    EXPECT_EQ(link.busyTicks(), 10000);
+}

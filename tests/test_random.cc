@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Unit tests for the PCG32 generator: determinism, distribution
+ * sanity, and stream independence.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/logging.hh"
+#include "sim/random.hh"
+
+using namespace nectar::sim;
+
+TEST(Random, DeterministicFromSeed)
+{
+    Random a(42), b(42);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Random, DifferentSeedsDiverge)
+{
+    Random a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 1000; ++i)
+        if (a.next() == b.next())
+            ++same;
+    EXPECT_LT(same, 5);
+}
+
+TEST(Random, DifferentStreamsDiverge)
+{
+    Random a(42, 1), b(42, 2);
+    int same = 0;
+    for (int i = 0; i < 1000; ++i)
+        if (a.next() == b.next())
+            ++same;
+    EXPECT_LT(same, 5);
+}
+
+TEST(Random, BelowStaysInBound)
+{
+    Random r(7);
+    for (int i = 0; i < 10000; ++i)
+        EXPECT_LT(r.below(17), 17u);
+}
+
+TEST(Random, BelowZeroPanics)
+{
+    Random r(7);
+    EXPECT_THROW(r.below(0), PanicError);
+}
+
+TEST(Random, RangeInclusiveBounds)
+{
+    Random r(7);
+    bool saw_lo = false, saw_hi = false;
+    for (int i = 0; i < 10000; ++i) {
+        int v = r.range(-3, 3);
+        EXPECT_GE(v, -3);
+        EXPECT_LE(v, 3);
+        saw_lo |= (v == -3);
+        saw_hi |= (v == 3);
+    }
+    EXPECT_TRUE(saw_lo);
+    EXPECT_TRUE(saw_hi);
+}
+
+TEST(Random, RangeBackwardsPanics)
+{
+    Random r(7);
+    EXPECT_THROW(r.range(3, -3), PanicError);
+}
+
+TEST(Random, UniformMeanNearHalf)
+{
+    Random r(11);
+    double sum = 0;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i) {
+        double u = r.uniform();
+        EXPECT_GE(u, 0.0);
+        EXPECT_LT(u, 1.0);
+        sum += u;
+    }
+    EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(Random, ChanceExtremes)
+{
+    Random r(13);
+    for (int i = 0; i < 100; ++i) {
+        EXPECT_FALSE(r.chance(0.0));
+        EXPECT_TRUE(r.chance(1.0));
+    }
+}
+
+TEST(Random, ChanceFrequencyMatchesP)
+{
+    Random r(13);
+    int hits = 0;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i)
+        hits += r.chance(0.25);
+    EXPECT_NEAR(static_cast<double>(hits) / n, 0.25, 0.01);
+}
+
+TEST(Random, ExponentialMeanMatches)
+{
+    Random r(17);
+    double sum = 0;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i) {
+        double x = r.exponential(80.0);
+        EXPECT_GE(x, 0.0);
+        sum += x;
+    }
+    EXPECT_NEAR(sum / n, 80.0, 2.0);
+}
+
+TEST(Random, ExponentialNonPositiveMeanPanics)
+{
+    Random r(17);
+    EXPECT_THROW(r.exponential(0.0), PanicError);
+    EXPECT_THROW(r.exponential(-1.0), PanicError);
+}

@@ -1,0 +1,144 @@
+/**
+ * @file
+ * Workload-library tests: probes and the Section 7 application
+ * workloads run to completion with sane measurements.
+ */
+
+#include <gtest/gtest.h>
+
+#include "nectarine/nectarine.hh"
+#include "workload/halo.hh"
+#include "workload/probes.hh"
+#include "workload/production.hh"
+#include "workload/traffic.hh"
+#include "workload/vision.hh"
+
+using namespace nectar;
+using namespace nectar::workload;
+using nectarine::Nectarine;
+using nectarine::NectarSystem;
+using sim::ticks::us;
+
+class WorkloadTest : public ::testing::Test
+{
+  protected:
+    void
+    build(int cabs)
+    {
+        sys = NectarSystem::singleHub(eq, cabs);
+        api = std::make_unique<Nectarine>(*sys);
+    }
+
+    sim::EventQueue eq;
+    std::unique_ptr<NectarSystem> sys;
+    std::unique_ptr<Nectarine> api;
+};
+
+TEST_F(WorkloadTest, PingPongMeasuresRtt)
+{
+    build(2);
+    PingPongConfig cfg;
+    cfg.iterations = 50;
+    PingPong pp(*api, 0, 1, cfg);
+    eq.run();
+    EXPECT_TRUE(pp.finished());
+    EXPECT_EQ(pp.rtt().count(), 50u);
+    // A 64-byte datagram round trip on one HUB: tens of microseconds.
+    EXPECT_GT(pp.meanRttUs(), 10.0);
+    EXPECT_LT(pp.meanRttUs(), 100.0);
+}
+
+TEST_F(WorkloadTest, PingPongReliableSlowerThanDatagram)
+{
+    build(2);
+    PingPongConfig dg;
+    dg.iterations = 30;
+    PingPong ppd(*api, 0, 1, dg);
+    eq.run();
+
+    sim::EventQueue eq2;
+    auto sys2 = NectarSystem::singleHub(eq2, 2);
+    Nectarine api2(*sys2);
+    PingPongConfig rel;
+    rel.iterations = 30;
+    rel.delivery = nectarine::Delivery::reliable;
+    PingPong ppr(api2, 0, 1, rel);
+    eq2.run();
+
+    EXPECT_TRUE(ppd.finished());
+    EXPECT_TRUE(ppr.finished());
+    // The byte-stream protocol acknowledges; datagram does not.
+    EXPECT_GT(ppr.meanRttUs(), ppd.meanRttUs() * 0.9);
+}
+
+TEST_F(WorkloadTest, StreamMeterReachesFiberScaleGoodput)
+{
+    build(2);
+    StreamMeterConfig cfg;
+    cfg.totalBytes = 2 << 20;
+    StreamMeter sm(*api, 0, 1, cfg);
+    eq.run();
+    EXPECT_TRUE(sm.finished());
+    EXPECT_EQ(sm.bytesDelivered(), cfg.totalBytes);
+    // Fiber peak is 12.5 MB/s; protocol overheads cost some of it.
+    EXPECT_GT(sm.megabytesPerSecond(), 4.0);
+    EXPECT_LE(sm.megabytesPerSecond(), 12.5);
+}
+
+TEST_F(WorkloadTest, RandomTrafficDeliversEverythingUnloaded)
+{
+    build(4);
+    RandomTrafficConfig cfg;
+    cfg.messagesPerSite = 20;
+    RandomTraffic rt(*api, cfg);
+    eq.run();
+    EXPECT_EQ(rt.sent(), 80u);
+    EXPECT_EQ(rt.deliveryRate(), 1.0);
+    EXPECT_EQ(rt.latency().count(), 80u);
+}
+
+TEST_F(WorkloadTest, VisionPipelineCompletes)
+{
+    build(6);
+    VisionConfig cfg;
+    cfg.frames = 4;
+    cfg.frameBytes = 32 * 1024;
+    cfg.queriesPerClient = 10;
+    VisionWorkload vw(*api, 0, 1, {2, 3}, {4, 5}, cfg);
+    eq.run();
+    EXPECT_TRUE(vw.finished());
+    EXPECT_EQ(vw.framesProcessed(), 4);
+    EXPECT_EQ(vw.frameLatency().count(), 4u);
+    EXPECT_EQ(vw.queriesAnswered(), 20);
+    EXPECT_EQ(vw.queryLatency().count(), 20u);
+    // Queries are small RPCs: sub-millisecond round trips.
+    EXPECT_LT(vw.queryLatency().mean(), 1e6);
+}
+
+TEST_F(WorkloadTest, ProductionSystemProcessesTokens)
+{
+    build(4);
+    ProductionConfig cfg;
+    cfg.seedTokens = 16;
+    cfg.maxTokens = 300;
+    ProductionWorkload pw(*api, {0, 1, 2, 3}, cfg);
+    eq.run();
+    EXPECT_GE(pw.tokensProcessed(), cfg.seedTokens);
+    EXPECT_LE(pw.tokensProcessed(), cfg.maxTokens);
+    EXPECT_GT(pw.tokenLatency().count(), 0u);
+    EXPECT_GT(pw.tokensPerMs(), 0.0);
+}
+
+TEST_F(WorkloadTest, HaloExchangeCompletesAllCells)
+{
+    build(4);
+    HaloConfig cfg;
+    cfg.rows = 2;
+    cfg.cols = 2;
+    cfg.iterations = 5;
+    HaloExchange he(*api, {0, 1, 2, 3}, cfg);
+    eq.run();
+    EXPECT_TRUE(he.finished());
+    EXPECT_EQ(he.completedCells(), 4);
+    EXPECT_EQ(he.iterationTime().count(), 20u);
+}
