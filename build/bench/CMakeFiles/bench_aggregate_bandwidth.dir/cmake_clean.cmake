@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_aggregate_bandwidth.dir/bench_aggregate_bandwidth.cc.o"
+  "CMakeFiles/bench_aggregate_bandwidth.dir/bench_aggregate_bandwidth.cc.o.d"
+  "bench_aggregate_bandwidth"
+  "bench_aggregate_bandwidth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_aggregate_bandwidth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

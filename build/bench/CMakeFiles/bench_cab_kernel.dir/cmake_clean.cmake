@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_cab_kernel.dir/bench_cab_kernel.cc.o"
+  "CMakeFiles/bench_cab_kernel.dir/bench_cab_kernel.cc.o.d"
+  "bench_cab_kernel"
+  "bench_cab_kernel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_cab_kernel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_cab_memory.dir/bench_cab_memory.cc.o"
+  "CMakeFiles/bench_cab_memory.dir/bench_cab_memory.cc.o.d"
+  "bench_cab_memory"
+  "bench_cab_memory.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_cab_memory.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

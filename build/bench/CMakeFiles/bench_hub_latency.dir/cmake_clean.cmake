@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_hub_latency.dir/bench_hub_latency.cc.o"
+  "CMakeFiles/bench_hub_latency.dir/bench_hub_latency.cc.o.d"
+  "bench_hub_latency"
+  "bench_hub_latency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_hub_latency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_hub_switching_rate.dir/bench_hub_switching_rate.cc.o"
+  "CMakeFiles/bench_hub_switching_rate.dir/bench_hub_switching_rate.cc.o.d"
+  "bench_hub_switching_rate"
+  "bench_hub_switching_rate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_hub_switching_rate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

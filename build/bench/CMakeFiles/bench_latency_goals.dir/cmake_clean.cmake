@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_latency_goals.dir/bench_latency_goals.cc.o"
+  "CMakeFiles/bench_latency_goals.dir/bench_latency_goals.cc.o.d"
+  "bench_latency_goals"
+  "bench_latency_goals.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_latency_goals.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_mesh_scaling.dir/bench_mesh_scaling.cc.o"
+  "CMakeFiles/bench_mesh_scaling.dir/bench_mesh_scaling.cc.o.d"
+  "bench_mesh_scaling"
+  "bench_mesh_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_mesh_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_packet_pipeline.dir/bench_packet_pipeline.cc.o"
+  "CMakeFiles/bench_packet_pipeline.dir/bench_packet_pipeline.cc.o.d"
+  "bench_packet_pipeline"
+  "bench_packet_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_packet_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

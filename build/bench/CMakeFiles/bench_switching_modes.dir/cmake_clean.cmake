@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_switching_modes.dir/bench_switching_modes.cc.o"
+  "CMakeFiles/bench_switching_modes.dir/bench_switching_modes.cc.o.d"
+  "bench_switching_modes"
+  "bench_switching_modes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_switching_modes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_vs_lan.dir/bench_vs_lan.cc.o"
+  "CMakeFiles/bench_vs_lan.dir/bench_vs_lan.cc.o.d"
+  "bench_vs_lan"
+  "bench_vs_lan.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_vs_lan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

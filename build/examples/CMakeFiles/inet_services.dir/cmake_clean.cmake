@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/inet_services.dir/inet_services.cc.o"
+  "CMakeFiles/inet_services.dir/inet_services.cc.o.d"
+  "inet_services"
+  "inet_services.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/inet_services.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

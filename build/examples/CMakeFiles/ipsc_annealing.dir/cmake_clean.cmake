@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ipsc_annealing.dir/ipsc_annealing.cc.o"
+  "CMakeFiles/ipsc_annealing.dir/ipsc_annealing.cc.o.d"
+  "ipsc_annealing"
+  "ipsc_annealing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ipsc_annealing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ipsc_hypercube.dir/ipsc_hypercube.cc.o"
+  "CMakeFiles/ipsc_hypercube.dir/ipsc_hypercube.cc.o.d"
+  "ipsc_hypercube"
+  "ipsc_hypercube.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ipsc_hypercube.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multihub_mesh.dir/multihub_mesh.cc.o"
+  "CMakeFiles/multihub_mesh.dir/multihub_mesh.cc.o.d"
+  "multihub_mesh"
+  "multihub_mesh.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multihub_mesh.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

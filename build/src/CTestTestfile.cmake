@@ -1,0 +1,19 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("sim")
+subdirs("phys")
+subdirs("hub")
+subdirs("topo")
+subdirs("cab")
+subdirs("cabos")
+subdirs("datalink")
+subdirs("transport")
+subdirs("nectarine")
+subdirs("node")
+subdirs("baseline")
+subdirs("workload")
+subdirs("inet")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nectar_baseline.dir/ethernet.cc.o"
+  "CMakeFiles/nectar_baseline.dir/ethernet.cc.o.d"
+  "libnectar_baseline.a"
+  "libnectar_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nectar_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cab/cab.cc" "src/cab/CMakeFiles/nectar_cab.dir/cab.cc.o" "gcc" "src/cab/CMakeFiles/nectar_cab.dir/cab.cc.o.d"
+  "/root/repo/src/cab/checksum.cc" "src/cab/CMakeFiles/nectar_cab.dir/checksum.cc.o" "gcc" "src/cab/CMakeFiles/nectar_cab.dir/checksum.cc.o.d"
+  "/root/repo/src/cab/memory.cc" "src/cab/CMakeFiles/nectar_cab.dir/memory.cc.o" "gcc" "src/cab/CMakeFiles/nectar_cab.dir/memory.cc.o.d"
+  "/root/repo/src/cab/protection.cc" "src/cab/CMakeFiles/nectar_cab.dir/protection.cc.o" "gcc" "src/cab/CMakeFiles/nectar_cab.dir/protection.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/phys/CMakeFiles/nectar_phys.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/nectar_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nectar_cab.dir/cab.cc.o"
+  "CMakeFiles/nectar_cab.dir/cab.cc.o.d"
+  "CMakeFiles/nectar_cab.dir/checksum.cc.o"
+  "CMakeFiles/nectar_cab.dir/checksum.cc.o.d"
+  "CMakeFiles/nectar_cab.dir/memory.cc.o"
+  "CMakeFiles/nectar_cab.dir/memory.cc.o.d"
+  "CMakeFiles/nectar_cab.dir/protection.cc.o"
+  "CMakeFiles/nectar_cab.dir/protection.cc.o.d"
+  "libnectar_cab.a"
+  "libnectar_cab.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nectar_cab.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

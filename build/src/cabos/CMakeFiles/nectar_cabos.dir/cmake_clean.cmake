@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nectar_cabos.dir/allocator.cc.o"
+  "CMakeFiles/nectar_cabos.dir/allocator.cc.o.d"
+  "CMakeFiles/nectar_cabos.dir/kernel.cc.o"
+  "CMakeFiles/nectar_cabos.dir/kernel.cc.o.d"
+  "CMakeFiles/nectar_cabos.dir/mailbox.cc.o"
+  "CMakeFiles/nectar_cabos.dir/mailbox.cc.o.d"
+  "libnectar_cabos.a"
+  "libnectar_cabos.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nectar_cabos.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/datalink/datalink.cc" "src/datalink/CMakeFiles/nectar_datalink.dir/datalink.cc.o" "gcc" "src/datalink/CMakeFiles/nectar_datalink.dir/datalink.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cabos/CMakeFiles/nectar_cabos.dir/DependInfo.cmake"
+  "/root/repo/build/src/cab/CMakeFiles/nectar_cab.dir/DependInfo.cmake"
+  "/root/repo/build/src/hub/CMakeFiles/nectar_hub.dir/DependInfo.cmake"
+  "/root/repo/build/src/topo/CMakeFiles/nectar_topo.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/nectar_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/phys/CMakeFiles/nectar_phys.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nectar_datalink.dir/datalink.cc.o"
+  "CMakeFiles/nectar_datalink.dir/datalink.cc.o.d"
+  "libnectar_datalink.a"
+  "libnectar_datalink.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nectar_datalink.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

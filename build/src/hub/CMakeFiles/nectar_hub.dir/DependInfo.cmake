@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hub/commands.cc" "src/hub/CMakeFiles/nectar_hub.dir/commands.cc.o" "gcc" "src/hub/CMakeFiles/nectar_hub.dir/commands.cc.o.d"
+  "/root/repo/src/hub/controller.cc" "src/hub/CMakeFiles/nectar_hub.dir/controller.cc.o" "gcc" "src/hub/CMakeFiles/nectar_hub.dir/controller.cc.o.d"
+  "/root/repo/src/hub/crossbar.cc" "src/hub/CMakeFiles/nectar_hub.dir/crossbar.cc.o" "gcc" "src/hub/CMakeFiles/nectar_hub.dir/crossbar.cc.o.d"
+  "/root/repo/src/hub/hub.cc" "src/hub/CMakeFiles/nectar_hub.dir/hub.cc.o" "gcc" "src/hub/CMakeFiles/nectar_hub.dir/hub.cc.o.d"
+  "/root/repo/src/hub/port.cc" "src/hub/CMakeFiles/nectar_hub.dir/port.cc.o" "gcc" "src/hub/CMakeFiles/nectar_hub.dir/port.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/phys/CMakeFiles/nectar_phys.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/nectar_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nectar_hub.dir/commands.cc.o"
+  "CMakeFiles/nectar_hub.dir/commands.cc.o.d"
+  "CMakeFiles/nectar_hub.dir/controller.cc.o"
+  "CMakeFiles/nectar_hub.dir/controller.cc.o.d"
+  "CMakeFiles/nectar_hub.dir/crossbar.cc.o"
+  "CMakeFiles/nectar_hub.dir/crossbar.cc.o.d"
+  "CMakeFiles/nectar_hub.dir/hub.cc.o"
+  "CMakeFiles/nectar_hub.dir/hub.cc.o.d"
+  "CMakeFiles/nectar_hub.dir/port.cc.o"
+  "CMakeFiles/nectar_hub.dir/port.cc.o.d"
+  "libnectar_hub.a"
+  "libnectar_hub.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nectar_hub.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

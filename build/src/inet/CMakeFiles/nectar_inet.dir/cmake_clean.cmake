@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nectar_inet.dir/ip.cc.o"
+  "CMakeFiles/nectar_inet.dir/ip.cc.o.d"
+  "CMakeFiles/nectar_inet.dir/tcp.cc.o"
+  "CMakeFiles/nectar_inet.dir/tcp.cc.o.d"
+  "libnectar_inet.a"
+  "libnectar_inet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nectar_inet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

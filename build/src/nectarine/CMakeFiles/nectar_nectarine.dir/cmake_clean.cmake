@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nectar_nectarine.dir/ipsc.cc.o"
+  "CMakeFiles/nectar_nectarine.dir/ipsc.cc.o.d"
+  "CMakeFiles/nectar_nectarine.dir/nectarine.cc.o"
+  "CMakeFiles/nectar_nectarine.dir/nectarine.cc.o.d"
+  "CMakeFiles/nectar_nectarine.dir/system.cc.o"
+  "CMakeFiles/nectar_nectarine.dir/system.cc.o.d"
+  "libnectar_nectarine.a"
+  "libnectar_nectarine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nectar_nectarine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nectar_node.dir/interfaces.cc.o"
+  "CMakeFiles/nectar_node.dir/interfaces.cc.o.d"
+  "CMakeFiles/nectar_node.dir/netstack.cc.o"
+  "CMakeFiles/nectar_node.dir/netstack.cc.o.d"
+  "CMakeFiles/nectar_node.dir/node_process.cc.o"
+  "CMakeFiles/nectar_node.dir/node_process.cc.o.d"
+  "libnectar_node.a"
+  "libnectar_node.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nectar_node.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nectar_phys.dir/fiber.cc.o"
+  "CMakeFiles/nectar_phys.dir/fiber.cc.o.d"
+  "CMakeFiles/nectar_phys.dir/wire.cc.o"
+  "CMakeFiles/nectar_phys.dir/wire.cc.o.d"
+  "libnectar_phys.a"
+  "libnectar_phys.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nectar_phys.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

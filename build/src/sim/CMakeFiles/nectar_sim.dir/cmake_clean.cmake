@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nectar_sim.dir/event_queue.cc.o"
+  "CMakeFiles/nectar_sim.dir/event_queue.cc.o.d"
+  "CMakeFiles/nectar_sim.dir/logging.cc.o"
+  "CMakeFiles/nectar_sim.dir/logging.cc.o.d"
+  "CMakeFiles/nectar_sim.dir/random.cc.o"
+  "CMakeFiles/nectar_sim.dir/random.cc.o.d"
+  "CMakeFiles/nectar_sim.dir/stats.cc.o"
+  "CMakeFiles/nectar_sim.dir/stats.cc.o.d"
+  "libnectar_sim.a"
+  "libnectar_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nectar_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

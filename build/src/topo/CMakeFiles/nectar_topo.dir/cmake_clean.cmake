@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nectar_topo.dir/topology.cc.o"
+  "CMakeFiles/nectar_topo.dir/topology.cc.o.d"
+  "libnectar_topo.a"
+  "libnectar_topo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nectar_topo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

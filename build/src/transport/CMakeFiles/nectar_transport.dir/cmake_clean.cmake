@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nectar_transport.dir/header.cc.o"
+  "CMakeFiles/nectar_transport.dir/header.cc.o.d"
+  "CMakeFiles/nectar_transport.dir/transport.cc.o"
+  "CMakeFiles/nectar_transport.dir/transport.cc.o.d"
+  "libnectar_transport.a"
+  "libnectar_transport.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nectar_transport.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nectar_workload.dir/halo.cc.o"
+  "CMakeFiles/nectar_workload.dir/halo.cc.o.d"
+  "CMakeFiles/nectar_workload.dir/probes.cc.o"
+  "CMakeFiles/nectar_workload.dir/probes.cc.o.d"
+  "CMakeFiles/nectar_workload.dir/production.cc.o"
+  "CMakeFiles/nectar_workload.dir/production.cc.o.d"
+  "CMakeFiles/nectar_workload.dir/traffic.cc.o"
+  "CMakeFiles/nectar_workload.dir/traffic.cc.o.d"
+  "CMakeFiles/nectar_workload.dir/vision.cc.o"
+  "CMakeFiles/nectar_workload.dir/vision.cc.o.d"
+  "libnectar_workload.a"
+  "libnectar_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nectar_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

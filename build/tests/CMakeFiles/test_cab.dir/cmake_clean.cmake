@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cab.dir/test_cab.cc.o"
+  "CMakeFiles/test_cab.dir/test_cab.cc.o.d"
+  "test_cab"
+  "test_cab.pdb"
+  "test_cab[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cab.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

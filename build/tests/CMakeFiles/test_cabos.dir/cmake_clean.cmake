@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cabos.dir/test_cabos.cc.o"
+  "CMakeFiles/test_cabos.dir/test_cabos.cc.o.d"
+  "test_cabos"
+  "test_cabos.pdb"
+  "test_cabos[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cabos.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_coro.dir/test_coro.cc.o"
+  "CMakeFiles/test_coro.dir/test_coro.cc.o.d"
+  "test_coro"
+  "test_coro.pdb"
+  "test_coro[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_coro.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_coro_sync.dir/test_coro_sync.cc.o"
+  "CMakeFiles/test_coro_sync.dir/test_coro_sync.cc.o.d"
+  "test_coro_sync"
+  "test_coro_sync.pdb"
+  "test_coro_sync[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_coro_sync.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

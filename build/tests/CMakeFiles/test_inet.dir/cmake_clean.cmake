@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_inet.dir/test_inet.cc.o"
+  "CMakeFiles/test_inet.dir/test_inet.cc.o.d"
+  "test_inet"
+  "test_inet.pdb"
+  "test_inet[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_inet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_nectarine.dir/test_nectarine.cc.o"
+  "CMakeFiles/test_nectarine.dir/test_nectarine.cc.o.d"
+  "test_nectarine"
+  "test_nectarine.pdb"
+  "test_nectarine[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_nectarine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

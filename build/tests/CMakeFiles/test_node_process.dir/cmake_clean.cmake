@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_node_process.dir/test_node_process.cc.o"
+  "CMakeFiles/test_node_process.dir/test_node_process.cc.o.d"
+  "test_node_process"
+  "test_node_process.pdb"
+  "test_node_process[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_node_process.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

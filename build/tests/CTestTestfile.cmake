@@ -1,0 +1,28 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_event_queue[1]_include.cmake")
+include("/root/repo/build/tests/test_random[1]_include.cmake")
+include("/root/repo/build/tests/test_stats[1]_include.cmake")
+include("/root/repo/build/tests/test_coro[1]_include.cmake")
+include("/root/repo/build/tests/test_crossbar[1]_include.cmake")
+include("/root/repo/build/tests/test_hub[1]_include.cmake")
+include("/root/repo/build/tests/test_cab[1]_include.cmake")
+include("/root/repo/build/tests/test_cabos[1]_include.cmake")
+include("/root/repo/build/tests/test_datalink[1]_include.cmake")
+include("/root/repo/build/tests/test_transport[1]_include.cmake")
+include("/root/repo/build/tests/test_node[1]_include.cmake")
+include("/root/repo/build/tests/test_baseline[1]_include.cmake")
+include("/root/repo/build/tests/test_nectarine[1]_include.cmake")
+include("/root/repo/build/tests/test_workload[1]_include.cmake")
+include("/root/repo/build/tests/test_phys[1]_include.cmake")
+include("/root/repo/build/tests/test_topo[1]_include.cmake")
+include("/root/repo/build/tests/test_integration[1]_include.cmake")
+include("/root/repo/build/tests/test_inet[1]_include.cmake")
+include("/root/repo/build/tests/test_coro_sync[1]_include.cmake")
+include("/root/repo/build/tests/test_hub_edge[1]_include.cmake")
+include("/root/repo/build/tests/test_transport_edge[1]_include.cmake")
+include("/root/repo/build/tests/test_node_process[1]_include.cmake")
