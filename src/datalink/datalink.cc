@@ -80,35 +80,37 @@ Datalink::handleReadySignal()
     _hubReady = true;
     auto waiters = std::move(readyWaiters);
     readyWaiters.clear();
-    for (auto h : waiters) {
-        eventq().scheduleIn(0, [h] { h.resume(); },
-                            sim::EventPriority::software);
-    }
+    for (auto *ch : waiters)
+        ch->push(true);
 }
 
 // --------------------------------------------------------------------
 // Transmit path.
 // --------------------------------------------------------------------
 
-namespace {
-
-/** Awaitable that parks the coroutine on the ready-waiter list. */
-struct ReadyWaitAwaiter
-{
-    std::vector<std::coroutine_handle<>> &list;
-
-    bool await_ready() const { return false; }
-    void await_suspend(std::coroutine_handle<> h) { list.push_back(h); }
-    void await_resume() const {}
-};
-
-} // namespace
-
-sim::Task<void>
+sim::Task<bool>
 Datalink::waitHubReady()
 {
-    while (!_hubReady)
-        co_await ReadyWaitAwaiter{readyWaiters};
+    const Tick deadline = now() + cfg.readyTimeout;
+    while (!_hubReady) {
+        if (now() >= deadline) {
+            // The ready signal is not coming: it (or the packet whose
+            // emergence downstream triggers it) died on the way.
+            // Presume the port drained and let route recovery resync.
+            _stats.readyTimeouts.add();
+            _hubReady = true;
+            co_return false;
+        }
+        sim::Channel<bool> arrived(eventq());
+        readyWaiters.push_back(&arrived);
+        sim::EventId timer = eventq().scheduleIn(
+            deadline - now(), [&arrived] { arrived.push(false); },
+            sim::EventPriority::software);
+        co_await arrived.pop();
+        eventq().cancel(timer);
+        std::erase(readyWaiters, &arrived);
+    }
+    co_return true;
 }
 
 sim::Task<bool>
@@ -183,7 +185,8 @@ Datalink::attemptSend(const topo::Route &route,
                                    costs.dmaSetup);
 
     // Hop-by-hop flow control: wait for our HUB port's input queue.
-    co_await waitHubReady();
+    if (!co_await waitHubReady())
+        co_return false; // ready signal lost; recover and retry
 
     if (mode == SwitchMode::packet) {
         std::vector<WireItem> items = buildPacketFrame(route, payload);

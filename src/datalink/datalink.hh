@@ -54,6 +54,14 @@ struct DatalinkConfig
     /** Settle time after recovery, during which stale replies drain. */
     Tick recoverySettle = 50 * us;
     /**
+     * Bound on waiting for the HUB port's ready signal.  The signal
+     * is a single wire item; if the packet it trails (or the signal
+     * itself) dies on a dark fiber it will never arrive, so after
+     * this long the datalink presumes it lost and falls into the
+     * closeAll-and-retry recovery of Section 4.2.1.
+     */
+    Tick readyTimeout = 300 * us;
+    /**
      * Largest wire packet (framing + data + trailing commands) that
      * packet switching may emit; bounded by the HUB input queue
      * (Section 4.2.3).
@@ -68,6 +76,7 @@ struct DatalinkStats
     sim::Counter packetsReceived;
     sim::Counter bytesSent;
     sim::Counter routeTimeouts;   ///< Reply timeouts -> recovery.
+    sim::Counter readyTimeouts;   ///< Lost ready signals presumed.
     sim::Counter recoveries;      ///< closeAll teardowns issued.
     sim::Counter sendFailures;    ///< Gave up after maxAttempts.
     sim::Counter staleReplies;    ///< Replies discarded while settling.
@@ -143,8 +152,12 @@ class Datalink : public sim::Component
     /** Tear down whatever part of the route was built, then settle. */
     sim::Task<void> recoverRoute();
 
-    /** Suspend until the HUB port is ready for a new packet. */
-    sim::Task<void> waitHubReady();
+    /**
+     * Suspend until the HUB port is ready for a new packet.
+     * @return false if the ready signal did not arrive within
+     *         readyTimeout and was presumed lost.
+     */
+    sim::Task<bool> waitHubReady();
 
     /**
      * Wait for @p need replies (or timeout).
@@ -186,7 +199,7 @@ class Datalink : public sim::Component
 
     // Hop-by-hop flow control toward our HUB port.
     bool _hubReady = true;
-    std::vector<std::coroutine_handle<>> readyWaiters;
+    std::vector<sim::Channel<bool> *> readyWaiters;
 
     // Pending status-query reply.
     std::function<void(const phys::ReplyWord &)> queryHook;

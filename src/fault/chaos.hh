@@ -1,0 +1,64 @@
+/**
+ * @file
+ * The chaos controller: executes a FaultPlan against a live system.
+ *
+ * Fault events are scheduled on the simulation event queue at
+ * EventPriority::first, so a fault lands before any protocol work at
+ * the same tick — the adversary moves first.  Everything derives
+ * deterministically from the plan (including burst-model seeds), so a
+ * campaign is exactly reproducible.
+ */
+
+#pragma once
+
+#include <cstddef>
+
+#include "fault/plan.hh"
+#include "fault/report.hh"
+#include "nectarine/system.hh"
+#include "sim/trace.hh"
+
+namespace nectar::fault {
+
+/** Executes one FaultPlan against one NectarSystem. */
+class ChaosController
+{
+  public:
+    /**
+     * Validates the plan's targets against the system (fatal on a
+     * nonexistent hub, port, or site) and schedules every event.
+     */
+    ChaosController(nectarine::NectarSystem &system,
+                    const FaultPlan &plan);
+
+    /** Attach a trace sink for per-event records. */
+    void attachTracer(sim::TraceSink &sink) { tracer.attach(sink); }
+
+    /** Fault events executed so far. */
+    std::size_t eventsExecuted() const { return executed; }
+
+    /**
+     * Aggregate a report over the whole system (callable at any
+     * point; typically after eventq().run()).
+     */
+    CampaignReport report() const;
+
+  private:
+    void validate(const FaultEvent &e) const;
+    void execute(const FaultEvent &e, std::size_t index);
+
+    /** Fibers a site-directed fiber fault applies to. */
+    std::vector<phys::FiberLink *>
+    siteFibers(int site, Direction dir) const;
+
+    /** Deterministic per-event RNG seed. */
+    std::uint64_t eventSeed(std::size_t index) const;
+
+    nectarine::NectarSystem &sys;
+    FaultPlan plan;
+    sim::Tracer tracer;
+    std::size_t executed = 0;
+    std::vector<CampaignReport::Entry> log;
+};
+
+} // namespace nectar::fault

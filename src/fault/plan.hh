@@ -1,0 +1,154 @@
+/**
+ * @file
+ * Declarative fault plans for chaos campaigns.
+ *
+ * The Nectar prototype was built to survive a machine room: cables
+ * get pulled, optical links take bursts of errors, and boards get
+ * reseated while the network stays up.  A FaultPlan scripts such an
+ * episode as timed events — link down/up, Gilbert–Elliott burst
+ * windows, HUB ports wedging, CAB crash and restart — which the
+ * ChaosController executes deterministically from the plan's seed.
+ * The same plan and seed always produce the same campaign.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "hub/hub.hh"
+#include "phys/fiber.hh"
+#include "sim/types.hh"
+
+namespace nectar::fault {
+
+/** What a fault event does to its target. */
+enum class Action
+{
+    hubLinkDown,    ///< Inter-HUB link at (hub, port) goes dark.
+    hubLinkUp,      ///< ... and comes back.
+    cabLinkDown,    ///< A CAB's attachment fibers go dark.
+    cabLinkUp,      ///< ... and come back.
+    burstStart,     ///< Gilbert-Elliott burst window opens on a
+                    ///< CAB attachment fiber.
+    burstEnd,       ///< ... and closes.
+    hubPortStuck,   ///< A HUB I/O port stops moving traffic.
+    hubPortRestore, ///< ... and recovers.
+    cabCrash,       ///< A CAB's transport loses all protocol state.
+    cabRestart,     ///< ... and boots fresh.
+};
+
+const char *actionName(Action a);
+
+/** Which direction of a CAB attachment a fiber-level fault afflicts. */
+enum class Direction
+{
+    toHub,   ///< The CAB's transmit fiber (asymmetric data loss).
+    fromHub, ///< The HUB-to-CAB fiber (ack/response loss).
+    both,
+};
+
+/** One scheduled fault. */
+struct FaultEvent
+{
+    sim::Tick at = 0;
+    Action action = Action::hubLinkDown;
+
+    int hub = -1;                      ///< hubLink*/hubPort* target.
+    hub::PortId port = hub::noPort;    ///< ... and its port.
+    int site = -1;                     ///< cab*/burst* target (site
+                                       ///< index in the NectarSystem).
+    Direction dir = Direction::both;   ///< burst* fiber selection.
+    phys::GilbertElliott burst;        ///< burstStart parameters.
+};
+
+/**
+ * A named, seeded script of fault events.  Build with the fluent
+ * helpers; order does not matter (the controller schedules by time).
+ */
+struct FaultPlan
+{
+    std::string name = "campaign";
+    std::uint64_t seed = 1;
+    std::vector<FaultEvent> events;
+
+    FaultPlan &
+    hubLinkDown(sim::Tick at, int hub, hub::PortId port)
+    {
+        events.push_back({at, Action::hubLinkDown, hub, port, -1,
+                          Direction::both, {}});
+        return *this;
+    }
+
+    FaultPlan &
+    hubLinkUp(sim::Tick at, int hub, hub::PortId port)
+    {
+        events.push_back({at, Action::hubLinkUp, hub, port, -1,
+                          Direction::both, {}});
+        return *this;
+    }
+
+    FaultPlan &
+    cabLinkDown(sim::Tick at, int site)
+    {
+        events.push_back({at, Action::cabLinkDown, -1, hub::noPort,
+                          site, Direction::both, {}});
+        return *this;
+    }
+
+    FaultPlan &
+    cabLinkUp(sim::Tick at, int site)
+    {
+        events.push_back({at, Action::cabLinkUp, -1, hub::noPort,
+                          site, Direction::both, {}});
+        return *this;
+    }
+
+    /** Open a burst window on a CAB attachment from @p from to
+     *  @p to.  @p dir picks the afflicted fiber(s). */
+    FaultPlan &
+    burstWindow(sim::Tick from, sim::Tick to, int site, Direction dir,
+                const phys::GilbertElliott &model)
+    {
+        events.push_back({from, Action::burstStart, -1, hub::noPort,
+                          site, dir, model});
+        events.push_back({to, Action::burstEnd, -1, hub::noPort,
+                          site, dir, {}});
+        return *this;
+    }
+
+    FaultPlan &
+    hubPortStuck(sim::Tick at, int hub, hub::PortId port)
+    {
+        events.push_back({at, Action::hubPortStuck, hub, port, -1,
+                          Direction::both, {}});
+        return *this;
+    }
+
+    FaultPlan &
+    hubPortRestore(sim::Tick at, int hub, hub::PortId port)
+    {
+        events.push_back({at, Action::hubPortRestore, hub, port, -1,
+                          Direction::both, {}});
+        return *this;
+    }
+
+    FaultPlan &
+    cabCrash(sim::Tick at, int site)
+    {
+        events.push_back({at, Action::cabCrash, -1, hub::noPort,
+                          site, Direction::both, {}});
+        return *this;
+    }
+
+    FaultPlan &
+    cabRestart(sim::Tick at, int site)
+    {
+        events.push_back({at, Action::cabRestart, -1, hub::noPort,
+                          site, Direction::both, {}});
+        return *this;
+    }
+};
+
+} // namespace nectar::fault

@@ -1,0 +1,43 @@
+#include "report.hh"
+
+#include <sstream>
+
+namespace nectar::fault {
+
+std::string
+CampaignReport::format() const
+{
+    // Percentiles render as whole ticks: every value below comes from
+    // integer counters or tick samples, so the text is byte-stable
+    // across identical runs.
+    std::ostringstream os;
+    os << "campaign " << name << " seed=" << seed << "\n";
+    for (const auto &e : log)
+        os << "  [" << e.at << "] " << e.what << "\n";
+    os << "events executed    " << log.size() << "\n"
+       << "messages sent      " << messagesSent << "\n"
+       << "messages delivered " << messagesDelivered << "\n"
+       << "send failures      " << sendFailures << "\n"
+       << "recovered          " << messagesRecovered << "\n"
+       << "retransmissions    " << retransmissions << "\n"
+       << "rto backoffs       " << rtoBackoffs << "\n"
+       << "karn suppressed    " << karnSuppressed << "\n"
+       << "flow resyncs       " << flowResyncs << "\n"
+       << "stale acks         " << staleAcks << "\n"
+       << "reroutes           " << reroutes << "\n"
+       << "unroutable sends   " << unroutable << "\n"
+       << "burst drops        " << burstDrops << "\n"
+       << "down-link drops    " << downDrops << "\n"
+       << "crash drops        " << crashDrops << "\n"
+       << "ready timeouts     " << readyTimeouts << "\n"
+       << "stuck drops        " << stuckDrops << "\n"
+       << "ready re-arms      " << readyRearms << "\n"
+       << "recoveries         " << recoveries << "\n"
+       << "recovery p50 ns    "
+       << static_cast<std::uint64_t>(recoveryP50) << "\n"
+       << "recovery p99 ns    "
+       << static_cast<std::uint64_t>(recoveryP99) << "\n";
+    return os.str();
+}
+
+} // namespace nectar::fault

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Campaign reports: what a fault campaign did and what survived it.
+ *
+ * The report aggregates transport, routing, and fiber statistics
+ * across every site of the system after (or during) a campaign, and
+ * formats deterministically: running the same seeded plan twice must
+ * produce byte-identical reports.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/types.hh"
+
+namespace nectar::fault {
+
+/** Snapshot of system health after a chaos campaign. */
+struct CampaignReport
+{
+    std::string name;
+    std::uint64_t seed = 0;
+
+    /** One line per executed fault event. */
+    struct Entry
+    {
+        sim::Tick at = 0;
+        std::string what;
+    };
+    std::vector<Entry> log;
+
+    // Message accounting (summed over all sites).
+    std::uint64_t messagesSent = 0;
+    std::uint64_t messagesDelivered = 0;
+    std::uint64_t sendFailures = 0;      ///< Reported-failed sends.
+    std::uint64_t messagesRecovered = 0; ///< Succeeded after timeouts.
+    std::uint64_t retransmissions = 0;
+    std::uint64_t rtoBackoffs = 0;
+    std::uint64_t karnSuppressed = 0;
+    std::uint64_t flowResyncs = 0;
+    std::uint64_t staleAcks = 0;
+
+    // Routing.
+    std::uint64_t reroutes = 0;   ///< Route changes after link events.
+    std::uint64_t unroutable = 0; ///< Transmissions with no path.
+
+    // Fiber-level damage.
+    std::uint64_t burstDrops = 0; ///< Items lost to burst windows.
+    std::uint64_t downDrops = 0;  ///< Items lost to downed links.
+    std::uint64_t crashDrops = 0; ///< Packets into crashed CABs.
+
+    // Low-level recovery machinery.
+    std::uint64_t readyTimeouts = 0; ///< Datalink presumed-lost readies.
+    std::uint64_t stuckDrops = 0;    ///< HUB blocked-head watchdog drops.
+    std::uint64_t readyRearms = 0;   ///< HUB ready bits re-armed.
+
+    // Time-to-recover distribution (first timeout to renewed ack
+    // progress, ticks).
+    std::uint64_t recoveries = 0;
+    double recoveryP50 = 0;
+    double recoveryP99 = 0;
+
+    /** Deterministic multi-line rendering. */
+    std::string format() const;
+};
+
+} // namespace nectar::fault

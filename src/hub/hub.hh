@@ -49,6 +49,10 @@ struct HubStats
     sim::Counter disabledDrops;  ///< Items dropped by disabled ports.
     sim::Counter badCommands;    ///< Unknown opcodes / bad parameters.
     sim::Counter retryGiveUps;   ///< Retrying commands past the limit.
+    sim::Counter stuckDrops;     ///< Queue heads discarded by the
+                                 ///< blocked-head watchdog.
+    sim::Counter readyRearms;    ///< Ready bits re-armed after the
+                                 ///< restoring signal was presumed lost.
 };
 
 /** Configuration for a Hub instance. */
@@ -61,6 +65,24 @@ struct HubConfig
     int decodeCycles = 2;
     /** Cycles of cut-through latency per forwarded item. */
     int transferCycles = sim::proto::hubTransferCycles;
+    /**
+     * Watchdog on a queue head blocked with no wakeup in sight (its
+     * connection never opens because the open command was lost, or
+     * the route died under it).  After this long the head is
+     * discarded so the queue keeps draining and the ready handshake
+     * stays live; reliability above retransmits the loss.  0 disables
+     * the watchdog.
+     */
+    Tick stuckTimeout = 200 * sim::ticks::us;
+    /**
+     * Watchdog on an output register's cleared ready bit.  The ready
+     * signal restoring it is a single wire item; if it is lost (dark
+     * fiber, burst loss, a dead endpoint) the bit would stay false
+     * forever and wedge every route through the port.  After this
+     * long with no signal the port presumes the downstream queue
+     * drained and re-arms.  0 disables the watchdog.
+     */
+    Tick readyTimeout = 500 * sim::ticks::us;
 };
 
 /**

@@ -31,6 +31,7 @@ enum class HubEvent : std::uint8_t {
     packetForwarded, ///< A start-of-packet passed through the crossbar.
     queueOverflow,   ///< An input queue dropped an arriving item.
     replySent,       ///< The HUB inserted a reply into a stream.
+    stuckDrop,       ///< The blocked-head watchdog discarded an item.
 };
 
 /** Observer interface for crossbar/controller events. */

@@ -20,10 +20,22 @@ IoPort::IoPort(Hub &hub, PortId id, int queueCapacity)
 }
 
 void
+IoPort::setReady(bool r)
+{
+    readyBit = r;
+    if (r && readyWatchdog != sim::invalidEventId) {
+        if (eventq().pending(readyWatchdog))
+            eventq().cancel(readyWatchdog);
+        readyWatchdog = sim::invalidEventId;
+    }
+}
+
+void
 IoPort::flushQueue()
 {
     q.clear();
     qBytes = 0;
+    headBlockedSince = 0;
 }
 
 void
@@ -34,8 +46,10 @@ IoPort::transmit(const WireItem &item, bool stolen)
     // A start-of-packet leaving the output register clears the ready
     // bit until the downstream queue signals that it drained
     // (Section 4.2.3).
-    if (item.kind == ItemKind::startOfPacket)
+    if (item.kind == ItemKind::startOfPacket) {
         readyBit = false;
+        armReadyWatchdog();
+    }
     if (stolen)
         out->sendStolen(item);
     else
@@ -53,7 +67,7 @@ IoPort::fiberDeliver(WireItem item, Tick firstByte, Tick lastByte)
     switch (item.kind) {
       case ItemKind::readySignal:
         // Hop-by-hop flow control: the downstream queue drained.
-        readyBit = true;
+        setReady(true);
         return;
       case ItemKind::reply:
         // Replies travel backward along the route, stealing cycles;
@@ -101,12 +115,69 @@ IoPort::processQueue()
 {
     while (!q.empty()) {
         Tick retry = tryDisposeHead();
-        if (retry == 0)
+        if (retry == 0) {
+            headBlockedSince = 0;
             continue; // head disposed; look at the next item
-        if (retry != sim::maxTick)
+        }
+        if (retry != sim::maxTick) {
+            headBlockedSince = 0;
             scheduleProcess(retry);
+            return;
+        }
+        // Blocked with no known wakeup: the connection this head is
+        // waiting for may never open (its open command was lost, or
+        // the route died under it).  Arm the stuck-head watchdog so
+        // the queue — and the ready handshake upstream of it — cannot
+        // stall forever; reliability above retransmits the loss.
+        const Tick limit = hub.configuration().stuckTimeout;
+        if (limit <= 0)
+            return; // woken by connectionOpened()
+        if (headBlockedSince == 0)
+            headBlockedSince = now();
+        if (now() - headBlockedSince >= limit) {
+            dropHead();
+            continue;
+        }
+        scheduleProcess(headBlockedSince + limit);
         return;
     }
+    headBlockedSince = 0;
+}
+
+void
+IoPort::armReadyWatchdog()
+{
+    const Tick limit = hub.configuration().readyTimeout;
+    if (limit <= 0)
+        return;
+    if (readyWatchdog != sim::invalidEventId &&
+        eventq().pending(readyWatchdog))
+        eventq().cancel(readyWatchdog);
+    readyWatchdog = eventq().scheduleIn(limit, [this] {
+        readyWatchdog = sim::invalidEventId;
+        if (!readyBit) {
+            readyBit = true;
+            hub.stats().readyRearms.add();
+        }
+    }, sim::EventPriority::hardware);
+}
+
+void
+IoPort::dropHead()
+{
+    const Queued &head = q.front();
+    // Discarding a start of packet frees the queue slot the upstream
+    // transmitter is waiting on, which is exactly what the ready
+    // signal reports — send it so the upstream port is not wedged on
+    // a packet that will never emerge.
+    if (head.item.kind == ItemKind::startOfPacket && out)
+        out->sendStolen(WireItem::ready());
+    qBytes -= head.item.byteLength();
+    q.pop_front();
+    headBlockedSince = 0;
+    hub.stats().stuckDrops.add();
+    hub.countError();
+    hub.monitorRecord(HubEvent::stuckDrop, _id, noPort);
 }
 
 Tick

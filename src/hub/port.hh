@@ -55,7 +55,7 @@ class IoPort : public sim::Component, public phys::FiberSink
     bool ready() const { return readyBit; }
 
     /** Force the ready bit (supervisor commands, CAB attach). */
-    void setReady(bool r) { readyBit = r; }
+    void setReady(bool r);
 
     /** Disabled ports drop all arriving traffic. */
     bool enabled() const { return _enabled; }
@@ -120,6 +120,12 @@ class IoPort : public sim::Component, public phys::FiberSink
     /** Forward the head item through the crossbar to @p outputs. */
     Tick forwardHead(const std::vector<PortId> &outputs);
 
+    /** Watchdog: discard a head that stayed blocked past the limit. */
+    void dropHead();
+
+    /** Watchdog: re-arm the ready bit if its signal never arrives. */
+    void armReadyWatchdog();
+
     Hub &hub;
     PortId _id;
     phys::FiberLink *out = nullptr;
@@ -133,6 +139,10 @@ class IoPort : public sim::Component, public phys::FiberSink
 
     sim::EventId wakeup = sim::invalidEventId;
     Tick wakeupAt = 0;
+    /** When the current head first blocked with no known wakeup. */
+    Tick headBlockedSince = 0;
+    /** Pending ready-bit watchdog, cancelled when the signal arrives. */
+    sim::EventId readyWatchdog = sim::invalidEventId;
 };
 
 } // namespace nectar::hub

@@ -70,6 +70,49 @@ struct FaultModel
 };
 
 /**
+ * Gilbert–Elliott two-state burst-loss model.
+ *
+ * The channel alternates between a good and a bad state.  The chain
+ * evolves in wire time — one transition opportunity per byte slot —
+ * so a burst (a connector knocked loose, an optical transient) ends
+ * whether or not anything is transmitted through it: a retransmission
+ * delayed past the burst sees a clean channel.  An item is lost when
+ * any byte slot of its serialization falls in the bad state, so long
+ * data chunks are proportionally more exposed than 3-byte command
+ * words, exactly as on a real wire.
+ *
+ * With lossGood = 0 and lossBad = 1 the stationary fraction of wire
+ * time spent bad is pGoodBad / (pGoodBad + pBadGood) and the mean
+ * burst length is 1 / pBadGood byte times.
+ *
+ * Markers (start/end of packet) are exempt, mirroring FaultModel: the
+ * datalink's framing recovery is exercised through command loss, not
+ * through marker truncation.
+ */
+struct GilbertElliott
+{
+    double pGoodBad = 0.0; ///< P(good -> bad) per byte slot.
+    double pBadGood = 1.0; ///< P(bad -> good) per byte slot.
+    double lossGood = 0.0; ///< P(drop) while in the good state.
+    double lossBad = 0.0;  ///< P(drop) while in the bad state.
+
+    /** Choose transition rates so @p lossRate of the wire time is
+     *  spent in bursts of mean @p meanBurstBytes byte slots
+     *  (lossGood = 0, lossBad = 1). */
+    static GilbertElliott
+    forLossRate(double lossRate, double meanBurstBytes = 8.0)
+    {
+        GilbertElliott ge;
+        ge.lossBad = 1.0;
+        ge.pBadGood = 1.0 / meanBurstBytes;
+        ge.pGoodBad = lossRate <= 0.0
+                          ? 0.0
+                          : ge.pBadGood * lossRate / (1.0 - lossRate);
+        return ge;
+    }
+};
+
+/**
  * One direction of a fiber pair.
  */
 class FiberLink : public sim::Component
@@ -112,8 +155,35 @@ class FiberLink : public sim::Component
     /** Tick at which the transmitter becomes idle. */
     Tick busyUntil() const { return _busyUntil; }
 
-    /** Enable fault injection with the given model and seed. */
+    /**
+     * Enable fault injection with the given model and seed.
+     *
+     * Re-seeding contract: calling this twice with the same model and
+     * seed reproduces the identical drop/corrupt decision sequence,
+     * and the drop/corrupt counters restart from zero.
+     */
     void setFaults(const FaultModel &model, std::uint64_t seed);
+
+    /**
+     * Enable (or re-seed) the Gilbert–Elliott burst model.  Runs
+     * independently of setFaults(): both may be active, and either
+     * may drop an item.  The state machine starts in the good state.
+     */
+    void setBurstModel(const GilbertElliott &model, std::uint64_t seed);
+
+    /** Disable the burst model. */
+    void clearBurstModel();
+
+    /** True while a burst model is installed. */
+    bool burstModelActive() const { return burstEnabled; }
+
+    /**
+     * Link operational state.  A downed link (cable pulled, laser
+     * dark) silently discards everything handed to its transmitter;
+     * recovery is the upper layers' problem, which is the point.
+     */
+    void setLinkUp(bool up) { _up = up; }
+    bool linkUp() const { return _up; }
 
     /** Total payload-carrying wire bytes sent (excludes stolen). */
     std::uint64_t bytesSent() const { return _bytesSent; }
@@ -121,13 +191,29 @@ class FiberLink : public sim::Component
     std::uint64_t itemsDropped() const { return _itemsDropped; }
     /** Items corrupted by fault injection. */
     std::uint64_t itemsCorrupted() const { return _itemsCorrupted; }
+    /** Items dropped by the burst (Gilbert–Elliott) model. */
+    std::uint64_t itemsDroppedBurst() const { return _burstDropped; }
+    /** Items discarded because the link was down. */
+    std::uint64_t itemsDroppedDown() const { return _downDropped; }
 
     /** Busy time accumulated, for utilization measurements. */
     Tick busyTicks() const { return _busyTicks; }
 
   private:
     /** Apply fault model; returns false if the item is dropped. */
-    bool applyFaults(WireItem &item);
+    bool applyFaults(WireItem &item, Tick start);
+
+    /** Advance the burst model; returns false if the item is lost. */
+    bool applyBurst(const WireItem &item, Tick start);
+
+    /** Slots the burst chain dwells in its current state (>= 1). */
+    std::int64_t burstDwellSample();
+
+    /**
+     * Advance the burst chain by @p slots byte slots.
+     * @return true if the bad state was occupied at any point.
+     */
+    bool burstAdvance(std::int64_t slots);
 
     void deliver(WireItem item, Tick firstByte, Tick lastByte);
 
@@ -141,9 +227,22 @@ class FiberLink : public sim::Component
     sim::Random rng;
     bool faultsEnabled = false;
 
+    GilbertElliott burst;
+    sim::Random burstRng;
+    bool burstEnabled = false;
+    bool burstBadState = false;
+    /** Byte slot the chain has been advanced to; -1 = not started. */
+    std::int64_t burstSlot = -1;
+    /** Slots remaining before the next state transition. */
+    std::int64_t burstDwell = 0;
+
+    bool _up = true;
+
     std::uint64_t _bytesSent = 0;
     std::uint64_t _itemsDropped = 0;
     std::uint64_t _itemsCorrupted = 0;
+    std::uint64_t _burstDropped = 0;
+    std::uint64_t _downDropped = 0;
 };
 
 } // namespace nectar::phys

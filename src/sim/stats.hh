@@ -86,6 +86,9 @@ class Histogram
 
     double mean() const;
 
+    /** The raw samples, in recording order (for merging). */
+    const std::vector<double> &rawSamples() const { return samples; }
+
     void reset() { samples.clear(); sorted = true; }
 
   private:

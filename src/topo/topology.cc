@@ -64,7 +64,7 @@ Topology::firstFreePort(int hubIndex) const
     return hub::noPort;
 }
 
-void
+int
 Topology::linkHubs(int a, hub::PortId pa, int b, hub::PortId pb,
                    sim::Tick propDelay)
 {
@@ -72,11 +72,16 @@ Topology::linkHubs(int a, hub::PortId pa, int b, hub::PortId pb,
         sim::fatal("Topology::linkHubs: port already wired");
     if (a == b)
         sim::fatal("Topology::linkHubs: self-link");
-    _wiring.connectHubPorts(*hubs[a], pa, *hubs[b], pb, propDelay);
+    FiberPair fibers =
+        _wiring.connectHubPorts(*hubs[a], pa, *hubs[b], pb, propDelay);
     portUsed[a][pa] = true;
     portUsed[b][pb] = true;
-    adjacency[a].push_back(Adj{b, pa});
-    adjacency[b].push_back(Adj{a, pb});
+    int index = static_cast<int>(_hubLinks.size());
+    _hubLinks.push_back(HubLink{a, pa, b, pb, fibers.forward,
+                                fibers.reverse, true});
+    adjacency[a].push_back(Adj{b, pa, index});
+    adjacency[b].push_back(Adj{a, pb, index});
+    return index;
 }
 
 phys::FiberLink &
@@ -87,8 +92,130 @@ Topology::attachEndpoint(phys::FiberSink &rx, int hubIndex,
     if (!portFree(hubIndex, port))
         sim::fatal("Topology::attachEndpoint: port already wired");
     portUsed[hubIndex][port] = true;
-    return _wiring.connectEndpoint(rx, *hubs[hubIndex], port, name,
-                                   propDelay);
+    FiberPair fibers = _wiring.connectEndpointPair(
+        rx, *hubs[hubIndex], port, name, propDelay);
+    endpointLinks[{hubIndex, port}] = fibers;
+    return *fibers.forward;
+}
+
+// --------------------------------------------------------------------
+// Link health.
+// --------------------------------------------------------------------
+
+int
+Topology::findHubLink(int hub, hub::PortId port) const
+{
+    for (std::size_t i = 0; i < _hubLinks.size(); ++i) {
+        const HubLink &l = _hubLinks[i];
+        if ((l.a == hub && l.pa == port) ||
+            (l.b == hub && l.pb == port))
+            return static_cast<int>(i);
+    }
+    return -1;
+}
+
+void
+Topology::setLinkState(int linkIndex, bool up)
+{
+    HubLink &l = _hubLinks[linkIndex];
+    if (l.up == up)
+        return;
+    l.up = up;
+    l.ab->setLinkUp(up);
+    l.ba->setLinkUp(up);
+    if (up) {
+        // Link reinitialization re-arms hop-by-hop flow control: a
+        // ready signal in flight when the light went out is gone for
+        // good, and everything queued downstream was dropped with it,
+        // so both output registers may treat the far queue as drained.
+        hubAt(l.a).port(l.pa).setReady(true);
+        hubAt(l.b).port(l.pb).setReady(true);
+    }
+    ++_linkVersion;
+}
+
+void
+Topology::markLinkDown(int hub, hub::PortId port)
+{
+    int i = findHubLink(hub, port);
+    if (i < 0)
+        sim::fatal("Topology::markLinkDown: no inter-HUB link at "
+                   "hub " + std::to_string(hub) + " port " +
+                   std::to_string(port));
+    setLinkState(i, false);
+}
+
+void
+Topology::markLinkUp(int hub, hub::PortId port)
+{
+    int i = findHubLink(hub, port);
+    if (i < 0)
+        sim::fatal("Topology::markLinkUp: no inter-HUB link at "
+                   "hub " + std::to_string(hub) + " port " +
+                   std::to_string(port));
+    setLinkState(i, true);
+}
+
+void
+Topology::markLinkDownBetween(int a, int b)
+{
+    for (std::size_t i = 0; i < _hubLinks.size(); ++i) {
+        const HubLink &l = _hubLinks[i];
+        if (l.up && ((l.a == a && l.b == b) || (l.a == b && l.b == a))) {
+            setLinkState(static_cast<int>(i), false);
+            return;
+        }
+    }
+    sim::fatal("Topology::markLinkDownBetween: no up link between "
+               "hubs " + std::to_string(a) + " and " +
+               std::to_string(b));
+}
+
+void
+Topology::markLinkUpBetween(int a, int b)
+{
+    for (std::size_t i = 0; i < _hubLinks.size(); ++i) {
+        const HubLink &l = _hubLinks[i];
+        if (!l.up &&
+            ((l.a == a && l.b == b) || (l.a == b && l.b == a))) {
+            setLinkState(static_cast<int>(i), true);
+            return;
+        }
+    }
+    sim::fatal("Topology::markLinkUpBetween: no down link between "
+               "hubs " + std::to_string(a) + " and " +
+               std::to_string(b));
+}
+
+bool
+Topology::linkIsUp(int hub, hub::PortId port) const
+{
+    int i = findHubLink(hub, port);
+    if (i < 0)
+        sim::fatal("Topology::linkIsUp: no inter-HUB link there");
+    return _hubLinks[i].up;
+}
+
+bool
+Topology::reachable(int fromHub, int toHub) const
+{
+    if (fromHub < 0 || fromHub >= numHubs() || toHub < 0 ||
+        toHub >= numHubs())
+        sim::fatal("Topology::reachable: bad hub index");
+    if (fromHub == toHub)
+        return true;
+    return bfs(fromHub)[toHub].first != -1;
+}
+
+const FiberPair &
+Topology::endpointFibers(int hub, hub::PortId port) const
+{
+    auto it = endpointLinks.find({hub, port});
+    if (it == endpointLinks.end())
+        sim::fatal("Topology::endpointFibers: no endpoint at hub " +
+                   std::to_string(hub) + " port " +
+                   std::to_string(port));
+    return it->second;
 }
 
 std::vector<std::pair<int, hub::PortId>>
@@ -103,6 +230,8 @@ Topology::bfs(int root) const
         int h = frontier.front();
         frontier.pop_front();
         for (const Adj &a : adjacency[h]) {
+            if (!_hubLinks[a.linkIndex].up)
+                continue; // failed link: route around it
             if (!seen[a.neighbor]) {
                 seen[a.neighbor] = true;
                 prev[a.neighbor] = {h, a.myPort};
@@ -120,11 +249,15 @@ Topology::route(const Endpoint &from, const Endpoint &to) const
         to.hubIndex < 0 || to.hubIndex >= numHubs())
         sim::fatal("Topology::route: bad endpoint");
 
-    // Hub path from source hub to destination hub.
+    // Hub path from source hub to destination hub over surviving
+    // links.  An unreachable destination yields an empty route: link
+    // failures are an operational condition, not a programming error,
+    // and the transport's retransmission machinery turns it into a
+    // retried (and eventually healed) transmission failure.
     auto prev = bfs(from.hubIndex);
     if (to.hubIndex != from.hubIndex &&
         prev[to.hubIndex].first == -1)
-        sim::fatal("Topology::route: no path between hubs");
+        return {};
 
     std::vector<int> path; // hub indices, destination first
     for (int h = to.hubIndex; h != from.hubIndex;

@@ -16,6 +16,7 @@
 #pragma once
 
 #include <cstdint>
+#include <map>
 #include <memory>
 #include <string>
 #include <vector>
@@ -74,10 +75,14 @@ class Topology
 
     /**
      * Connect two HUBs with a fiber pair.
-     * Both ports must be unused.
+     * Both ports must be unused.  Parallel links between the same
+     * HUB pair are allowed (and give the mesh redundancy to reroute
+     * around a failed link).
+     *
+     * @return Index of the new link in hubLinks().
      */
-    void linkHubs(int a, hub::PortId pa, int b, hub::PortId pb,
-                  sim::Tick propDelay = 0);
+    int linkHubs(int a, hub::PortId pa, int b, hub::PortId pb,
+                 sim::Tick propDelay = 0);
 
     /**
      * Attach an endpoint (CAB or test harness) to a HUB port.
@@ -95,13 +100,71 @@ class Topology
     /** First free port on a HUB, or noPort. */
     hub::PortId firstFreePort(int hubIndex) const;
 
+    // ----- Link health ----------------------------------------------
+
     /**
-     * Compute the shortest route from @p from to @p to.
+     * Declare the inter-HUB link attached at (@p hub, @p port) down:
+     * both of its fibers stop delivering and route() stops using it.
+     * Bumps linkVersion() so route caches invalidate.
+     */
+    void markLinkDown(int hub, hub::PortId port);
+
+    /** Reverse of markLinkDown(). */
+    void markLinkUp(int hub, hub::PortId port);
+
+    /**
+     * Convenience: mark the first currently-up link between hubs
+     * @p a and @p b down (markLinkUpBetween: the first down one up).
+     */
+    void markLinkDownBetween(int a, int b);
+    void markLinkUpBetween(int a, int b);
+
+    /** True if the link attached at (@p hub, @p port) is up. */
+    bool linkIsUp(int hub, hub::PortId port) const;
+
+    /**
+     * Monotonic counter bumped by every markLinkDown/markLinkUp;
+     * route caches compare it to decide whether to recompute.
+     */
+    std::uint64_t linkVersion() const { return _linkVersion; }
+
+    /** True if a surviving path connects the two hubs. */
+    bool reachable(int fromHub, int toHub) const;
+
+    /** One inter-HUB link and its fibers. */
+    struct HubLink
+    {
+        int a = -1;
+        hub::PortId pa = hub::noPort;
+        int b = -1;
+        hub::PortId pb = hub::noPort;
+        phys::FiberLink *ab = nullptr; ///< Fiber a -> b.
+        phys::FiberLink *ba = nullptr; ///< Fiber b -> a.
+        bool up = true;
+    };
+
+    const std::vector<HubLink> &hubLinks() const { return _hubLinks; }
+
+    /**
+     * The fiber pair attaching the endpoint at (@p hub, @p port);
+     * forward is endpoint -> HUB.  Fatal if nothing is attached
+     * there.
+     */
+    const FiberPair &endpointFibers(int hub, hub::PortId port) const;
+
+    /**
+     * Compute the shortest route from @p from to @p to over the
+     * links currently up.
      *
      * The final hop opens the destination CAB's port and carries the
      * reply request; intermediate hops open inter-HUB connections.
      *
-     * @throws sim::FatalError if no route exists.
+     * @return The best surviving route, or an empty route when the
+     *         destination hub is unreachable (link failures can
+     *         partition the mesh; callers treat an empty route as a
+     *         transient transmission failure and retry, so the
+     *         system heals when the link comes back).
+     * @throws sim::FatalError only for invalid endpoints.
      */
     Route route(const Endpoint &from, const Endpoint &to) const;
 
@@ -124,11 +187,18 @@ class Topology
     {
         int neighbor;
         hub::PortId myPort;
+        int linkIndex; ///< Into _hubLinks, for health lookups.
     };
 
-    /** BFS predecessor tree from @p root: (prevHub, portFromPrev). */
+    /** BFS predecessor tree from @p root: (prevHub, portFromPrev).
+     *  Only traverses links that are up. */
     std::vector<std::pair<int, hub::PortId>>
     bfs(int root) const;
+
+    /** Index into _hubLinks of the link at (hub, port), or -1. */
+    int findHubLink(int hub, hub::PortId port) const;
+
+    void setLinkState(int linkIndex, bool up);
 
     sim::EventQueue &eq;
     hub::HubConfig config;
@@ -136,6 +206,9 @@ class Topology
     std::vector<std::unique_ptr<hub::Hub>> hubs;
     std::vector<std::vector<Adj>> adjacency;
     std::vector<std::vector<bool>> portUsed;
+    std::vector<HubLink> _hubLinks;
+    std::map<std::pair<int, int>, FiberPair> endpointLinks;
+    std::uint64_t _linkVersion = 0;
 };
 
 /**

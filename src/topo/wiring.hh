@@ -20,6 +20,13 @@
 
 namespace nectar::topo {
 
+/** The two directed fibers of one bidirectional connection. */
+struct FiberPair
+{
+    phys::FiberLink *forward = nullptr; ///< a -> b (or endpoint -> HUB).
+    phys::FiberLink *reverse = nullptr; ///< b -> a (or HUB -> endpoint).
+};
+
 /**
  * Owns the fiber links of a system and provides pairing helpers.
  */
@@ -44,8 +51,12 @@ class Wiring
 
     /**
      * Connect two HUB ports with a fiber pair (inter-HUB link).
+     *
+     * @return The two directed fibers (forward = a toward b), so
+     *         callers (Topology, the fault campaign engine) can
+     *         manipulate link state.
      */
-    void
+    FiberPair
     connectHubPorts(hub::Hub &a, hub::PortId pa, hub::Hub &b,
                     hub::PortId pb, sim::Tick propDelay = 0)
     {
@@ -59,6 +70,7 @@ class Wiring
                             a.port(pa), propDelay);
         a.port(pa).attachOutput(ab);
         b.port(pb).attachOutput(ba);
+        return FiberPair{&ab, &ba};
     }
 
     /**
@@ -75,6 +87,18 @@ class Wiring
                     hub::PortId port, const std::string &name,
                     sim::Tick propDelay = 0)
     {
+        return *connectEndpointPair(endpointRx, hub, port, name,
+                                    propDelay)
+                    .forward;
+    }
+
+    /** As connectEndpoint(), but returns both directed fibers
+     *  (forward = endpoint toward HUB). */
+    FiberPair
+    connectEndpointPair(phys::FiberSink &endpointRx, hub::Hub &hub,
+                        hub::PortId port, const std::string &name,
+                        sim::Tick propDelay = 0)
+    {
         auto &toHub = makeLink(name + "->" + hub.name() + ".p" +
                                    std::to_string(port),
                                hub.port(port), propDelay);
@@ -82,7 +106,7 @@ class Wiring
                                      std::to_string(port) + "->" + name,
                                  endpointRx, propDelay);
         hub.port(port).attachOutput(fromHub);
-        return toHub;
+        return FiberPair{&toHub, &fromHub};
     }
 
     /** All links created so far (for stats inspection). */

@@ -14,6 +14,7 @@
 #include <map>
 
 #include "sim/logging.hh"
+#include "sim/stats.hh"
 #include "topo/topology.hh"
 #include "transport/header.hh"
 
@@ -53,10 +54,24 @@ class NetworkDirectory
         return attachments.count(cab) > 0;
     }
 
-    /** Command route from @p from to @p to (cached). */
+    /**
+     * Command route from @p from to @p to (cached).
+     *
+     * The cache is keyed to the topology's link version: any
+     * markLinkDown/markLinkUp invalidates it, and recomputations
+     * that produce a different route than before are counted as
+     * reroutes (the campaign report's "observed reroutes").
+     *
+     * May be empty when link failures leave no surviving path.
+     */
     const topo::Route &
     route(CabAddress from, CabAddress to)
     {
+        if (version != topo.linkVersion()) {
+            staleRoutes = std::move(routes);
+            routes.clear();
+            version = topo.linkVersion();
+        }
         auto key = std::make_pair(from, to);
         auto it = routes.find(key);
         if (it == routes.end()) {
@@ -64,9 +79,15 @@ class NetworkDirectory
                      .emplace(key, topo.route(endpointOf(from),
                                               endpointOf(to)))
                      .first;
+            auto old = staleRoutes.find(key);
+            if (old != staleRoutes.end() && old->second != it->second)
+                _reroutes.add();
         }
         return it->second;
     }
+
+    /** Route recomputations that changed the path after a link event. */
+    std::uint64_t reroutes() const { return _reroutes.value(); }
 
     /** Number of registered CABs. */
     std::size_t size() const { return attachments.size(); }
@@ -77,6 +98,10 @@ class NetworkDirectory
     topo::Topology &topo;
     std::map<CabAddress, topo::Endpoint> attachments;
     std::map<std::pair<CabAddress, CabAddress>, topo::Route> routes;
+    std::map<std::pair<CabAddress, CabAddress>, topo::Route>
+        staleRoutes;
+    std::uint64_t version = 0;
+    sim::Counter _reroutes;
 };
 
 } // namespace nectar::transport

@@ -1,6 +1,7 @@
 #include "transport.hh"
 
 #include <algorithm>
+#include <cmath>
 
 #include "sim/logging.hh"
 
@@ -28,8 +29,12 @@ sim::Task<void>
 Transport::transmitPacket(CabAddress dst,
                           std::vector<std::uint8_t> packet)
 {
+    if (!_alive)
+        co_return;
     co_await _kernel.board().cpu().compute(
         _kernel.costs().transportSendPerPacket);
+    if (!_alive)
+        co_return;
     _stats.packetsSent.add();
     if (dst == self) {
         // Local loopback: tasks on the same CAB communicate through
@@ -38,6 +43,13 @@ Transport::transmitPacket(CabAddress dst,
         co_return;
     }
     const topo::Route &route = directory.route(self, dst);
+    if (route.empty()) {
+        // Link failures partitioned us from the destination.  Drop;
+        // the retransmission machinery retries, and succeeds once a
+        // link heals or the directory finds a surviving path.
+        _stats.unroutable.add();
+        co_return;
+    }
     bool ok = co_await dl.sendPacket(route,
                                      phys::makePayload(std::move(packet)),
                                      cfg.mode);
@@ -139,8 +151,48 @@ Transport::armTimer(CabAddress peer, std::uint16_t mb, SenderFlow &flow)
     if (timers.armed(flow.timer))
         timers.cancel(flow.timer);
     _kernel.board().cpu().charge(_kernel.costs().timerOp);
-    flow.timer = timers.set(cfg.retransmitTimeout,
+    if (flow.rto == 0)
+        flow.rto = cfg.retransmitTimeout;
+    Tick rto = cfg.adaptiveRto ? flow.rto : cfg.retransmitTimeout;
+    flow.timer = timers.set(rto,
                             [this, peer, mb] { onTimeout(peer, mb); });
+}
+
+void
+Transport::rttSample(SenderFlow &flow, Tick sample)
+{
+    _stats.rttSampleNs.record(static_cast<double>(sample));
+    if (!flow.haveSrtt) {
+        // First measurement (RFC 6298): SRTT = R, RTTVAR = R/2.
+        flow.srtt = static_cast<double>(sample);
+        flow.rttvar = flow.srtt / 2.0;
+        flow.haveSrtt = true;
+    } else {
+        double err = static_cast<double>(sample) - flow.srtt;
+        flow.rttvar = 0.75 * flow.rttvar + 0.25 * std::abs(err);
+        flow.srtt += err / 8.0;
+    }
+    auto rto = static_cast<Tick>(flow.srtt + 4.0 * flow.rttvar);
+    flow.rto = std::clamp(rto, cfg.minRto, cfg.maxRto);
+    _stats.lastSrtt = flow.srtt;
+    _stats.lastRttvar = flow.rttvar;
+    _stats.lastRto = flow.rto;
+}
+
+void
+Transport::resetFlow(SenderFlow &flow)
+{
+    flow.failed = true;
+    flow.unacked.clear();
+    // Fresh epoch: the next message restarts the sequence space, and
+    // its (strictly larger) message id resynchronizes the receiver.
+    flow.base = 0;
+    flow.nextSeq = 0;
+    flow.stalled = false;
+    flow.haveSrtt = false;
+    flow.srtt = flow.rttvar = 0;
+    flow.rto = cfg.retransmitTimeout;
+    wakeFlow(flow);
 }
 
 void
@@ -150,20 +202,31 @@ Transport::onTimeout(CabAddress peer, std::uint16_t mb)
     if (flow.unacked.empty())
         return;
 
+    flow.hadTimeout = true;
+    if (!flow.stalled) {
+        flow.stalled = true;
+        flow.stallStart = now();
+    }
+
     if (++flow.timeouts > cfg.maxRetransmits) {
         // The flow is broken: fail the pending send.
-        flow.failed = true;
-        flow.unacked.clear();
-        flow.base = flow.nextSeq;
         _stats.sendFailures.add();
-        wakeFlow(flow);
+        resetFlow(flow);
         return;
     }
 
+    if (cfg.adaptiveRto) {
+        // Exponential backoff (Karn): double the timeout until an
+        // unambiguous sample re-seeds the estimator.
+        flow.rto = std::min(flow.rto * 2, cfg.maxRto);
+        _stats.rtoBackoffs.add();
+    }
+
     // Go-back-N: retransmit everything outstanding, in order.
-    for (const auto &[seq, pkt] : flow.unacked) {
+    for (auto &[seq, u] : flow.unacked) {
+        u.retransmitted = true;
         _stats.retransmissions.add();
-        transmitAsync(peer, pkt);
+        transmitAsync(peer, u.pkt);
     }
     armTimer(peer, mb, flow);
 }
@@ -173,16 +236,27 @@ Transport::sendReliable(CabAddress dst, std::uint16_t dstMailbox,
                         std::vector<std::uint8_t> data)
 {
     _stats.messagesSent.add();
+    if (!_alive) {
+        _stats.sendFailures.add();
+        co_return false;
+    }
     SenderFlow &flow = senderFlow(dst, dstMailbox);
 
     // One message at a time per flow keeps receiver reassembly
     // state simple (fragments of one message are contiguous in
     // sequence space).
     co_await flow.mutex.lock();
+    if (!_alive) {
+        _stats.sendFailures.add();
+        flow.mutex.unlock();
+        co_return false;
+    }
     flow.failed = false;
     flow.timeouts = 0;
+    flow.hadTimeout = false;
 
     std::uint32_t msg_id = nextMsgId++;
+    flow.currentMsgId = msg_id;
     auto frag_count = static_cast<std::uint16_t>(
         std::max<std::size_t>(1, (data.size() + cfg.mtu - 1) / cfg.mtu));
 
@@ -213,7 +287,7 @@ Transport::sendReliable(CabAddress dst, std::uint16_t dstMailbox,
         std::vector<std::uint8_t> frag(data.begin() + off,
                                        data.begin() + off + len);
         auto pkt = encodePacket(h, frag);
-        flow.unacked.emplace(h.seq, pkt);
+        flow.unacked.emplace(h.seq, Unacked{pkt, now(), false});
         armTimer(dst, dstMailbox, flow);
         co_await transmitPacket(dst, std::move(pkt));
     }
@@ -223,6 +297,8 @@ Transport::sendReliable(CabAddress dst, std::uint16_t dstMailbox,
         co_await FlowWait{flow.waiters};
 
     bool ok = !flow.failed;
+    if (ok && flow.hadTimeout)
+        _stats.messagesRecovered.add();
     flow.mutex.unlock();
     co_return ok;
 }
@@ -233,13 +309,38 @@ Transport::handleAck(const Header &h)
     _stats.acksReceived.add();
     // The ack's srcMailbox echoes the flow's destination mailbox.
     SenderFlow &flow = senderFlow(h.srcCab, h.srcMailbox);
+    if (h.msgId < flow.currentMsgId) {
+        // The ack describes a flow epoch discarded by a reset or
+        // crash; acting on its cumulative ack would skip unsent
+        // sequence numbers of the new epoch (silent loss).
+        _stats.staleAcks.add();
+        return;
+    }
     if (h.ack <= flow.base)
         return; // stale or duplicate ack
     flow.base = std::min(h.ack, flow.nextSeq);
     flow.timeouts = 0;
+
+    // RTT from the highest packet this ack newly covers.  Karn's
+    // rule: retransmitted packets give ambiguous samples, skip them.
+    auto newest = flow.unacked.find(flow.base - 1);
+    if (newest != flow.unacked.end()) {
+        if (newest->second.retransmitted)
+            _stats.karnSuppressed.add();
+        else
+            rttSample(flow, now() - newest->second.sentAt);
+    }
+
     while (!flow.unacked.empty() &&
            flow.unacked.begin()->first < flow.base)
         flow.unacked.erase(flow.unacked.begin());
+
+    if (flow.stalled) {
+        // Forward progress after a timeout episode: recovered.
+        _stats.recoveryNs.record(
+            static_cast<double>(now() - flow.stallStart));
+        flow.stalled = false;
+    }
 
     auto &timers = _kernel.board().timers();
     if (flow.unacked.empty()) {
@@ -259,6 +360,11 @@ void
 Transport::handlePacket(std::vector<std::uint8_t> &&bytes,
                         bool corrupted)
 {
+    if (!_alive) {
+        // A crashed CAB's board is dark: arriving packets vanish.
+        _stats.crashDrops.add();
+        return;
+    }
     _stats.packetsReceived.add();
 
     std::vector<std::uint8_t> payload;
@@ -325,7 +431,8 @@ Transport::deliver(std::uint16_t dstMailbox,
 }
 
 void
-Transport::sendAck(const Header &h, std::uint32_t nextExpected)
+Transport::sendAck(const Header &h, std::uint32_t nextExpected,
+                   std::uint32_t epoch)
 {
     Header ack;
     ack.protocol = Proto::ack;
@@ -335,6 +442,7 @@ Transport::sendAck(const Header &h, std::uint32_t nextExpected)
     // flow state.
     ack.srcMailbox = h.dstMailbox;
     ack.ack = nextExpected;
+    ack.msgId = epoch;
     _stats.acksSent.add();
     transmitAsync(h.srcCab, encodePacket(ack, {}));
 }
@@ -346,16 +454,29 @@ Transport::handleStreamData(const Header &h,
     auto key = flowKey(h.srcCab, h.dstMailbox);
     ReceiverFlow &flow = receivers[key];
 
+    if (flow.expected != 0 && h.seq == 0 && h.fragIndex == 0 &&
+        h.msgId > flow.highestMsgId) {
+        // The peer reset its flow epoch (send failure or CAB
+        // restart) and is starting over from sequence zero with a
+        // message id beyond anything seen: resynchronize.  Stale
+        // retransmits of old messages fail the msgId test and fall
+        // through to the duplicate path instead.
+        flow.expected = 0;
+        flow.assembling = false;
+        flow.assembly.clear();
+        _stats.flowResyncs.add();
+    }
+
     if (h.seq < flow.expected) {
         _stats.duplicates.add();
-        sendAck(h, flow.expected);
+        sendAck(h, flow.expected, flow.highestMsgId);
         return;
     }
     if (h.seq > flow.expected) {
         // Go-back-N receiver: out-of-order packets are discarded and
         // the sender learns the next needed seq from the dup-ack.
         _stats.outOfOrder.add();
-        sendAck(h, flow.expected);
+        sendAck(h, flow.expected, flow.highestMsgId);
         return;
     }
 
@@ -364,12 +485,13 @@ Transport::handleStreamData(const Header &h,
         flow.assembling = true;
         flow.msgId = h.msgId;
         flow.assembly.clear();
+        flow.highestMsgId = std::max(flow.highestMsgId, h.msgId);
     }
     if (!flow.assembling || flow.msgId != h.msgId) {
         // Mid-message fragment without a start: protocol confusion
         // (e.g. after a failed flow); resynchronize by dropping.
         flow.assembling = false;
-        sendAck(h, flow.expected);
+        sendAck(h, flow.expected, flow.highestMsgId);
         return;
     }
 
@@ -380,7 +502,7 @@ Transport::handleStreamData(const Header &h,
         whole.insert(whole.end(), payload.begin(), payload.end());
         if (!deliver(h.dstMailbox, std::move(whole), h.msgId)) {
             _stats.deliveryStalls.add();
-            sendAck(h, flow.expected); // do not advance
+            sendAck(h, flow.expected, flow.highestMsgId);
             return;
         }
         flow.assembling = false;
@@ -391,7 +513,7 @@ Transport::handleStreamData(const Header &h,
     }
 
     ++flow.expected;
-    sendAck(h, flow.expected);
+    sendAck(h, flow.expected, flow.highestMsgId);
 }
 
 void
@@ -553,6 +675,57 @@ Transport::handleResponse(const Header &h,
     if (it == pendingRequests.end())
         return; // late duplicate response
     it->second->push(std::move(payload));
+}
+
+// --------------------------------------------------------------------
+// Fault injection: CAB crash and restart.
+// --------------------------------------------------------------------
+
+void
+Transport::crash()
+{
+    if (!_alive)
+        return;
+    _alive = false;
+
+    auto &timers = _kernel.board().timers();
+    for (auto &[key, flowPtr] : senders) {
+        SenderFlow &flow = *flowPtr;
+        if (timers.armed(flow.timer))
+            timers.cancel(flow.timer);
+        bool active = !flow.unacked.empty() ||
+                      flow.base != flow.nextSeq;
+        if (active)
+            _stats.sendFailures.add();
+        resetFlow(flow);
+    }
+
+    // Receiver-side and RPC state is gone with the board's memory.
+    // Sender flow objects stay (coroutines may hold references);
+    // their contents were reset above.
+    receivers.clear();
+    datagramAsm.clear();
+    pendingServer.clear();
+    responseCache.clear();
+    responseCacheOrder.clear();
+
+    // Fail pending RPCs promptly: the attempt loop retries against a
+    // dead board and gives up after maxRequestAttempts.
+    for (auto &[seq, chan] : pendingRequests)
+        chan->push(std::nullopt);
+}
+
+void
+Transport::restart()
+{
+    if (_alive)
+        return;
+    _alive = true;
+    // The message-id space jumps past everything used before the
+    // crash (a boot counter in stable storage), so receivers treat
+    // post-restart messages as fresh epochs and stale pre-crash
+    // retransmits as duplicates.
+    nextMsgId += msgIdRestartJump;
 }
 
 } // namespace nectar::transport

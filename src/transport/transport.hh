@@ -48,8 +48,22 @@ struct TransportConfig
 {
     /** User payload bytes per packet (header adds 32). */
     std::uint32_t mtu = 896;
-    /** Go-back-N retransmission timeout. */
+    /**
+     * Initial go-back-N retransmission timeout; also the fixed
+     * timeout when adaptiveRto is off.
+     */
     Tick retransmitTimeout = 1 * ms;
+    /**
+     * Adapt the retransmission timeout per flow from measured
+     * round-trip times (Jacobson/Karn: SRTT/RTTVAR estimators,
+     * exponential backoff on expiry, no samples from retransmitted
+     * packets).
+     */
+    bool adaptiveRto = true;
+    /** Lower clamp for the adaptive retransmission timeout. */
+    Tick minRto = 200 * us;
+    /** Upper clamp for the (backed-off) retransmission timeout. */
+    Tick maxRto = 64 * ms;
     /** Consecutive timeouts before a reliable send fails. */
     int maxRetransmits = 10;
     /** Sliding window, in packets (Section 6.2.2). */
@@ -86,6 +100,25 @@ struct TransportStats
     sim::Counter requestsFailed;
     sim::Counter cachedResponseHits; ///< Duplicate requests answered
                                      ///< from the response cache.
+
+    // Failure-recovery instrumentation (fault campaigns).
+    sim::Counter messagesRecovered; ///< Reliable sends that succeeded
+                                    ///< after at least one timeout.
+    sim::Counter rtoBackoffs;     ///< Timer expiries doubling the RTO.
+    sim::Counter karnSuppressed;  ///< RTT samples discarded because the
+                                  ///< acked packet was retransmitted.
+    sim::Counter unroutable;      ///< Transmissions with no surviving
+                                  ///< route (dropped; sender retries).
+    sim::Counter crashDrops;      ///< Packets ignored while crashed.
+    sim::Counter flowResyncs;     ///< Receiver flows resynchronized
+                                  ///< after a peer reset its epoch.
+    sim::Counter staleAcks;       ///< Acks from a previous flow epoch.
+    sim::SampleStats rttSampleNs; ///< Accepted RTT samples (ticks).
+    sim::Histogram recoveryNs;    ///< First-timeout-to-recovery times
+                                  ///< of stalled flows (ticks).
+    double lastSrtt = 0;          ///< Most recent flow SRTT (ticks).
+    double lastRttvar = 0;        ///< Most recent flow RTTVAR (ticks).
+    Tick lastRto = 0;             ///< Most recent computed RTO.
 };
 
 /**
@@ -164,8 +197,35 @@ class Transport : public sim::Component
     void respond(std::uint64_t requestTag,
                  std::vector<std::uint8_t> response);
 
+    // ----- Fault injection ---------------------------------------------
+
+    /**
+     * Crash this CAB's transport: all protocol state is lost, every
+     * pending reliable send fails, and arriving packets are ignored
+     * until restart().  Mirrors pulling a CAB from its slot.
+     */
+    void crash();
+
+    /**
+     * Restart after crash().  Protocol state starts fresh; the
+     * message-id space jumps past everything used before the crash
+     * (a boot counter), so peers can distinguish new messages from
+     * stale pre-crash duplicates.
+     */
+    void restart();
+
+    bool alive() const { return _alive; }
+
   private:
     // ----- Sender-side stream state -----------------------------------
+
+    /** One outstanding (sent, unacknowledged) packet. */
+    struct Unacked
+    {
+        std::vector<std::uint8_t> pkt;
+        Tick sentAt = 0;           ///< First transmission time.
+        bool retransmitted = false; ///< Karn: no RTT sample if set.
+    };
 
     struct SenderFlow
     {
@@ -173,12 +233,25 @@ class Transport : public sim::Component
 
         std::uint32_t nextSeq = 0; ///< Next fresh sequence number.
         std::uint32_t base = 0;    ///< Oldest unacknowledged seq.
-        std::map<std::uint32_t, std::vector<std::uint8_t>> unacked;
+        std::map<std::uint32_t, Unacked> unacked;
         cab::TimerId timer = sim::invalidEventId;
         int timeouts = 0;
         bool failed = false;
         sim::AsyncMutex mutex; ///< One message in flight per flow.
         std::vector<std::coroutine_handle<>> waiters;
+
+        // Jacobson/Karn retransmission-timeout estimator.
+        double srtt = 0;   ///< Smoothed RTT (ticks).
+        double rttvar = 0; ///< RTT variation (ticks).
+        bool haveSrtt = false;
+        Tick rto = 0; ///< Current timeout; 0 = use the config initial.
+
+        std::uint32_t currentMsgId = 0; ///< Message in flight; acks
+                                        ///< from earlier epochs are
+                                        ///< stale and ignored.
+        bool hadTimeout = false; ///< This message saw >= 1 timeout.
+        bool stalled = false;    ///< In a timeout-recovery episode.
+        Tick stallStart = 0;     ///< When the episode began.
     };
 
     struct ReceiverFlow
@@ -187,6 +260,8 @@ class Transport : public sim::Component
         bool assembling = false;
         std::uint32_t msgId = 0;
         std::vector<std::uint8_t> assembly;
+        std::uint32_t highestMsgId = 0; ///< Highest message started;
+                                        ///< gates epoch resync.
     };
 
     /** Partially reassembled datagram. */
@@ -231,7 +306,14 @@ class Transport : public sim::Component
     bool deliver(std::uint16_t dstMailbox,
                  std::vector<std::uint8_t> &&msg, std::uint64_t tag);
 
-    void sendAck(const Header &h, std::uint32_t nextExpected);
+    /**
+     * Acknowledge up to @p nextExpected.  @p epoch is the receiver
+     * flow's highest accepted message id; the sender discards acks
+     * from an earlier epoch (they describe a flow state that a reset
+     * or crash has since discarded).
+     */
+    void sendAck(const Header &h, std::uint32_t nextExpected,
+                 std::uint32_t epoch);
 
     /** Arm/refresh the flow's retransmission timer. */
     void armTimer(CabAddress peer, std::uint16_t mb, SenderFlow &flow);
@@ -240,6 +322,16 @@ class Transport : public sim::Component
     void onTimeout(CabAddress peer, std::uint16_t mb);
 
     void wakeFlow(SenderFlow &flow);
+
+    /** Feed one RTT measurement into the flow's Jacobson estimator. */
+    void rttSample(SenderFlow &flow, Tick sample);
+
+    /**
+     * Fail the pending send and reset the flow to a fresh epoch
+     * (sequence numbers restart at zero; the next message id starts
+     * the new epoch on the receiver).
+     */
+    void resetFlow(SenderFlow &flow);
 
     cabos::Kernel &_kernel;
     datalink::Datalink &dl;
@@ -253,6 +345,10 @@ class Transport : public sim::Component
     std::map<std::uint64_t, DatagramAssembly> datagramAsm;
 
     std::uint32_t nextMsgId = 1;
+    bool _alive = true;
+
+    /** Message-id jump applied on restart (the boot counter). */
+    static constexpr std::uint32_t msgIdRestartJump = 1u << 16;
 
     // RPC client state.  A timeout pushes nullopt; a response pushes
     // its (possibly empty) payload.

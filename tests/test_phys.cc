@@ -198,6 +198,168 @@ TEST(FiberLink, FaultRatesAreApproximatelyHonoured)
     EXPECT_NEAR(rate, 0.25, 0.04);
 }
 
+TEST(FiberLink, SetFaultsReseedingReproducesDecisions)
+{
+    // Regression: re-arming the fault model with the same seed must
+    // reproduce the identical drop sequence and restart the counters
+    // from zero, so seeded campaigns are repeatable on a live link.
+    sim::EventQueue eq;
+    Sink sink;
+    FiberLink link(eq, "f");
+    link.connectTo(sink);
+
+    FaultModel faults;
+    faults.dropData = 0.5;
+    link.setFaults(faults, 42);
+    auto p = makePayload(std::vector<std::uint8_t>(1));
+    for (int i = 0; i < 500; ++i)
+        link.send(WireItem::dataChunk(p, 0, 1));
+    eq.run();
+    auto firstDrops = link.itemsDropped();
+    auto firstDelivered = sink.got.size();
+    EXPECT_GT(firstDrops, 0u);
+
+    link.setFaults(faults, 42); // same seed: counters restart
+    EXPECT_EQ(link.itemsDropped(), 0u);
+    EXPECT_EQ(link.itemsCorrupted(), 0u);
+    for (int i = 0; i < 500; ++i)
+        link.send(WireItem::dataChunk(p, 0, 1));
+    eq.run();
+    EXPECT_EQ(link.itemsDropped(), firstDrops);
+    EXPECT_EQ(sink.got.size() - firstDelivered, firstDelivered);
+}
+
+TEST(FiberLink, BurstModelHitsStationaryLossRate)
+{
+    sim::EventQueue eq;
+    Sink sink;
+    FiberLink link(eq, "f");
+    link.connectTo(sink);
+    link.setBurstModel(GilbertElliott::forLossRate(0.05, 8.0), 7);
+    auto p = makePayload(std::vector<std::uint8_t>(1));
+    const int n = 20000;
+    for (int i = 0; i < n; ++i)
+        link.send(WireItem::dataChunk(p, 0, 1));
+    eq.run();
+    double rate = static_cast<double>(link.itemsDroppedBurst()) / n;
+    EXPECT_NEAR(rate, 0.05, 0.015);
+}
+
+TEST(FiberLink, BurstModelLossesAreBursty)
+{
+    // With lossBad = 1 and mean bursts of 16 items, consecutive
+    // drops must cluster: the number of distinct loss runs is far
+    // smaller than the number of losses.
+    sim::EventQueue eq;
+    Sink sink;
+    FiberLink link(eq, "f");
+    link.connectTo(sink);
+    link.setBurstModel(GilbertElliott::forLossRate(0.10, 16.0), 9);
+    auto p = makePayload(std::vector<std::uint8_t>(1));
+    const int n = 20000;
+    std::vector<bool> lost;
+    std::uint64_t dropped = 0;
+    for (int i = 0; i < n; ++i) {
+        link.send(WireItem::dataChunk(p, 0, 1));
+        lost.push_back(link.itemsDroppedBurst() > dropped);
+        dropped = link.itemsDroppedBurst();
+    }
+    eq.run();
+    int runs = 0;
+    for (int i = 0; i < n; ++i)
+        if (lost[i] && (i == 0 || !lost[i - 1]))
+            ++runs;
+    ASSERT_GT(dropped, 0u);
+    double meanBurst = static_cast<double>(dropped) / runs;
+    EXPECT_GT(meanBurst, 4.0); // i.i.d. loss at 10% would give ~1.1
+}
+
+TEST(FiberLink, BurstModelSparesMarkers)
+{
+    // Packet framing markers are exempt from burst loss.
+    sim::EventQueue eq;
+    Sink sink;
+    FiberLink link(eq, "f");
+    link.connectTo(sink);
+    GilbertElliott ge;
+    ge.pGoodBad = 1.0;
+    ge.pBadGood = 0.0;
+    ge.lossBad = 1.0;
+    link.setBurstModel(ge, 1);
+    link.send(WireItem::startPacket());
+    link.send(WireItem::endPacket());
+    auto p = makePayload(std::vector<std::uint8_t>(1));
+    link.send(WireItem::dataChunk(p, 0, 1)); // eaten by the burst
+    eq.run();
+    ASSERT_EQ(sink.got.size(), 2u);
+    EXPECT_EQ(link.itemsDroppedBurst(), 1u);
+}
+
+TEST(FiberLink, BurstModelReseedIsDeterministic)
+{
+    auto countDrops = [](std::uint64_t seed) {
+        sim::EventQueue eq;
+        Sink sink;
+        FiberLink link(eq, "f");
+        link.connectTo(sink);
+        link.setBurstModel(GilbertElliott::forLossRate(0.2, 4.0), seed);
+        auto p = makePayload(std::vector<std::uint8_t>(1));
+        for (int i = 0; i < 1000; ++i)
+            link.send(WireItem::dataChunk(p, 0, 1));
+        eq.run();
+        return std::make_pair(link.itemsDroppedBurst(),
+                              sink.got.size());
+    };
+    EXPECT_EQ(countDrops(5), countDrops(5));
+    EXPECT_NE(countDrops(5), countDrops(6));
+
+    // Re-seeding a live link restarts both sequence and counter.
+    sim::EventQueue eq;
+    Sink sink;
+    FiberLink link(eq, "f");
+    link.connectTo(sink);
+    auto p = makePayload(std::vector<std::uint8_t>(1));
+    link.setBurstModel(GilbertElliott::forLossRate(0.2, 4.0), 5);
+    for (int i = 0; i < 1000; ++i)
+        link.send(WireItem::dataChunk(p, 0, 1));
+    eq.run();
+    auto first = link.itemsDroppedBurst();
+    link.setBurstModel(GilbertElliott::forLossRate(0.2, 4.0), 5);
+    EXPECT_EQ(link.itemsDroppedBurst(), 0u);
+    for (int i = 0; i < 1000; ++i)
+        link.send(WireItem::dataChunk(p, 0, 1));
+    eq.run();
+    EXPECT_EQ(link.itemsDroppedBurst(), first);
+
+    link.clearBurstModel();
+    EXPECT_FALSE(link.burstModelActive());
+}
+
+TEST(FiberLink, DownLinkDiscardsEverything)
+{
+    sim::EventQueue eq;
+    Sink sink;
+    FiberLink link(eq, "f");
+    link.connectTo(sink);
+    link.setLinkUp(false);
+    EXPECT_FALSE(link.linkUp());
+    auto p = makePayload(std::vector<std::uint8_t>(4));
+    link.send(WireItem::dataChunk(p, 0, 4));
+    link.send(WireItem::command(1, 0, 0));
+    link.sendStolen(WireItem::ready());
+    eq.run();
+    EXPECT_TRUE(sink.got.empty());
+    EXPECT_EQ(link.itemsDroppedDown(), 3u);
+    // A downed link consumes no wire time.
+    EXPECT_EQ(link.bytesSent(), 0u);
+    EXPECT_EQ(link.busyUntil(), 0);
+
+    link.setLinkUp(true);
+    link.send(WireItem::command(1, 0, 0));
+    eq.run();
+    EXPECT_EQ(sink.got.size(), 1u);
+}
+
 TEST(FiberLink, UtilizationAccounting)
 {
     sim::EventQueue eq;

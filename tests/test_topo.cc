@@ -50,13 +50,95 @@ TEST(Topology, SameHubRouteIsSingleHop)
     EXPECT_EQ(r[0], (Hop{0, 9, true}));
 }
 
-TEST(Topology, DisconnectedHubsHaveNoRoute)
+TEST(Topology, DisconnectedHubsHaveEmptyRoute)
 {
     sim::EventQueue eq;
     Topology t(eq);
     t.addHub();
     t.addHub();
-    EXPECT_THROW(t.route({0, 0}, {1, 0}), sim::FatalError);
+    EXPECT_TRUE(t.route({0, 0}, {1, 0}).empty());
+    EXPECT_FALSE(t.reachable(0, 1));
+}
+
+// ---- Link health -----------------------------------------------------
+
+TEST(LinkHealth, DownLinkForcesReroute)
+{
+    // Two hubs joined by two parallel links: taking one down must
+    // steer the route over the other; taking both down leaves no
+    // route; healing restores it.
+    sim::EventQueue eq;
+    Topology t(eq);
+    t.addHub();
+    t.addHub();
+    t.linkHubs(0, 10, 1, 10);
+    t.linkHubs(0, 11, 1, 11);
+
+    auto r = t.route({0, 0}, {1, 0});
+    ASSERT_EQ(r.size(), 2u);
+    EXPECT_EQ(r[0].outPort, 10); // first adjacency wins
+
+    auto v0 = t.linkVersion();
+    t.markLinkDown(0, hub::PortId(10));
+    EXPECT_GT(t.linkVersion(), v0);
+    EXPECT_FALSE(t.linkIsUp(0, 10));
+
+    r = t.route({0, 0}, {1, 0});
+    ASSERT_EQ(r.size(), 2u);
+    EXPECT_EQ(r[0].outPort, 11); // rerouted over the survivor
+
+    t.markLinkDown(0, hub::PortId(11));
+    EXPECT_TRUE(t.route({0, 0}, {1, 0}).empty());
+    EXPECT_FALSE(t.reachable(0, 1));
+
+    t.markLinkUp(0, hub::PortId(10));
+    r = t.route({0, 0}, {1, 0});
+    ASSERT_EQ(r.size(), 2u);
+    EXPECT_EQ(r[0].outPort, 10);
+    EXPECT_TRUE(t.reachable(0, 1));
+}
+
+TEST(LinkHealth, MeshRoutesAroundFailure)
+{
+    // 2x2 mesh: hub0-hub1 down forces 0 -> 2 -> 3 -> 1.
+    sim::EventQueue eq;
+    auto t = makeMesh2D(eq, 2, 2);
+    auto direct = t->route({0, 0}, {1, 0});
+    ASSERT_EQ(direct.size(), 2u);
+
+    t->markLinkDownBetween(0, 1); // hub-pair convenience form
+    auto around = t->route({0, 0}, {1, 0});
+    ASSERT_EQ(around.size(), 4u);
+    EXPECT_EQ(around.back().outPort, 0);
+    EXPECT_TRUE(around.back().reply);
+
+    t->markLinkUpBetween(0, 1);
+    EXPECT_EQ(t->route({0, 0}, {1, 0}).size(), 2u);
+}
+
+TEST(LinkHealth, DownLinkFibersStopDelivering)
+{
+    sim::EventQueue eq;
+    Topology t(eq);
+    t.addHub();
+    t.addHub();
+    int li = t.linkHubs(0, 10, 1, 10);
+    const auto &link = t.hubLinks()[li];
+    t.markLinkDown(0, hub::PortId(10));
+    EXPECT_FALSE(link.ab->linkUp());
+    EXPECT_FALSE(link.ba->linkUp());
+    t.markLinkUp(0, hub::PortId(10));
+    EXPECT_TRUE(link.ab->linkUp());
+    EXPECT_TRUE(link.ba->linkUp());
+}
+
+TEST(LinkHealth, UnknownLinkIsFatal)
+{
+    sim::EventQueue eq;
+    Topology t(eq);
+    t.addHub();
+    EXPECT_THROW(t.markLinkDown(0, 3), sim::FatalError);
+    EXPECT_THROW(t.markLinkUpBetween(0, 1), sim::FatalError);
 }
 
 TEST(Topology, MulticastSingleHubOpensTerminalsWithReply)
