@@ -39,7 +39,7 @@ A1_CrossbarSizeSweep(benchmark::State &state)
         auto sys = NectarSystem::singleHub(eq, ports, {}, hc);
         for (std::size_t i = 0; i < sys->siteCount(); ++i) {
             sys->site(i).datalink->rxHandler =
-                [](std::vector<std::uint8_t> &&, bool) {};
+                [](sim::PacketView &&, bool) {};
         }
         for (int i = 0; i < ports; ++i) {
             auto route = sys->topo().route(
@@ -101,7 +101,7 @@ A3_CutThroughAblation(benchmark::State &state)
         auto sys = NectarSystem::mesh2D(eq, 1, 3, 1, {}, hc);
         Tick delivered = -1;
         sys->site(2).datalink->rxHandler =
-            [&](std::vector<std::uint8_t> &&, bool) {
+            [&](sim::PacketView &&, bool) {
                 delivered = eq.now();
             };
         auto route =

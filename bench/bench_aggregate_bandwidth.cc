@@ -32,7 +32,7 @@ aggregateGbps(int cabs, int packetsEach)
     auto sys = NectarSystem::singleHub(eq, cabs);
     for (std::size_t i = 0; i < sys->siteCount(); ++i) {
         sys->site(i).datalink->rxHandler =
-            [](std::vector<std::uint8_t> &&, bool) {};
+            [](sim::PacketView &&, bool) {};
     }
 
     const std::uint32_t bytes = 960;

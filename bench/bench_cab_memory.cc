@@ -36,7 +36,7 @@ E8_ConcurrentAccessDemand(benchmark::State &state)
         // a CPU copy workload, all concurrently.
         for (int i = 0; i < 3; ++i) {
             sys->site(i).datalink->rxHandler =
-                [](std::vector<std::uint8_t> &&, bool) {};
+                [](sim::PacketView &&, bool) {};
         }
         const Tick duration = 10 * ms;
         auto blaster = [](datalink::Datalink &dl, topo::Route route,

@@ -19,6 +19,7 @@
 #include "nectarine/system.hh"
 #include "node/node.hh"
 #include "sim/coro.hh"
+#include "sim/stats.hh"
 
 using namespace nectar;
 using nectarine::NectarSystem;
@@ -28,10 +29,19 @@ using namespace sim::ticks;
 
 namespace {
 
-/** Node-to-node large transfer; returns total latency (ns). */
-double
+struct TransferResult
+{
+    double ns = 0;              ///< Total latency.
+    std::uint64_t copiedBytes = 0; ///< Payload bytes deep-copied.
+    std::uint64_t allocs = 0;   ///< Payload buffer allocations.
+    std::uint64_t messages = 0; ///< Messages delivered at the sink.
+};
+
+/** Node-to-node large transfer; returns latency + copy accounting. */
+TransferResult
 transferNs(std::uint32_t totalBytes, bool pipelined)
 {
+    sim::copyStats().reset();
     sim::EventQueue eq;
     auto sys = NectarSystem::singleHub(eq, 2);
     node::Node src(eq, "src"), dst(eq, "dst");
@@ -48,9 +58,9 @@ transferNs(std::uint32_t totalBytes, bool pipelined)
         std::uint32_t got = 0;
         while (got < total) {
             auto m = co_await mb.get();
-            got += static_cast<std::uint32_t>(m.bytes.size());
+            got += static_cast<std::uint32_t>(m.size());
             co_await dst.vme().transferAwait(
-                static_cast<std::uint32_t>(m.bytes.size()));
+                static_cast<std::uint32_t>(m.size()));
         }
         done = eq.now();
     }(eq, mb, dst, totalBytes, done));
@@ -95,7 +105,13 @@ transferNs(std::uint32_t totalBytes, bool pipelined)
     }(eq, src, *sys->site(0).transport, totalBytes, chunk, pipelined));
 
     eq.run();
-    return static_cast<double>(done);
+    TransferResult r;
+    r.ns = static_cast<double>(done);
+    r.copiedBytes = sim::copyStats().bytesCopied;
+    r.allocs = sim::copyStats().bufferAllocs;
+    r.messages =
+        sys->site(1).transport->stats().messagesDelivered.value();
+    return r;
 }
 
 } // namespace
@@ -105,12 +121,17 @@ E9_LargeMessage(benchmark::State &state)
 {
     auto bytes = static_cast<std::uint32_t>(state.range(0));
     bool pipelined = state.range(1) != 0;
-    double ns = 0;
+    TransferResult r;
     for (auto _ : state)
-        ns = transferNs(bytes, pipelined);
-    state.counters["latency_ms"] = ns / 1e6;
+        r = transferNs(bytes, pipelined);
+    state.counters["latency_ms"] = r.ns / 1e6;
     state.counters["throughput_MBs"] =
-        static_cast<double>(bytes) * 1000.0 / ns;
+        static_cast<double>(bytes) * 1000.0 / r.ns;
+    double msgs = r.messages ? static_cast<double>(r.messages) : 1.0;
+    state.counters["copied_bytes_per_msg"] =
+        static_cast<double>(r.copiedBytes) / msgs;
+    state.counters["allocs_per_msg"] =
+        static_cast<double>(r.allocs) / msgs;
 }
 BENCHMARK(E9_LargeMessage)
     ->ArgsProduct({{64 * 1024, 256 * 1024, 1024 * 1024}, {0, 1}})

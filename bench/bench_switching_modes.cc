@@ -53,7 +53,7 @@ unicastLatencyNs(SwitchMode mode, std::uint32_t bytes)
     auto sys = figure7System(eq);
     Tick delivered = -1;
     sys->site(1).datalink->rxHandler =
-        [&](std::vector<std::uint8_t> &&, bool) {
+        [&](sim::PacketView &&, bool) {
             delivered = eq.now();
         };
     auto route = sys->topo().route(sys->site(0).at, sys->site(1).at);
@@ -82,7 +82,7 @@ multicastLatencyNs(SwitchMode mode, std::uint32_t bytes)
     int arrived = 0;
     for (std::size_t s : {std::size_t(3), std::size_t(4)}) {
         sys->site(s).datalink->rxHandler =
-            [&](std::vector<std::uint8_t> &&, bool) {
+            [&](sim::PacketView &&, bool) {
                 if (++arrived == 2)
                     last = eq.now();
             };

@@ -42,7 +42,7 @@ main()
                 std::printf("[%8lld ns] consumer: got %zu bytes "
                             "(first byte %d)\n",
                             static_cast<long long>(ctx.now()),
-                            m.bytes.size(), m.bytes[0]);
+                            m.size(), m.view()[0]);
             }
         });
 

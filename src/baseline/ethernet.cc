@@ -29,17 +29,15 @@ EthernetSegment::seize(std::uint32_t wireBytes)
 }
 
 void
-EthernetSegment::deliver(std::uint16_t dst,
-                         std::vector<std::uint8_t> frame, Tick when)
+EthernetSegment::deliver(std::uint16_t dst, sim::PacketView frame,
+                         Tick when)
 {
     auto it = stations.find(dst);
     if (it == stations.end())
         return; // no such station: the frame dies on the wire
     EthernetNic *nic = it->second;
-    auto shared = std::make_shared<std::vector<std::uint8_t>>(
-        std::move(frame));
-    eventq().schedule(when, [nic, shared] {
-        nic->frameArrived(std::move(*shared));
+    eventq().schedule(when, [nic, frame = std::move(frame)]() mutable {
+        nic->frameArrived(std::move(frame));
     }, sim::EventPriority::hardware);
 }
 
@@ -52,14 +50,14 @@ EthernetNic::EthernetNic(node::Node &host, EthernetSegment &segment,
 }
 
 sim::Task<bool>
-EthernetNic::rawSend(std::uint16_t dst, std::vector<std::uint8_t> bytes)
+EthernetNic::rawSend(std::uint16_t dst, sim::PacketView packet)
 {
     const auto &cfg = segment.config();
-    if (bytes.size() > cfg.maxPayload)
+    if (packet.size() > cfg.maxPayload)
         sim::fatal(name() + ": frame exceeds the Ethernet MTU");
 
     std::uint32_t payload = std::max<std::uint32_t>(
-        static_cast<std::uint32_t>(bytes.size()), cfg.minPayload);
+        static_cast<std::uint32_t>(packet.size()), cfg.minPayload);
     std::uint32_t wire = payload + cfg.frameOverhead;
 
     for (int attempt = 0; attempt < cfg.maxAttempts; ++attempt) {
@@ -76,7 +74,7 @@ EthernetNic::rawSend(std::uint16_t dst, std::vector<std::uint8_t> bytes)
             continue;
         }
         Tick last_byte = segment.seize(wire);
-        segment.deliver(dst, std::move(bytes), last_byte);
+        segment.deliver(dst, std::move(packet), last_byte);
         co_return true;
     }
     _drops.add();
@@ -84,15 +82,13 @@ EthernetNic::rawSend(std::uint16_t dst, std::vector<std::uint8_t> bytes)
 }
 
 void
-EthernetNic::frameArrived(std::vector<std::uint8_t> &&frame)
+EthernetNic::frameArrived(sim::PacketView &&frame)
 {
     // Adapter DMA into host memory, then a per-frame interrupt — the
     // cost structure the CAB removes (Section 3.1).
-    auto shared = std::make_shared<std::vector<std::uint8_t>>(
-        std::move(frame));
-    host.raiseInterrupt([this, shared] {
+    host.raiseInterrupt([this, frame = std::move(frame)]() mutable {
         if (rxRaw)
-            rxRaw(std::move(*shared));
+            rxRaw(std::move(frame));
     });
 }
 

@@ -76,8 +76,7 @@ class EthernetSegment : public sim::Component
     Tick seize(std::uint32_t wireBytes);
 
     /** Deliver a frame to the addressed station (at @p when). */
-    void deliver(std::uint16_t dst, std::vector<std::uint8_t> frame,
-                 Tick when);
+    void deliver(std::uint16_t dst, sim::PacketView frame, Tick when);
 
     std::uint64_t framesCarried() const { return _frames.value(); }
     Tick busyTicks() const { return _busyTicks; }
@@ -112,10 +111,10 @@ class EthernetNic : public node::RawNet, public sim::Component
      * binary-exponentially on contention, give up after maxAttempts.
      */
     sim::Task<bool> rawSend(std::uint16_t dst,
-                            std::vector<std::uint8_t> bytes) override;
+                            sim::PacketView packet) override;
 
     /** Called by the segment when a frame addressed here arrives. */
-    void frameArrived(std::vector<std::uint8_t> &&frame);
+    void frameArrived(sim::PacketView &&frame);
 
     std::uint64_t deferrals() const { return _deferrals.value(); }
     std::uint64_t excessiveCollisions() const { return _drops.value(); }

@@ -1,6 +1,7 @@
 #include "cab.hh"
 
 #include "sim/logging.hh"
+#include "sim/stats.hh"
 
 namespace nectar::cab {
 
@@ -36,7 +37,7 @@ std::vector<WireItem>
 Cab::framePacket(phys::Payload payload)
 {
     std::vector<WireItem> items;
-    auto size = static_cast<std::uint32_t>(payload->size());
+    auto size = static_cast<std::uint32_t>(payload.size());
     items.reserve(2 + size / cfg.chunkBytes + 1);
     items.push_back(WireItem::startPacket());
     for (std::uint32_t off = 0; off < size; off += cfg.chunkBytes) {
@@ -117,11 +118,9 @@ Cab::fiberDeliver(WireItem item, Tick firstByte, Tick lastByte)
         }
         rx.corrupted |= item.corrupted;
         if (rx.accepted) {
-            // Receive DMA drains the queue as fast as it fills.
-            const auto &buf = *item.data;
-            rx.buf.insert(rx.buf.end(),
-                          buf.begin() + item.dataOffset,
-                          buf.begin() + item.dataOffset + item.dataLen);
+            // Receive DMA drains the queue as fast as it fills; the
+            // chunk's slice is chained, not copied.
+            rx.buf.append(item.data);
             mem.account(Accessor::fiberInDma, item.dataLen);
             return;
         }
@@ -172,11 +171,9 @@ Cab::acceptPacket()
         sim::panic(name() + ": acceptPacket called twice");
     rx.accepted = true;
 
-    // Drain everything queued so far into the software buffer.
+    // Drain everything queued so far into the software view.
     for (const auto &item : rx.pending) {
-        const auto &buf = *item.data;
-        rx.buf.insert(rx.buf.end(), buf.begin() + item.dataOffset,
-                      buf.begin() + item.dataOffset + item.dataLen);
+        rx.buf.append(item.data);
         mem.account(Accessor::fiberInDma, item.dataLen);
     }
     rx.pending.clear();
@@ -198,11 +195,12 @@ Cab::completeRx()
     _stats.rxBytes.add(rx.buf.size());
     if (rx.corrupted)
         _stats.rxCorrupted.add();
-    auto bytes = std::move(rx.buf);
+    auto view = std::move(rx.buf);
     bool corrupted = rx.corrupted;
+    view.markCorrupted(corrupted);
     rx = RxState{};
     if (onPacketComplete)
-        onPacketComplete(std::move(bytes), corrupted);
+        onPacketComplete(std::move(view), corrupted);
 }
 
 } // namespace nectar::cab

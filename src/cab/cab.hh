@@ -123,8 +123,11 @@ class Cab : public sim::Component, public phys::FiberSink
     /** A ready signal arrived (HUB queue drained; flow control). */
     std::function<void()> onReadySignal;
 
-    /** A packet was fully received and accepted. */
-    std::function<void(std::vector<std::uint8_t> &&, bool corrupted)>
+    /** A packet was fully received and accepted.  The view chains
+     *  the received chunks' buffers — contiguous chunks of one
+     *  packet coalesce back into a single segment, so no bytes are
+     *  copied on the receive path. */
+    std::function<void(sim::PacketView &&, bool corrupted)>
         onPacketComplete;
 
     /** A packet was lost to input-queue overflow. */
@@ -152,7 +155,7 @@ class Cab : public sim::Component, public phys::FiberSink
         bool corrupted = false;
         bool eopSeen = false;
         std::uint32_t queuedBytes = 0;
-        std::vector<std::uint8_t> buf;
+        sim::PacketView buf;
         std::vector<phys::WireItem> pending;
     };
 

@@ -5,16 +5,9 @@ namespace nectar::cab {
 std::uint16_t
 checksum16(const std::uint8_t *data, std::size_t len)
 {
-    std::uint32_t sum = 0;
-    std::size_t i = 0;
-    for (; i + 1 < len; i += 2)
-        sum += (static_cast<std::uint32_t>(data[i]) << 8) | data[i + 1];
-    if (i < len)
-        sum += static_cast<std::uint32_t>(data[i]) << 8;
-    while (sum >> 16)
-        sum = (sum & 0xFFFF) + (sum >> 16);
-    std::uint16_t result = static_cast<std::uint16_t>(~sum);
-    return result == 0 ? 0xFFFF : result;
+    ChecksumAccumulator acc;
+    acc.feed(data, len);
+    return acc.finish();
 }
 
 } // namespace nectar::cab

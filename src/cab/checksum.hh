@@ -7,6 +7,11 @@
  * ones-complement (Internet-style) checksum; because the hardware
  * computes it on the fly during DMA, the simulator charges no CPU
  * time for it.
+ *
+ * The hardware sees the packet as a stream of bytes during DMA, so
+ * the checksum is computed by feeding a ChecksumAccumulator region by
+ * region — a PacketView's segments need never be materialized into
+ * one contiguous buffer just to be summed.
  */
 
 #pragma once
@@ -14,7 +19,62 @@
 #include <cstdint>
 #include <vector>
 
+#include "sim/buffer.hh"
+
 namespace nectar::cab {
+
+/**
+ * Streaming 16-bit ones-complement checksum.
+ *
+ * Accepts arbitrary byte regions in sequence; region boundaries do
+ * not affect the result (a byte pair may straddle two feed() calls),
+ * so summing a scatter-gather packet segment by segment is
+ * bit-identical to summing the materialized bytes.
+ */
+class ChecksumAccumulator
+{
+  public:
+    /** Add @p len bytes to the running sum. */
+    void
+    feed(const std::uint8_t *data, std::size_t len)
+    {
+        std::size_t i = 0;
+        if (havePending && len > 0) {
+            sum += (static_cast<std::uint32_t>(pending) << 8) | data[0];
+            havePending = false;
+            i = 1;
+        }
+        for (; i + 1 < len; i += 2)
+            sum += (static_cast<std::uint32_t>(data[i]) << 8) |
+                   data[i + 1];
+        if (i < len) {
+            pending = data[i];
+            havePending = true;
+        }
+    }
+
+    /**
+     * The ones-complement of the ones-complement sum; 0xFFFF is
+     * returned instead of 0 (as in TCP/UDP practice).  Odd total
+     * lengths are zero-padded.
+     */
+    std::uint16_t
+    finish() const
+    {
+        std::uint32_t s = sum;
+        if (havePending)
+            s += static_cast<std::uint32_t>(pending) << 8;
+        while (s >> 16)
+            s = (s & 0xFFFF) + (s >> 16);
+        auto result = static_cast<std::uint16_t>(~s);
+        return result == 0 ? 0xFFFF : result;
+    }
+
+  private:
+    std::uint32_t sum = 0;
+    std::uint8_t pending = 0;   ///< High byte of a straddling pair.
+    bool havePending = false;
+};
 
 /**
  * 16-bit ones-complement checksum over @p data.
@@ -30,6 +90,17 @@ inline std::uint16_t
 checksum16(const std::vector<std::uint8_t> &data)
 {
     return checksum16(data.data(), data.size());
+}
+
+/** Checksum a scatter-gather view without materializing it. */
+inline std::uint16_t
+checksum16(const sim::PacketView &view)
+{
+    ChecksumAccumulator acc;
+    view.forEachSegment([&](const std::uint8_t *p, std::size_t n) {
+        acc.feed(p, n);
+    });
+    return acc.finish();
 }
 
 } // namespace nectar::cab

@@ -90,7 +90,7 @@ Mailbox::tryPut(Message m)
         return true;
     }
 
-    auto len = static_cast<std::uint32_t>(m.bytes.size());
+    auto len = static_cast<std::uint32_t>(m.size());
     if (_bytesUsed + len > capacityBytes) {
         _putFails.add();
         return false;
@@ -132,7 +132,7 @@ Mailbox::takeMatching(const std::optional<std::uint64_t> &tag)
         if (tag && it->tag != *tag)
             continue;
         Message m = std::move(*it);
-        _bytesUsed -= static_cast<std::uint32_t>(m.bytes.size());
+        _bytesUsed -= static_cast<std::uint32_t>(m.size());
         messages.erase(it);
         releaseBacking(m);
         return m;

@@ -25,6 +25,7 @@
 #include <string>
 #include <vector>
 
+#include "sim/buffer.hh"
 #include "sim/component.hh"
 #include "sim/coro.hh"
 #include "sim/stats.hh"
@@ -39,6 +40,11 @@ using MailboxId = std::uint16_t;
 /**
  * A message held in (or destined for) a mailbox.
  *
+ * The payload is a zero-copy PacketView; delivery into a mailbox
+ * shares the buffers the packet arrived in.  bytes() materializes a
+ * contiguous vector on demand (free when the view is one whole
+ * buffer) for applications that need flat storage.
+ *
  * Deliberately not an aggregate: GCC 12 miscompiles aggregate
  * temporaries inside co_await expressions (double destruction of the
  * temporary's non-trivial members), so Message provides explicit
@@ -48,18 +54,69 @@ struct Message
 {
     Message() = default;
 
+    explicit Message(sim::PacketView view, std::uint64_t tag = 0,
+                     std::uint32_t buffer_addr = 0,
+                     sim::Tick arrival = 0)
+        : tag(tag), bufferAddr(buffer_addr), arrival(arrival),
+          _view(std::move(view))
+    {}
+
     explicit Message(std::vector<std::uint8_t> bytes,
                      std::uint64_t tag = 0,
                      std::uint32_t buffer_addr = 0,
                      sim::Tick arrival = 0)
-        : bytes(std::move(bytes)), tag(tag), bufferAddr(buffer_addr),
-          arrival(arrival)
+        : tag(tag), bufferAddr(buffer_addr), arrival(arrival),
+          _view(std::move(bytes))
     {}
 
-    std::vector<std::uint8_t> bytes; ///< Payload.
     std::uint64_t tag = 0;     ///< Match key for out-of-order reads.
     std::uint32_t bufferAddr = 0; ///< Backing CAB data-RAM address.
     sim::Tick arrival = 0;     ///< When the message entered the box.
+
+    /** Payload size in bytes. */
+    std::size_t size() const { return _view.size(); }
+
+    /** The payload as a zero-copy view. */
+    const sim::PacketView &view() const { return _view; }
+
+    /** Move the payload view out of the message. */
+    sim::PacketView
+    takeView()
+    {
+        cache.reset();
+        return std::move(_view);
+    }
+
+    /**
+     * The payload as contiguous bytes.  Zero-copy when the view is
+     * one whole buffer; otherwise materialized once (a counted deep
+     * copy) and cached.
+     */
+    const std::vector<std::uint8_t> &
+    bytes() const
+    {
+        if (const auto *whole = _view.wholeBuffer())
+            return *whole;
+        if (!cache)
+            cache = std::make_shared<const std::vector<std::uint8_t>>(
+                _view.toVector());
+        return *cache;
+    }
+
+    /** Copy the payload out as an owned vector (counted when the
+     *  bytes must be materialized). */
+    std::vector<std::uint8_t>
+    takeBytes()
+    {
+        auto out = _view.toVector();
+        _view = sim::PacketView{};
+        cache.reset();
+        return out;
+    }
+
+  private:
+    sim::PacketView _view; ///< Payload.
+    mutable std::shared_ptr<const std::vector<std::uint8_t>> cache;
 };
 
 /**

@@ -13,9 +13,8 @@ Datalink::Datalink(cabos::Kernel &kernel, const DatalinkConfig &config)
 {
     cab::Cab &board = kernel.board();
     board.onPacketStart = [this] { handlePacketStart(); };
-    board.onPacketComplete = [this](std::vector<std::uint8_t> &&b,
-                                    bool c) {
-        handlePacketComplete(std::move(b), c);
+    board.onPacketComplete = [this](sim::PacketView &&p, bool c) {
+        handlePacketComplete(std::move(p), c);
     };
     board.onReply = [this](const phys::ReplyWord &r) { handleReply(r); };
     board.onReadySignal = [this] { handleReadySignal(); };
@@ -43,14 +42,14 @@ Datalink::handlePacketStart()
 }
 
 void
-Datalink::handlePacketComplete(std::vector<std::uint8_t> &&bytes,
+Datalink::handlePacketComplete(sim::PacketView &&packet,
                                bool corrupted)
 {
     _stats.packetsReceived.add();
     if (corrupted)
         _stats.corruptPackets.add();
     if (rxHandler)
-        rxHandler(std::move(bytes), corrupted);
+        rxHandler(std::move(packet), corrupted);
 }
 
 void
@@ -229,7 +228,7 @@ Datalink::sendPacket(topo::Route route, phys::Payload payload,
         // SOP + EOP + data + per-hop command + closeAll must fit the
         // downstream input queues (Section 4.2.3).
         std::uint32_t wire = 2 +
-            static_cast<std::uint32_t>(payload->size()) +
+            static_cast<std::uint32_t>(payload.size()) +
             3 * (static_cast<std::uint32_t>(route.size()) + 1);
         if (wire > cfg.maxWirePacketBytes) {
             sim::fatal(name() + ": packet-switched frame of " +
@@ -252,7 +251,7 @@ Datalink::sendPacket(topo::Route route, phys::Payload payload,
 
     if (sent) {
         _stats.packetsSent.add();
-        _stats.bytesSent.add(payload->size());
+        _stats.bytesSent.add(payload.size());
     } else {
         _stats.sendFailures.add();
     }

@@ -105,11 +105,11 @@ class Datalink : public sim::Component
     const DatalinkConfig &config() const { return cfg; }
 
     /**
-     * Receive upcall: invoked with each complete packet's bytes.
-     * The transport layer registers this.
+     * Receive upcall: invoked with each complete packet's view (a
+     * zero-copy chain over the received wire chunks).  The transport
+     * layer registers this.
      */
-    std::function<void(std::vector<std::uint8_t> &&, bool corrupted)>
-        rxHandler;
+    std::function<void(sim::PacketView &&, bool corrupted)> rxHandler;
 
     /**
      * Send one data packet along @p route.
@@ -175,7 +175,7 @@ class Datalink : public sim::Component
 
     // Hardware interrupt handlers.
     void handlePacketStart();
-    void handlePacketComplete(std::vector<std::uint8_t> &&bytes,
+    void handlePacketComplete(sim::PacketView &&packet,
                               bool corrupted);
     void handleReply(const phys::ReplyWord &reply);
     void handleReadySignal();

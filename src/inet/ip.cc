@@ -24,13 +24,13 @@ put32(std::vector<std::uint8_t> &v, std::size_t off, std::uint32_t x)
 }
 
 std::uint16_t
-get16(const std::vector<std::uint8_t> &v, std::size_t off)
+get16(const std::uint8_t *v, std::size_t off)
 {
     return static_cast<std::uint16_t>((v[off] << 8) | v[off + 1]);
 }
 
 std::uint32_t
-get32(const std::vector<std::uint8_t> &v, std::size_t off)
+get32(const std::uint8_t *v, std::size_t off)
 {
     return (static_cast<std::uint32_t>(v[off]) << 24) |
            (static_cast<std::uint32_t>(v[off + 1]) << 16) |
@@ -40,12 +40,12 @@ get32(const std::vector<std::uint8_t> &v, std::size_t off)
 
 } // namespace
 
-std::vector<std::uint8_t>
-encodeIp(Ipv4Header h, const std::vector<std::uint8_t> &pl)
+sim::PacketView
+encodeIp(Ipv4Header h, const sim::PacketView &pl)
 {
     h.totalLength =
         static_cast<std::uint16_t>(Ipv4Header::wireSize + pl.size());
-    std::vector<std::uint8_t> out(h.totalLength, 0);
+    std::vector<std::uint8_t> out(Ipv4Header::wireSize, 0);
     out[0] = 0x45; // version 4, IHL 5
     out[1] = h.tos;
     put16(out, 2, h.totalLength);
@@ -59,40 +59,39 @@ encodeIp(Ipv4Header h, const std::vector<std::uint8_t> &pl)
     std::uint16_t sum =
         cab::checksum16(out.data(), Ipv4Header::wireSize);
     put16(out, 10, sum);
-    std::copy(pl.begin(), pl.end(), out.begin() + Ipv4Header::wireSize);
-    return out;
+    return sim::PacketView::concat(sim::PacketView(std::move(out)), pl);
 }
 
 std::optional<Ipv4Header>
-decodeIp(const std::vector<std::uint8_t> &bytes,
-         std::vector<std::uint8_t> &payload)
+decodeIp(const sim::PacketView &packet, sim::PacketView &payload)
 {
-    if (bytes.size() < Ipv4Header::wireSize)
+    if (packet.size() < Ipv4Header::wireSize)
         return std::nullopt;
-    if (bytes[0] != 0x45)
+
+    std::uint8_t hdr[Ipv4Header::wireSize];
+    packet.read(0, hdr, Ipv4Header::wireSize);
+    if (hdr[0] != 0x45)
         return std::nullopt; // options unsupported
 
     Ipv4Header h;
-    h.tos = bytes[1];
-    h.totalLength = get16(bytes, 2);
-    h.id = get16(bytes, 4);
-    h.ttl = bytes[8];
-    h.protocol = bytes[9];
-    h.checksum = get16(bytes, 10);
-    h.src = get32(bytes, 12);
-    h.dst = get32(bytes, 16);
+    h.tos = hdr[1];
+    h.totalLength = get16(hdr, 2);
+    h.id = get16(hdr, 4);
+    h.ttl = hdr[8];
+    h.protocol = hdr[9];
+    h.checksum = get16(hdr, 10);
+    h.src = get32(hdr, 12);
+    h.dst = get32(hdr, 16);
 
-    if (h.totalLength != bytes.size())
+    if (h.totalLength != packet.size())
         return std::nullopt;
 
-    std::vector<std::uint8_t> hdr(bytes.begin(),
-                                  bytes.begin() + Ipv4Header::wireSize);
     hdr[10] = 0;
     hdr[11] = 0;
-    if (cab::checksum16(hdr.data(), hdr.size()) != h.checksum)
+    if (cab::checksum16(hdr, Ipv4Header::wireSize) != h.checksum)
         return std::nullopt;
 
-    payload.assign(bytes.begin() + Ipv4Header::wireSize, bytes.end());
+    payload = packet.slice(Ipv4Header::wireSize);
     return h;
 }
 
@@ -103,15 +102,14 @@ IpLayer::IpLayer(cabos::Kernel &kernel, datalink::Datalink &dl,
                      kernel.board().name() + ".ip"),
       _kernel(kernel), dl(dl), directory(directory), self(self)
 {
-    dl.rxHandler = [this](std::vector<std::uint8_t> &&bytes,
-                          bool corrupted) {
-        onPacket(std::move(bytes), corrupted);
+    dl.rxHandler = [this](sim::PacketView &&packet, bool corrupted) {
+        onPacket(std::move(packet), corrupted);
     };
 }
 
 sim::Task<bool>
 IpLayer::send(IpAddress dst, std::uint8_t protocol,
-              std::vector<std::uint8_t> payload)
+              sim::PacketView payload)
 {
     auto dst_cab = cabOfIp(dst);
     if (!dst_cab)
@@ -133,17 +131,16 @@ IpLayer::send(IpAddress dst, std::uint8_t protocol,
         co_return true;
     }
     const topo::Route &route = directory.route(self, *dst_cab);
-    co_return co_await dl.sendPacket(
-        route, phys::makePayload(std::move(packet)),
-        datalink::SwitchMode::packet);
+    co_return co_await dl.sendPacket(route, std::move(packet),
+                                     datalink::SwitchMode::packet);
 }
 
 void
-IpLayer::onPacket(std::vector<std::uint8_t> &&bytes, bool corrupted)
+IpLayer::onPacket(sim::PacketView &&packet, bool corrupted)
 {
-    std::vector<std::uint8_t> payload;
-    auto h = decodeIp(bytes, payload);
-    if (!h || corrupted) {
+    sim::PacketView payload;
+    auto h = decodeIp(packet, payload);
+    if (!h || corrupted || packet.corrupted()) {
         _stats.badHeader.add();
         return;
     }
@@ -157,15 +154,14 @@ IpLayer::onPacket(std::vector<std::uint8_t> &&bytes, bool corrupted)
         _stats.unknownProto.add();
         return;
     }
-    // Charge the receive path, then hand up.
+    // Charge the receive path, then hand up.  The payload view is
+    // captured by value (descriptors only, no bytes).
     Ipv4Header header = *h;
-    auto shared = std::make_shared<std::vector<std::uint8_t>>(
-        std::move(payload));
     auto &handler = it->second;
     _kernel.board().cpu().chargeThen(
         _kernel.costs().transportRecvPerPacket,
-        [&handler, header, shared] {
-            handler(header, std::move(*shared));
+        [&handler, header, payload = std::move(payload)]() mutable {
+            handler(header, std::move(payload));
         });
 }
 

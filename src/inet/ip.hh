@@ -69,17 +69,17 @@ struct Ipv4Header
     static constexpr std::uint32_t wireSize = 20;
 };
 
-/** Serialize header + payload; computes the header checksum. */
-std::vector<std::uint8_t> encodeIp(Ipv4Header h,
-                                   const std::vector<std::uint8_t> &pl);
+/** Serialize the header and chain @p pl behind it (shared, not
+ *  copied); computes the header checksum. */
+sim::PacketView encodeIp(Ipv4Header h, const sim::PacketView &pl);
 
 /**
- * Parse and verify an IPv4 packet.
+ * Parse and verify an IPv4 packet.  The payload comes back as a
+ * zero-copy slice of @p packet.
  * @return Header, or nullopt on malformed/bad-checksum input.
  */
-std::optional<Ipv4Header> decodeIp(
-    const std::vector<std::uint8_t> &bytes,
-    std::vector<std::uint8_t> &payload);
+std::optional<Ipv4Header> decodeIp(const sim::PacketView &packet,
+                                   sim::PacketView &payload);
 
 /** IP layer statistics. */
 struct IpStats
@@ -115,7 +115,7 @@ class IpLayer : public sim::Component
     void
     registerProtocol(std::uint8_t protocol,
                      std::function<void(const Ipv4Header &,
-                                        std::vector<std::uint8_t> &&)>
+                                        sim::PacketView &&)>
                          handler)
     {
         handlers[protocol] = std::move(handler);
@@ -128,10 +128,10 @@ class IpLayer : public sim::Component
      * production stack would replace with fragmentation).
      */
     sim::Task<bool> send(IpAddress dst, std::uint8_t protocol,
-                         std::vector<std::uint8_t> payload);
+                         sim::PacketView payload);
 
   private:
-    void onPacket(std::vector<std::uint8_t> &&bytes, bool corrupted);
+    void onPacket(sim::PacketView &&packet, bool corrupted);
 
     cabos::Kernel &_kernel;
     datalink::Datalink &dl;
@@ -140,8 +140,7 @@ class IpLayer : public sim::Component
     std::uint16_t nextId = 1;
     IpStats _stats;
     std::map<std::uint8_t,
-             std::function<void(const Ipv4Header &,
-                                std::vector<std::uint8_t> &&)>>
+             std::function<void(const Ipv4Header &, sim::PacketView &&)>>
         handlers;
 };
 

@@ -4,6 +4,7 @@
 
 #include "cab/checksum.hh"
 #include "sim/logging.hh"
+#include "sim/stats.hh"
 
 namespace nectar::inet {
 
@@ -26,18 +27,30 @@ put32(std::vector<std::uint8_t> &v, std::size_t off, std::uint32_t x)
 }
 
 std::uint16_t
-get16(const std::vector<std::uint8_t> &v, std::size_t off)
+get16(const std::uint8_t *v, std::size_t off)
 {
     return static_cast<std::uint16_t>((v[off] << 8) | v[off + 1]);
 }
 
 std::uint32_t
-get32(const std::vector<std::uint8_t> &v, std::size_t off)
+get32(const std::uint8_t *v, std::size_t off)
 {
     return (static_cast<std::uint32_t>(v[off]) << 24) |
            (static_cast<std::uint32_t>(v[off + 1]) << 16) |
            (static_cast<std::uint32_t>(v[off + 2]) << 8) |
            static_cast<std::uint32_t>(v[off + 3]);
+}
+
+/** Checksum the 20-byte header (field zeroed) + payload segments. */
+std::uint16_t
+segmentChecksum(const std::uint8_t *hdr, const sim::PacketView &pl)
+{
+    cab::ChecksumAccumulator acc;
+    acc.feed(hdr, TcpHeader::wireSize);
+    pl.forEachSegment([&](const std::uint8_t *p, std::size_t n) {
+        acc.feed(p, n);
+    });
+    return acc.finish();
 }
 
 /** Parks the coroutine on a socket's waiter list. */
@@ -69,47 +82,50 @@ tcpStateName(TcpState s)
     return "?";
 }
 
-std::vector<std::uint8_t>
-encodeTcp(TcpHeader h, const std::vector<std::uint8_t> &pl)
+sim::PacketView
+encodeTcp(TcpHeader h, const sim::PacketView &pl)
 {
-    std::vector<std::uint8_t> out(TcpHeader::wireSize + pl.size(), 0);
-    put16(out, 0, h.srcPort);
-    put16(out, 2, h.dstPort);
-    put32(out, 4, h.seq);
-    put32(out, 8, h.ack);
-    out[12] = 0x50; // data offset 5 words
-    out[13] = h.flags;
-    put16(out, 14, h.window);
-    // checksum at 16 computed with the field zero.
-    std::copy(pl.begin(), pl.end(), out.begin() + TcpHeader::wireSize);
-    put16(out, 16, cab::checksum16(out.data(), out.size()));
-    return out;
+    std::vector<std::uint8_t> hdr(TcpHeader::wireSize, 0);
+    put16(hdr, 0, h.srcPort);
+    put16(hdr, 2, h.dstPort);
+    put32(hdr, 4, h.seq);
+    put32(hdr, 8, h.ack);
+    hdr[12] = 0x50; // data offset 5 words
+    hdr[13] = h.flags;
+    put16(hdr, 14, h.window);
+    // checksum at 16 computed with the field zero; the payload is
+    // streamed behind the header, never copied.
+    put16(hdr, 16, segmentChecksum(hdr.data(), pl));
+    return sim::PacketView::concat(sim::PacketView(std::move(hdr)), pl);
 }
 
 std::optional<TcpHeader>
-decodeTcp(const std::vector<std::uint8_t> &bytes,
-          std::vector<std::uint8_t> &payload)
+decodeTcp(const sim::PacketView &packet, sim::PacketView &payload)
 {
-    if (bytes.size() < TcpHeader::wireSize)
+    if (packet.size() < TcpHeader::wireSize)
         return std::nullopt;
-    if (bytes[12] != 0x50)
+
+    std::uint8_t hdr[TcpHeader::wireSize];
+    packet.read(0, hdr, TcpHeader::wireSize);
+    if (hdr[12] != 0x50)
         return std::nullopt; // options unsupported
 
     TcpHeader h;
-    h.srcPort = get16(bytes, 0);
-    h.dstPort = get16(bytes, 2);
-    h.seq = get32(bytes, 4);
-    h.ack = get32(bytes, 8);
-    h.flags = bytes[13];
-    h.window = get16(bytes, 14);
-    h.checksum = get16(bytes, 16);
+    h.srcPort = get16(hdr, 0);
+    h.dstPort = get16(hdr, 2);
+    h.seq = get32(hdr, 4);
+    h.ack = get32(hdr, 8);
+    h.flags = hdr[13];
+    h.window = get16(hdr, 14);
+    h.checksum = get16(hdr, 16);
 
-    std::vector<std::uint8_t> copy = bytes;
-    copy[16] = 0;
-    copy[17] = 0;
-    if (cab::checksum16(copy.data(), copy.size()) != h.checksum)
+    payload = packet.slice(TcpHeader::wireSize);
+    hdr[16] = 0;
+    hdr[17] = 0;
+    if (segmentChecksum(hdr, payload) != h.checksum) {
+        payload = sim::PacketView{};
         return std::nullopt;
-    payload.assign(bytes.begin() + TcpHeader::wireSize, bytes.end());
+    }
     return h;
 }
 
@@ -124,7 +140,7 @@ Tcp::Tcp(IpLayer &ip, const TcpConfig &config)
 {
     ip.registerProtocol(
         proto::tcp,
-        [this](const Ipv4Header &h, std::vector<std::uint8_t> &&pl) {
+        [this](const Ipv4Header &h, sim::PacketView &&pl) {
             onIp(h, std::move(pl));
         });
 }
@@ -140,15 +156,15 @@ Tcp::sendRst(const Ipv4Header &iph, const TcpHeader &h)
     rst.flags = tcpflags::rst | tcpflags::ack;
     _stats.resetsSent.add();
     sim::spawn([](IpLayer &ip, IpAddress dst,
-                  std::vector<std::uint8_t> seg) -> sim::Task<void> {
+                  sim::PacketView seg) -> sim::Task<void> {
         co_await ip.send(dst, proto::tcp, std::move(seg));
-    }(_ip, iph.src, encodeTcp(rst, {})));
+    }(_ip, iph.src, encodeTcp(rst, sim::PacketView{})));
 }
 
 void
-Tcp::onIp(const Ipv4Header &iph, std::vector<std::uint8_t> &&pl)
+Tcp::onIp(const Ipv4Header &iph, sim::PacketView &&pl)
 {
-    std::vector<std::uint8_t> payload;
+    sim::PacketView payload;
     auto h = decodeTcp(pl, payload);
     if (!h) {
         _stats.badSegments.add();
@@ -282,7 +298,7 @@ TcpSocket::fail()
 
 void
 TcpSocket::transmitSegment(std::uint8_t flags, std::uint32_t seq,
-                           std::vector<std::uint8_t> payload)
+                           sim::PacketView payload)
 {
     TcpHeader h;
     h.srcPort = lport;
@@ -294,9 +310,11 @@ TcpSocket::transmitSegment(std::uint8_t flags, std::uint32_t seq,
         std::min<std::uint32_t>(tcp.cfg.window, 0xFFFF));
     tcp._stats.segmentsSent.add();
     sim::spawn([](IpLayer &ip, IpAddress dst,
-                  std::vector<std::uint8_t> seg) -> sim::Task<void> {
+                  sim::PacketView seg) -> sim::Task<void> {
         co_await ip.send(dst, proto::tcp, std::move(seg));
     }(tcp._ip, peer, encodeTcp(h, payload)));
+    // The retransmission store keeps a view of the payload, not a
+    // second copy of the bytes.
     if ((flags & (tcpflags::syn | tcpflags::fin)) || !payload.empty())
         inflight[seq] = {flags, std::move(payload)};
 }
@@ -332,9 +350,8 @@ TcpSocket::onTimeout()
             std::min<std::uint32_t>(tcp.cfg.window, 0xFFFF));
         tcp._stats.segmentsSent.add();
         sim::spawn([](IpLayer &ip, IpAddress dst,
-                      std::vector<std::uint8_t> seg)
-                       -> sim::Task<void> {
-            co_await ip.send(dst, proto::tcp, std::move(seg));
+                      sim::PacketView segv) -> sim::Task<void> {
+            co_await ip.send(dst, proto::tcp, std::move(segv));
         }(tcp._ip, peer, encodeTcp(h, seg.second)));
     }
     armTimer();
@@ -377,7 +394,7 @@ TcpSocket::pump()
 
 void
 TcpSocket::segmentArrived(const TcpHeader &h,
-                          std::vector<std::uint8_t> &&payload)
+                          sim::PacketView &&payload)
 {
     if (h.flags & tcpflags::rst) {
         fail();
@@ -452,8 +469,13 @@ TcpSocket::segmentArrived(const TcpHeader &h,
     bool advanced = false;
     if (!payload.empty()) {
         if (h.seq == rcvNxt) {
-            recvBuf.insert(recvBuf.end(), payload.begin(),
-                           payload.end());
+            // The byte stream boundary: segment bytes merge into the
+            // in-order receive buffer here (a counted copy).
+            payload.forEachSegment(
+                [&](const std::uint8_t *p, std::size_t n) {
+                    recvBuf.insert(recvBuf.end(), p, p + n);
+                });
+            sim::accountCopy(payload.size());
             rcvNxt += static_cast<std::uint32_t>(payload.size());
             advanced = true;
             wakeAll();

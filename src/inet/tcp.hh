@@ -49,14 +49,18 @@ struct TcpHeader
     static constexpr std::uint32_t wireSize = 20;
 };
 
-/** Serialize header + payload (checksum over both). */
-std::vector<std::uint8_t> encodeTcp(TcpHeader h,
-                                    const std::vector<std::uint8_t> &pl);
+/**
+ * Serialize header + payload (checksum over both).  The payload is
+ * chained behind the freshly built header, never copied.
+ */
+sim::PacketView encodeTcp(TcpHeader h, const sim::PacketView &pl);
 
-/** Parse and verify; nullopt on malformed/bad checksum. */
-std::optional<TcpHeader> decodeTcp(
-    const std::vector<std::uint8_t> &bytes,
-    std::vector<std::uint8_t> &payload);
+/**
+ * Parse and verify; nullopt on malformed/bad checksum.  On success
+ * @p payload is a zero-copy slice of @p packet past the header.
+ */
+std::optional<TcpHeader> decodeTcp(const sim::PacketView &packet,
+                                   sim::PacketView &payload);
 
 /** Connection states (RFC 793 subset). */
 enum class TcpState {
@@ -139,10 +143,10 @@ class TcpSocket
     friend class Tcp;
 
     void segmentArrived(const TcpHeader &h,
-                        std::vector<std::uint8_t> &&payload);
+                        sim::PacketView &&payload);
     void transmitSegment(std::uint8_t flags,
                          std::uint32_t seq,
-                         std::vector<std::uint8_t> payload);
+                         sim::PacketView payload);
     /** Send whatever the window permits from the send buffer. */
     void pump();
     void armTimer();
@@ -168,9 +172,12 @@ class TcpSocket
     std::uint32_t finSeq = 0;
     sim::EventId timer = sim::invalidEventId;
     int timeouts = 0;
-    /** Retransmission store: stream-offset -> segment payload. */
-    std::map<std::uint32_t, std::pair<std::uint8_t,
-                                      std::vector<std::uint8_t>>>
+    /**
+     * Retransmission store: stream-offset -> segment payload.  Holds
+     * views onto the segment buffers, so keeping a copy for
+     * retransmit costs nothing until a timeout actually fires.
+     */
+    std::map<std::uint32_t, std::pair<std::uint8_t, sim::PacketView>>
         inflight;
 
     // Receive side.
@@ -213,7 +220,7 @@ class Tcp : public sim::Component
                (static_cast<std::uint64_t>(pport) << 32) | peer;
     }
 
-    void onIp(const Ipv4Header &h, std::vector<std::uint8_t> &&pl);
+    void onIp(const Ipv4Header &h, sim::PacketView &&pl);
     void sendRst(const Ipv4Header &iph, const TcpHeader &h);
 
     IpLayer &_ip;

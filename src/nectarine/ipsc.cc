@@ -67,8 +67,7 @@ IpscNode::crecv(long type)
 
     for (auto it = stash.begin(); it != stash.end(); ++it) {
         if (it->tag == want) {
-            std::vector<std::uint8_t> payload(it->bytes.begin() + 8,
-                                              it->bytes.end());
+            auto payload = it->view().slice(8).toVector();
             stash.erase(it);
             co_return payload;
         }
@@ -76,16 +75,16 @@ IpscNode::crecv(long type)
 
     for (;;) {
         cabos::Message m = co_await ctx.receive();
-        if (m.bytes.size() < 8) {
+        if (m.size() < 8) {
             sim::warn("ipsc::crecv: runt message discarded");
             continue;
         }
         std::uint64_t got = 0;
         for (int i = 0; i < 8; ++i)
-            got = (got << 8) | m.bytes[i];
+            got = (got << 8) | m.view()[i];
         if (got == want) {
-            co_return std::vector<std::uint8_t>(m.bytes.begin() + 8,
-                                                m.bytes.end());
+            // App boundary: the typed payload is materialized here.
+            co_return m.view().slice(8).toVector();
         }
         m.tag = got;
         stash.push_back(std::move(m));

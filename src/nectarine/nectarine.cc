@@ -84,7 +84,7 @@ Nectarine::siteOf(TaskId id)
 }
 
 sim::Task<bool>
-TaskContext::send(TaskId to, std::vector<std::uint8_t> msg,
+TaskContext::send(TaskId to, sim::PacketView msg,
                   Delivery how, std::uint64_t tag)
 {
     (void)tag; // the receiver sees msgId as the tag for streams

@@ -110,10 +110,12 @@ class TaskContext
     // ----- Messaging ------------------------------------------------
 
     /**
-     * Send a message to another task.
+     * Send a message to another task.  Accepts a PacketView (or a
+     * vector, converted implicitly); the bytes are never copied on
+     * their way down the stack.
      * @param tag Optional tag (retrievable via receiveTagged).
      */
-    sim::Task<bool> send(TaskId to, std::vector<std::uint8_t> msg,
+    sim::Task<bool> send(TaskId to, sim::PacketView msg,
                          Delivery how = Delivery::reliable,
                          std::uint64_t tag = 0);
 

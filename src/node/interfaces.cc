@@ -77,9 +77,9 @@ SharedMemoryInterface::tryReceive(cabos::MailboxId box)
     if (m) {
         // Consume the message in place: one VME transfer, no node
         // kernel involvement.
-        host.vme().transfer(static_cast<std::uint32_t>(m->bytes.size()));
+        host.vme().transfer(static_cast<std::uint32_t>(m->size()));
         site.board->memory().account(cab::Accessor::vmeDma,
-                                     m->bytes.size());
+                                     m->size());
     }
     return m;
 }
@@ -163,10 +163,10 @@ SocketInterface::receive(cabos::MailboxId box)
     // Wakeup context switch, VME transfer, kernel-to-user copy.
     co_await host.cpu().compute(host.costs().contextSwitch);
     co_await host.vme().transferAwait(
-        static_cast<std::uint32_t>(m.bytes.size()));
+        static_cast<std::uint32_t>(m.size()));
     site.board->memory().account(cab::Accessor::vmeDma,
-                                 m.bytes.size());
-    co_await host.copy(m.bytes.size());
+                                 m.size());
+    co_await host.copy(m.size());
     co_return m;
 }
 

@@ -14,8 +14,8 @@ NodeNetStack::NodeNetStack(Node &host, RawNet &net,
     : sim::Component(host.eventq(), host.name() + ".netstack"),
       host(host), net(net), cfg(config)
 {
-    net.rxRaw = [this](std::vector<std::uint8_t> &&bytes) {
-        onRawPacket(std::move(bytes));
+    net.rxRaw = [this](sim::PacketView &&packet) {
+        onRawPacket(std::move(packet));
     };
 }
 
@@ -56,7 +56,7 @@ struct ParkOn
 } // namespace
 
 sim::Task<void>
-NodeNetStack::transmit(std::uint16_t dst, std::vector<std::uint8_t> pkt,
+NodeNetStack::transmit(std::uint16_t dst, sim::PacketView pkt,
                        bool isAck)
 {
     // In-kernel protocol processing on the host (acks are cheaper).
@@ -102,7 +102,7 @@ NodeNetStack::onTimeout(std::uint16_t peer, std::uint16_t port)
 
 sim::Task<bool>
 NodeNetStack::sendMessage(std::uint16_t dst, std::uint16_t port,
-                          std::vector<std::uint8_t> data)
+                          sim::PacketView data)
 {
     _stats.messagesSent.add();
     SenderFlow &flow = flowTo(dst, port);
@@ -139,9 +139,7 @@ NodeNetStack::sendMessage(std::uint16_t dst, std::uint16_t port,
         if (i + 1 == frag_count)
             h.flags |= transport::flags::lastFragment;
 
-        std::vector<std::uint8_t> frag(data.begin() + off,
-                                       data.begin() + off + len);
-        auto pkt = encodePacket(h, frag);
+        auto pkt = encodePacket(h, data.slice(off, len));
         flow.unacked.emplace(h.seq, pkt);
         armTimer(dst, port, flow);
         co_await transmit(dst, std::move(pkt), false);
@@ -156,11 +154,11 @@ NodeNetStack::sendMessage(std::uint16_t dst, std::uint16_t port,
 }
 
 void
-NodeNetStack::onRawPacket(std::vector<std::uint8_t> &&bytes)
+NodeNetStack::onRawPacket(sim::PacketView &&packet)
 {
     _stats.packetsReceived.add();
-    std::vector<std::uint8_t> payload;
-    auto h = transport::decodePacket(bytes, payload);
+    sim::PacketView payload;
+    auto h = transport::decodePacket(packet, payload);
     if (!h || h->dstCab != net.rawAddress()) {
         _stats.checksumDrops.add();
         return;
@@ -170,16 +168,15 @@ NodeNetStack::onRawPacket(std::vector<std::uint8_t> &&bytes)
                     ? host.costs().protocolPerPacketRecv / 4
                     : host.costs().protocolPerPacketRecv;
     Header header = *h;
-    auto shared = std::make_shared<std::vector<std::uint8_t>>(
-        std::move(payload));
-    host.cpu().chargeThen(cost, [this, header, shared] {
-        if (header.protocol == Proto::ack)
-            handleAck(header);
-        else if (header.protocol == Proto::stream)
-            handleData(header, std::move(*shared));
-        else
-            _stats.checksumDrops.add();
-    });
+    host.cpu().chargeThen(
+        cost, [this, header, payload = std::move(payload)]() mutable {
+            if (header.protocol == Proto::ack)
+                handleAck(header);
+            else if (header.protocol == Proto::stream)
+                handleData(header, std::move(payload));
+            else
+                _stats.checksumDrops.add();
+        });
 }
 
 void
@@ -191,12 +188,12 @@ NodeNetStack::sendAck(const Header &h, std::uint32_t next)
     ack.dstCab = h.srcCab;
     ack.srcMailbox = h.dstMailbox;
     ack.ack = next;
-    sim::spawn(transmit(h.srcCab, encodePacket(ack, {}), true));
+    sim::spawn(transmit(h.srcCab,
+                        encodePacket(ack, sim::PacketView{}), true));
 }
 
 void
-NodeNetStack::handleData(const Header &h,
-                         std::vector<std::uint8_t> &&payload)
+NodeNetStack::handleData(const Header &h, sim::PacketView &&payload)
 {
     ReceiverFlow &flow = receivers[key(h.srcCab, h.dstMailbox)];
     if (h.seq != flow.expected) {
@@ -204,13 +201,12 @@ NodeNetStack::handleData(const Header &h,
         return;
     }
     ++flow.expected;
-    flow.assembly.insert(flow.assembly.end(), payload.begin(),
-                         payload.end());
+    flow.assembly.append(payload);
     if (h.flags & transport::flags::lastFragment) {
         _stats.messagesDelivered.add();
         PortQueue &pq = ports[h.dstMailbox];
         pq.messages.push_back(std::move(flow.assembly));
-        flow.assembly.clear();
+        flow.assembly = sim::PacketView{};
         // Waking a blocked receiver is a process context switch.
         host.cpu().charge(host.costs().contextSwitch);
         wake(pq.waiters);
@@ -246,9 +242,10 @@ NodeNetStack::receive(std::uint16_t port)
         co_await ParkOn{pq.waiters};
     auto msg = std::move(pq.messages.front());
     pq.messages.pop_front();
-    // The message is copied up to the application.
+    // The message is copied up to the application (the one counted
+    // materialization on this path).
     co_await host.copy(msg.size());
-    co_return msg;
+    co_return msg.toVector();
 }
 
 std::optional<std::vector<std::uint8_t>>
@@ -261,7 +258,7 @@ NodeNetStack::tryReceive(std::uint16_t port)
     pq.messages.pop_front();
     host.cpu().charge(static_cast<Tick>(
         static_cast<double>(msg.size()) * host.costs().copyPerByteNs));
-    return msg;
+    return msg.toVector();
 }
 
 } // namespace nectar::node

@@ -73,7 +73,7 @@ class NodeNetStack : public sim::Component
      * @return true once fully acknowledged.
      */
     sim::Task<bool> sendMessage(std::uint16_t dst, std::uint16_t port,
-                                std::vector<std::uint8_t> data);
+                                sim::PacketView data);
 
     /** Blocking receive of the next message on @p port. */
     sim::Task<std::vector<std::uint8_t>> receive(std::uint16_t port);
@@ -89,7 +89,7 @@ class NodeNetStack : public sim::Component
 
         std::uint32_t nextSeq = 0;
         std::uint32_t base = 0;
-        std::map<std::uint32_t, std::vector<std::uint8_t>> unacked;
+        std::map<std::uint32_t, sim::PacketView> unacked;
         sim::EventId timer = sim::invalidEventId;
         int timeouts = 0;
         bool failed = false;
@@ -100,12 +100,12 @@ class NodeNetStack : public sim::Component
     struct ReceiverFlow
     {
         std::uint32_t expected = 0;
-        std::vector<std::uint8_t> assembly;
+        sim::PacketView assembly; ///< Chained fragment views.
     };
 
     struct PortQueue
     {
-        std::deque<std::vector<std::uint8_t>> messages;
+        std::deque<sim::PacketView> messages;
         std::vector<std::coroutine_handle<>> waiters;
     };
 
@@ -121,15 +121,14 @@ class NodeNetStack : public sim::Component
                   SenderFlow &flow);
     void onTimeout(std::uint16_t peer, std::uint16_t port);
 
-    void onRawPacket(std::vector<std::uint8_t> &&bytes);
+    void onRawPacket(sim::PacketView &&packet);
     void handleData(const transport::Header &h,
-                    std::vector<std::uint8_t> &&payload);
+                    sim::PacketView &&payload);
     void handleAck(const transport::Header &h);
     void sendAck(const transport::Header &h, std::uint32_t next);
 
     /** Charge node protocol cost and transmit via the raw net. */
-    sim::Task<void> transmit(std::uint16_t dst,
-                             std::vector<std::uint8_t> pkt,
+    sim::Task<void> transmit(std::uint16_t dst, sim::PacketView pkt,
                              bool isAck);
 
     Node &host;

@@ -43,10 +43,11 @@ class RawNet
      * @return true when the packet left this station.
      */
     virtual sim::Task<bool> rawSend(std::uint16_t dst,
-                                    std::vector<std::uint8_t> bytes) = 0;
+                                    sim::PacketView packet) = 0;
 
-    /** Upcall on packet arrival (set by the node stack). */
-    std::function<void(std::vector<std::uint8_t> &&)> rxRaw;
+    /** Upcall on packet arrival (set by the node stack).  All taps
+     *  on one station share the arriving packet's buffers. */
+    std::function<void(sim::PacketView &&)> rxRaw;
 };
 
 /**
@@ -75,43 +76,44 @@ class NectarRawNet : public RawNet, public sim::Component
           host(host), site(site), directory(directory), mode(mode)
     {
         site.datalink->rxHandler =
-            [this](std::vector<std::uint8_t> &&bytes, bool corrupted) {
-                onPacket(std::move(bytes), corrupted);
+            [this](sim::PacketView &&packet, bool corrupted) {
+                onPacket(std::move(packet), corrupted);
             };
     }
 
     std::uint16_t rawAddress() const override { return site.address; }
 
     sim::Task<bool>
-    rawSend(std::uint16_t dst, std::vector<std::uint8_t> bytes) override
+    rawSend(std::uint16_t dst, sim::PacketView packet) override
     {
         // Kernel copy and VME transfer into CAB memory.
-        co_await host.copy(bytes.size());
+        co_await host.copy(packet.size());
         co_await host.vme().transferAwait(
-            static_cast<std::uint32_t>(bytes.size()));
+            static_cast<std::uint32_t>(packet.size()));
         site.board->memory().account(cab::Accessor::vmeDma,
-                                     bytes.size());
+                                     packet.size());
         const topo::Route &route = directory.route(site.address, dst);
         bool ok = co_await site.datalink->sendPacket(
-            route, phys::makePayload(std::move(bytes)), mode);
+            route, std::move(packet), mode);
         co_return ok;
     }
 
   private:
     void
-    onPacket(std::vector<std::uint8_t> &&bytes, bool corrupted)
+    onPacket(sim::PacketView &&packet, bool corrupted)
     {
         if (corrupted)
             return; // dropped by the NIC; the node stack retransmits
         // The packet crosses the VME bus, then interrupts the node.
-        host.vme().transfer(static_cast<std::uint32_t>(bytes.size()));
+        host.vme().transfer(static_cast<std::uint32_t>(packet.size()));
         site.board->memory().account(cab::Accessor::vmeDma,
-                                     bytes.size());
-        auto shared = std::make_shared<std::vector<std::uint8_t>>(
-            std::move(bytes));
-        host.raiseInterrupt([this, shared] {
+                                     packet.size());
+        // The view is captured by value: the interrupt handler hands
+        // the same shared buffers to the receiver, with no per-packet
+        // heap wrapper and no duplicated byte vector.
+        host.raiseInterrupt([this, packet = std::move(packet)]() mutable {
             if (rxRaw)
-                rxRaw(std::move(*shared));
+                rxRaw(std::move(packet));
         });
     }
 

@@ -24,25 +24,28 @@
 #pragma once
 
 #include <cstdint>
-#include <memory>
 #include <string>
 #include <vector>
 
+#include "sim/buffer.hh"
 #include "sim/types.hh"
 
 namespace nectar::phys {
 
 using sim::Tick;
 
-/** Shared immutable payload referenced by data chunks on the wire. */
-using Payload = std::shared_ptr<const std::vector<std::uint8_t>>;
+/**
+ * Shared immutable payload referenced by data chunks on the wire: a
+ * zero-copy view that may chain several underlying buffers (header
+ * prepended to payload, fragments awaiting reassembly).
+ */
+using Payload = sim::PacketView;
 
-/** Convenience constructor for payload buffers. */
+/** Wrap @p bytes in a payload view (moved, not copied). */
 inline Payload
 makePayload(std::vector<std::uint8_t> bytes)
 {
-    return std::make_shared<const std::vector<std::uint8_t>>(
-        std::move(bytes));
+    return Payload(std::move(bytes));
 }
 
 /** A 3-byte datalink command word. */
@@ -94,7 +97,8 @@ struct WireItem
     CommandWord cmd; ///< Valid when kind == command.
     ReplyWord reply; ///< Valid when kind == reply or readySignal.
 
-    Payload data;                ///< Valid when kind == data.
+    /** Valid when kind == data: this chunk's slice of the packet. */
+    Payload data;
     std::uint32_t dataOffset = 0; ///< First payload byte of this chunk.
     std::uint32_t dataLen = 0;    ///< Chunk length in bytes.
 
@@ -146,13 +150,15 @@ struct WireItem
         return w;
     }
 
-    /** Construct a data chunk covering [offset, offset+len) of @p p. */
+    /** Construct a data chunk covering [offset, offset+len) of @p p.
+     *  The chunk carries a slice of the packet view — no bytes are
+     *  copied, and the slice shares the packet's buffers. */
     static WireItem
-    dataChunk(Payload p, std::uint32_t offset, std::uint32_t len)
+    dataChunk(const Payload &p, std::uint32_t offset, std::uint32_t len)
     {
         WireItem w;
         w.kind = ItemKind::data;
-        w.data = std::move(p);
+        w.data = p.slice(offset, len);
         w.dataOffset = offset;
         w.dataLen = len;
         return w;

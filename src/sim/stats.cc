@@ -6,6 +6,13 @@
 
 namespace nectar::sim {
 
+CopyStats &
+copyStats()
+{
+    static CopyStats stats;
+    return stats;
+}
+
 void
 SampleStats::record(double x)
 {

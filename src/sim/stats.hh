@@ -123,6 +123,50 @@ class UtilizationStat
 };
 
 /**
+ * Deterministic accounting of deep copies on the packet path.
+ *
+ * The Nectar hardware exists to keep payload bytes from being copied
+ * between protocol layers (DMA, hardware checksum, mailbox delivery);
+ * these counters make the simulator's own copy behaviour measurable.
+ * Byte reads of header fields are "register reads" and are not
+ * counted; bulk materialization of payload bytes (PacketView::
+ * toVector / copyTo, or explicitly instrumented vector copies) is.
+ *
+ * The counters are global and advance in simulation order, so two
+ * same-seed runs produce identical values.
+ */
+struct CopyStats
+{
+    std::uint64_t bytesCopied = 0;  ///< Payload bytes deep-copied.
+    std::uint64_t copyOps = 0;      ///< Individual copy operations.
+    std::uint64_t bufferAllocs = 0; ///< Payload buffer allocations.
+
+    void
+    reset()
+    {
+        *this = CopyStats{};
+    }
+};
+
+/** The process-wide copy-accounting counters. */
+CopyStats &copyStats();
+
+/** Record one deep copy of @p bytes payload bytes. */
+inline void
+accountCopy(std::size_t bytes)
+{
+    copyStats().bytesCopied += bytes;
+    copyStats().copyOps += 1;
+}
+
+/** Record one payload-buffer allocation. */
+inline void
+accountAlloc()
+{
+    copyStats().bufferAllocs += 1;
+}
+
+/**
  * A named registry of statistics, dumpable as a table; the software
  * analogue of reading out the instrumentation board.
  */

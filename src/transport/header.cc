@@ -29,13 +29,13 @@ put32(std::vector<std::uint8_t> &v, std::size_t off, std::uint32_t x)
 }
 
 std::uint16_t
-get16(const std::vector<std::uint8_t> &v, std::size_t off)
+get16(const std::uint8_t *v, std::size_t off)
 {
     return static_cast<std::uint16_t>((v[off] << 8) | v[off + 1]);
 }
 
 std::uint32_t
-get32(const std::vector<std::uint8_t> &v, std::size_t off)
+get32(const std::uint8_t *v, std::size_t off)
 {
     return (static_cast<std::uint32_t>(v[off]) << 24) |
            (static_cast<std::uint32_t>(v[off + 1]) << 16) |
@@ -43,70 +43,85 @@ get32(const std::vector<std::uint8_t> &v, std::size_t off)
            static_cast<std::uint32_t>(v[off + 3]);
 }
 
+/** Checksum @p hdr (32 bytes, checksum field zeroed) + @p payload. */
+std::uint16_t
+packetChecksum(const std::uint8_t *hdr, const sim::PacketView &payload)
+{
+    cab::ChecksumAccumulator acc;
+    acc.feed(hdr, Header::wireSize);
+    payload.forEachSegment([&](const std::uint8_t *p, std::size_t n) {
+        acc.feed(p, n);
+    });
+    return acc.finish();
+}
+
 } // namespace
 
-std::vector<std::uint8_t>
-encodePacket(Header h, const std::vector<std::uint8_t> &payload)
+sim::PacketView
+encodePacket(Header h, const sim::PacketView &payload)
 {
     h.length = static_cast<std::uint16_t>(payload.size());
 
-    std::vector<std::uint8_t> out(Header::wireSize + payload.size(), 0);
-    put8(out, 0, static_cast<std::uint8_t>(h.protocol));
-    put8(out, 1, h.flags);
-    put16(out, 2, h.srcCab);
-    put16(out, 4, h.dstCab);
-    put16(out, 6, h.srcMailbox);
-    put16(out, 8, h.dstMailbox);
-    put32(out, 10, h.seq);
-    put32(out, 14, h.ack);
-    put16(out, 18, h.window);
-    put32(out, 20, h.msgId);
-    put16(out, 24, h.fragIndex);
-    put16(out, 26, h.fragCount);
-    put16(out, 28, h.length);
-    // Checksum field (offset 30) stays zero for the computation.
-    std::copy(payload.begin(), payload.end(),
-              out.begin() + Header::wireSize);
+    std::vector<std::uint8_t> hdr(Header::wireSize, 0);
+    put8(hdr, 0, static_cast<std::uint8_t>(h.protocol));
+    put8(hdr, 1, h.flags);
+    put16(hdr, 2, h.srcCab);
+    put16(hdr, 4, h.dstCab);
+    put16(hdr, 6, h.srcMailbox);
+    put16(hdr, 8, h.dstMailbox);
+    put32(hdr, 10, h.seq);
+    put32(hdr, 14, h.ack);
+    put16(hdr, 18, h.window);
+    put32(hdr, 20, h.msgId);
+    put16(hdr, 24, h.fragIndex);
+    put16(hdr, 26, h.fragCount);
+    put16(hdr, 28, h.length);
+    // Checksum field (offset 30) stays zero for the computation; the
+    // payload is streamed segment by segment, never copied.
+    put16(hdr, 30, packetChecksum(hdr.data(), payload));
 
-    std::uint16_t sum = cab::checksum16(out.data(), out.size());
-    put16(out, 30, sum);
-    return out;
+    return sim::PacketView::concat(
+        sim::PacketView(std::move(hdr)), payload);
 }
 
 std::optional<Header>
-decodePacket(const std::vector<std::uint8_t> &bytes,
-             std::vector<std::uint8_t> &payload)
+decodePacket(const sim::PacketView &packet, sim::PacketView &payload)
 {
-    if (bytes.size() < Header::wireSize)
+    if (packet.size() < Header::wireSize)
         return std::nullopt;
 
-    Header h;
-    h.protocol = static_cast<Proto>(bytes[0]);
-    h.flags = bytes[1];
-    h.srcCab = get16(bytes, 2);
-    h.dstCab = get16(bytes, 4);
-    h.srcMailbox = get16(bytes, 6);
-    h.dstMailbox = get16(bytes, 8);
-    h.seq = get32(bytes, 10);
-    h.ack = get32(bytes, 14);
-    h.window = get16(bytes, 18);
-    h.msgId = get32(bytes, 20);
-    h.fragIndex = get16(bytes, 24);
-    h.fragCount = get16(bytes, 26);
-    h.length = get16(bytes, 28);
-    h.checksum = get16(bytes, 30);
+    // The protocol engine reads the header fields as the bytes stream
+    // past (a register read, not a payload copy).
+    std::uint8_t hdr[Header::wireSize];
+    packet.read(0, hdr, Header::wireSize);
 
-    if (bytes.size() != Header::wireSize + h.length)
+    Header h;
+    h.protocol = static_cast<Proto>(hdr[0]);
+    h.flags = hdr[1];
+    h.srcCab = get16(hdr, 2);
+    h.dstCab = get16(hdr, 4);
+    h.srcMailbox = get16(hdr, 6);
+    h.dstMailbox = get16(hdr, 8);
+    h.seq = get32(hdr, 10);
+    h.ack = get32(hdr, 14);
+    h.window = get16(hdr, 18);
+    h.msgId = get32(hdr, 20);
+    h.fragIndex = get16(hdr, 24);
+    h.fragCount = get16(hdr, 26);
+    h.length = get16(hdr, 28);
+    h.checksum = get16(hdr, 30);
+
+    if (packet.size() != Header::wireSize + h.length)
         return std::nullopt;
 
     // Verify the checksum over the packet with the field zeroed.
-    std::vector<std::uint8_t> copy = bytes;
-    copy[30] = 0;
-    copy[31] = 0;
-    if (cab::checksum16(copy.data(), copy.size()) != h.checksum)
+    payload = packet.slice(Header::wireSize);
+    hdr[30] = 0;
+    hdr[31] = 0;
+    if (packetChecksum(hdr, payload) != h.checksum) {
+        payload = sim::PacketView{};
         return std::nullopt;
-
-    payload.assign(bytes.begin() + Header::wireSize, bytes.end());
+    }
     return h;
 }
 

@@ -19,6 +19,8 @@
 #include <optional>
 #include <vector>
 
+#include "sim/buffer.hh"
+
 namespace nectar::transport {
 
 /** Network-wide CAB address. */
@@ -62,23 +64,48 @@ struct Header
 };
 
 /**
- * Serialize @p h followed by @p payload into one packet buffer,
- * computing the checksum over the whole packet (with the checksum
- * field zeroed), as the CAB's checksum hardware does during DMA.
+ * Serialize @p h into a fresh 32-byte buffer and chain @p payload
+ * behind it — the payload bytes are shared, not copied.  The checksum
+ * covers the whole packet (with the checksum field zeroed), computed
+ * by streaming the segments as the CAB's checksum hardware does
+ * during DMA.
  */
-std::vector<std::uint8_t> encodePacket(
-    Header h, const std::vector<std::uint8_t> &payload);
+sim::PacketView encodePacket(Header h, const sim::PacketView &payload);
 
 /**
  * Parse and verify a received packet.
  *
- * @param bytes The raw packet (header + payload).
- * @param[out] payload The payload bytes on success.
+ * Header fields are read through the view (register reads); the
+ * checksum streams the segments; the payload comes back as a slice of
+ * @p packet, so nothing is materialized.  A corruption taint on
+ * @p packet propagates into @p payload.
+ *
+ * @param packet The raw packet view (header + payload).
+ * @param[out] payload The payload slice on success.
  * @return The header, or nullopt if the packet is malformed or fails
  *         its checksum.
  */
-std::optional<Header> decodePacket(
-    const std::vector<std::uint8_t> &bytes,
-    std::vector<std::uint8_t> &payload);
+std::optional<Header> decodePacket(const sim::PacketView &packet,
+                                   sim::PacketView &payload);
+
+/** Vector-based convenience wrapper (tests). */
+inline std::vector<std::uint8_t>
+encodePacket(Header h, const std::vector<std::uint8_t> &payload)
+{
+    return encodePacket(h, sim::PacketView(payload)).toVector();
+}
+
+/** Vector-based convenience wrapper (tests). */
+inline std::optional<Header>
+decodePacket(const std::vector<std::uint8_t> &bytes,
+             std::vector<std::uint8_t> &payload)
+{
+    sim::PacketView view{std::vector<std::uint8_t>(bytes)};
+    sim::PacketView out;
+    auto h = decodePacket(view, out);
+    if (h)
+        payload = out.toVector();
+    return h;
+}
 
 } // namespace nectar::transport

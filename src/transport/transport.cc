@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "sim/logging.hh"
+#include "sim/stats.hh"
 
 namespace nectar::transport {
 
@@ -15,9 +16,8 @@ Transport::Transport(cabos::Kernel &kernel, datalink::Datalink &dl,
       _kernel(kernel), dl(dl), directory(directory), self(self),
       cfg(config)
 {
-    dl.rxHandler = [this](std::vector<std::uint8_t> &&bytes,
-                          bool corrupted) {
-        handlePacket(std::move(bytes), corrupted);
+    dl.rxHandler = [this](sim::PacketView &&packet, bool corrupted) {
+        handlePacket(std::move(packet), corrupted);
     };
 }
 
@@ -26,8 +26,7 @@ Transport::Transport(cabos::Kernel &kernel, datalink::Datalink &dl,
 // --------------------------------------------------------------------
 
 sim::Task<void>
-Transport::transmitPacket(CabAddress dst,
-                          std::vector<std::uint8_t> packet)
+Transport::transmitPacket(CabAddress dst, sim::PacketView packet)
 {
     if (!_alive)
         co_return;
@@ -50,8 +49,7 @@ Transport::transmitPacket(CabAddress dst,
         _stats.unroutable.add();
         co_return;
     }
-    bool ok = co_await dl.sendPacket(route,
-                                     phys::makePayload(std::move(packet)),
+    bool ok = co_await dl.sendPacket(route, std::move(packet),
                                      cfg.mode);
     if (!ok) {
         // Route establishment failed after datalink retries; for the
@@ -62,7 +60,7 @@ Transport::transmitPacket(CabAddress dst,
 }
 
 void
-Transport::transmitAsync(CabAddress dst, std::vector<std::uint8_t> pkt)
+Transport::transmitAsync(CabAddress dst, sim::PacketView pkt)
 {
     sim::spawn(transmitPacket(dst, std::move(pkt)));
 }
@@ -73,7 +71,7 @@ Transport::transmitAsync(CabAddress dst, std::vector<std::uint8_t> pkt)
 
 sim::Task<bool>
 Transport::sendDatagram(CabAddress dst, std::uint16_t dstMailbox,
-                        std::vector<std::uint8_t> data)
+                        sim::PacketView data)
 {
     _stats.messagesSent.add();
     std::uint32_t msg_id = nextMsgId++;
@@ -94,9 +92,8 @@ Transport::sendDatagram(CabAddress dst, std::uint16_t dstMailbox,
         h.fragCount = frag_count;
         if (i + 1 == frag_count)
             h.flags |= flags::lastFragment;
-        std::vector<std::uint8_t> frag(data.begin() + off,
-                                       data.begin() + off + len);
-        co_await transmitPacket(dst, encodePacket(h, frag));
+        co_await transmitPacket(dst,
+                                encodePacket(h, data.slice(off, len)));
     }
     co_return true;
 }
@@ -233,7 +230,7 @@ Transport::onTimeout(CabAddress peer, std::uint16_t mb)
 
 sim::Task<bool>
 Transport::sendReliable(CabAddress dst, std::uint16_t dstMailbox,
-                        std::vector<std::uint8_t> data)
+                        sim::PacketView data)
 {
     _stats.messagesSent.add();
     if (!_alive) {
@@ -284,9 +281,9 @@ Transport::sendReliable(CabAddress dst, std::uint16_t dstMailbox,
         if (i + 1 == frag_count)
             h.flags |= flags::lastFragment;
 
-        std::vector<std::uint8_t> frag(data.begin() + off,
-                                       data.begin() + off + len);
-        auto pkt = encodePacket(h, frag);
+        auto pkt = encodePacket(h, data.slice(off, len));
+        // The retransmit queue holds a view of the same packet bytes,
+        // not a copy.
         flow.unacked.emplace(h.seq, Unacked{pkt, now(), false});
         armTimer(dst, dstMailbox, flow);
         co_await transmitPacket(dst, std::move(pkt));
@@ -357,8 +354,7 @@ Transport::handleAck(const Header &h)
 // --------------------------------------------------------------------
 
 void
-Transport::handlePacket(std::vector<std::uint8_t> &&bytes,
-                        bool corrupted)
+Transport::handlePacket(sim::PacketView &&packet, bool corrupted)
 {
     if (!_alive) {
         // A crashed CAB's board is dark: arriving packets vanish.
@@ -367,9 +363,9 @@ Transport::handlePacket(std::vector<std::uint8_t> &&bytes,
     }
     _stats.packetsReceived.add();
 
-    std::vector<std::uint8_t> payload;
-    auto header = decodePacket(bytes, payload);
-    if (!header || corrupted) {
+    sim::PacketView payload;
+    auto header = decodePacket(packet, payload);
+    if (!header || corrupted || packet.corrupted()) {
         // Damaged packets are dropped; the byte-stream protocol's
         // retransmission recovers them (Section 6.2.2).
         _stats.checksumDrops.add();
@@ -380,19 +376,19 @@ Transport::handlePacket(std::vector<std::uint8_t> &&bytes,
         return;
     }
 
-    // Charge the receive-path CPU cost, then process.
+    // Charge the receive-path CPU cost, then process.  The payload
+    // view is captured by value: segment descriptors and refcounts,
+    // no payload bytes.
     Header h = *header;
-    auto shared = std::make_shared<std::vector<std::uint8_t>>(
-        std::move(payload));
     _kernel.board().cpu().chargeThen(
-        _kernel.costs().transportRecvPerPacket, [this, h, shared] {
-            processPacket(h, std::move(*shared));
+        _kernel.costs().transportRecvPerPacket,
+        [this, h, payload = std::move(payload)]() mutable {
+            processPacket(h, std::move(payload));
         });
 }
 
 void
-Transport::processPacket(const Header &h,
-                         std::vector<std::uint8_t> &&payload)
+Transport::processPacket(const Header &h, sim::PacketView &&payload)
 {
     switch (h.protocol) {
       case Proto::stream:
@@ -417,8 +413,8 @@ Transport::processPacket(const Header &h,
 }
 
 bool
-Transport::deliver(std::uint16_t dstMailbox,
-                   std::vector<std::uint8_t> &&msg, std::uint64_t tag)
+Transport::deliver(std::uint16_t dstMailbox, sim::PacketView &&msg,
+                   std::uint64_t tag)
 {
     cabos::Mailbox *box = _kernel.mailbox(dstMailbox);
     if (!box)
@@ -444,12 +440,11 @@ Transport::sendAck(const Header &h, std::uint32_t nextExpected,
     ack.ack = nextExpected;
     ack.msgId = epoch;
     _stats.acksSent.add();
-    transmitAsync(h.srcCab, encodePacket(ack, {}));
+    transmitAsync(h.srcCab, encodePacket(ack, sim::PacketView{}));
 }
 
 void
-Transport::handleStreamData(const Header &h,
-                            std::vector<std::uint8_t> &&payload)
+Transport::handleStreamData(const Header &h, sim::PacketView &&payload)
 {
     auto key = flowKey(h.srcCab, h.dstMailbox);
     ReceiverFlow &flow = receivers[key];
@@ -463,7 +458,7 @@ Transport::handleStreamData(const Header &h,
         // through to the duplicate path instead.
         flow.expected = 0;
         flow.assembling = false;
-        flow.assembly.clear();
+        flow.assembly = sim::PacketView{};
         _stats.flowResyncs.add();
     }
 
@@ -484,7 +479,7 @@ Transport::handleStreamData(const Header &h,
     if (h.fragIndex == 0) {
         flow.assembling = true;
         flow.msgId = h.msgId;
-        flow.assembly.clear();
+        flow.assembly = sim::PacketView{};
         flow.highestMsgId = std::max(flow.highestMsgId, h.msgId);
     }
     if (!flow.assembling || flow.msgId != h.msgId) {
@@ -497,19 +492,20 @@ Transport::handleStreamData(const Header &h,
 
     if (h.flags & flags::lastFragment) {
         // Deliver before acknowledging: a full mailbox stalls the
-        // flow (backpressure) rather than losing the message.
-        std::vector<std::uint8_t> whole = flow.assembly;
-        whole.insert(whole.end(), payload.begin(), payload.end());
+        // flow (backpressure) rather than losing the message.  The
+        // delivered message chains the fragment views; nothing is
+        // copied (delivery stalls keep the chain for the retry).
+        sim::PacketView whole =
+            sim::PacketView::concat(flow.assembly, payload);
         if (!deliver(h.dstMailbox, std::move(whole), h.msgId)) {
             _stats.deliveryStalls.add();
             sendAck(h, flow.expected, flow.highestMsgId);
             return;
         }
         flow.assembling = false;
-        flow.assembly.clear();
+        flow.assembly = sim::PacketView{};
     } else {
-        flow.assembly.insert(flow.assembly.end(), payload.begin(),
-                             payload.end());
+        flow.assembly.append(payload);
     }
 
     ++flow.expected;
@@ -517,8 +513,7 @@ Transport::handleStreamData(const Header &h,
 }
 
 void
-Transport::handleDatagram(const Header &h,
-                          std::vector<std::uint8_t> &&payload)
+Transport::handleDatagram(const Header &h, sim::PacketView &&payload)
 {
     if (h.fragCount <= 1) {
         if (!deliver(h.dstMailbox, std::move(payload), h.msgId))
@@ -537,9 +532,9 @@ Transport::handleDatagram(const Header &h,
     if (as.frags.size() < as.fragCount)
         return;
 
-    std::vector<std::uint8_t> whole;
+    sim::PacketView whole;
     for (auto &[idx, frag] : as.frags)
-        whole.insert(whole.end(), frag.begin(), frag.end());
+        whole.append(frag);
     datagramAsm.erase(key);
     if (!deliver(h.dstMailbox, std::move(whole), h.msgId))
         _stats.datagramsDropped.add();
@@ -560,7 +555,7 @@ Transport::handleDatagram(const Header &h,
 
 sim::Task<std::optional<std::vector<std::uint8_t>>>
 Transport::request(CabAddress dst, std::uint16_t serviceMailbox,
-                   std::vector<std::uint8_t> req)
+                   sim::PacketView req)
 {
     if (req.size() > cfg.mtu)
         sim::fatal(name() + ": request exceeds one MTU; use the "
@@ -607,8 +602,7 @@ Transport::request(CabAddress dst, std::uint16_t serviceMailbox,
 }
 
 void
-Transport::handleRequest(const Header &h,
-                         std::vector<std::uint8_t> &&payload)
+Transport::handleRequest(const Header &h, sim::PacketView &&payload)
 {
     std::uint64_t tag =
         (static_cast<std::uint64_t>(h.srcCab) << 32) | h.seq;
@@ -637,8 +631,7 @@ Transport::handleRequest(const Header &h,
 }
 
 void
-Transport::respond(std::uint64_t requestTag,
-                   std::vector<std::uint8_t> response)
+Transport::respond(std::uint64_t requestTag, sim::PacketView response)
 {
     if (response.size() > cfg.mtu)
         sim::fatal(name() + ": response exceeds one MTU");
@@ -668,13 +661,14 @@ Transport::respond(std::uint64_t requestTag,
 }
 
 void
-Transport::handleResponse(const Header &h,
-                          std::vector<std::uint8_t> &&payload)
+Transport::handleResponse(const Header &h, sim::PacketView &&payload)
 {
     auto it = pendingRequests.find(h.seq);
     if (it == pendingRequests.end())
         return; // late duplicate response
-    it->second->push(std::move(payload));
+    // The response crosses back into the caller as owned bytes (the
+    // application boundary): one materialization, at most one MTU.
+    it->second->push(payload.toVector());
 }
 
 // --------------------------------------------------------------------

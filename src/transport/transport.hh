@@ -155,7 +155,7 @@ class Transport : public sim::Component
      */
     sim::Task<bool> sendDatagram(CabAddress dst,
                                  std::uint16_t dstMailbox,
-                                 std::vector<std::uint8_t> data);
+                                 sim::PacketView data);
 
     // ----- Byte-stream protocol ---------------------------------------
 
@@ -172,7 +172,7 @@ class Transport : public sim::Component
      */
     sim::Task<bool> sendReliable(CabAddress dst,
                                  std::uint16_t dstMailbox,
-                                 std::vector<std::uint8_t> data);
+                                 sim::PacketView data);
 
     // ----- Request-response protocol -----------------------------------
 
@@ -188,14 +188,13 @@ class Transport : public sim::Component
      */
     sim::Task<std::optional<std::vector<std::uint8_t>>>
     request(CabAddress dst, std::uint16_t serviceMailbox,
-            std::vector<std::uint8_t> req);
+            sim::PacketView req);
 
     /**
      * Server side: answer the request whose mailbox Message carried
      * @p requestTag.
      */
-    void respond(std::uint64_t requestTag,
-                 std::vector<std::uint8_t> response);
+    void respond(std::uint64_t requestTag, sim::PacketView response);
 
     // ----- Fault injection ---------------------------------------------
 
@@ -219,10 +218,12 @@ class Transport : public sim::Component
   private:
     // ----- Sender-side stream state -----------------------------------
 
-    /** One outstanding (sent, unacknowledged) packet. */
+    /** One outstanding (sent, unacknowledged) packet.  Holds a
+     *  view of the encoded packet; retransmission re-sends the same
+     *  shared bytes. */
     struct Unacked
     {
-        std::vector<std::uint8_t> pkt;
+        sim::PacketView pkt;
         Tick sentAt = 0;           ///< First transmission time.
         bool retransmitted = false; ///< Karn: no RTT sample if set.
     };
@@ -259,7 +260,7 @@ class Transport : public sim::Component
         std::uint32_t expected = 0;
         bool assembling = false;
         std::uint32_t msgId = 0;
-        std::vector<std::uint8_t> assembly;
+        sim::PacketView assembly; ///< Chained fragment views.
         std::uint32_t highestMsgId = 0; ///< Highest message started;
                                         ///< gates epoch resync.
     };
@@ -267,7 +268,7 @@ class Transport : public sim::Component
     /** Partially reassembled datagram. */
     struct DatagramAssembly
     {
-        std::map<std::uint16_t, std::vector<std::uint8_t>> frags;
+        std::map<std::uint16_t, sim::PacketView> frags;
         std::uint16_t fragCount = 0;
         Tick started = 0;
     };
@@ -282,29 +283,24 @@ class Transport : public sim::Component
 
     /** Charge send-path CPU and hand one packet to the datalink. */
     sim::Task<void> transmitPacket(CabAddress dst,
-                                   std::vector<std::uint8_t> packet);
+                                   sim::PacketView packet);
 
     /** Fire-and-forget transmit (acks, retransmissions). */
-    void transmitAsync(CabAddress dst, std::vector<std::uint8_t> pkt);
+    void transmitAsync(CabAddress dst, sim::PacketView pkt);
 
-    // Receive path.
-    void handlePacket(std::vector<std::uint8_t> &&bytes,
-                      bool corrupted);
-    void processPacket(const Header &h,
-                       std::vector<std::uint8_t> &&payload);
-    void handleStreamData(const Header &h,
-                          std::vector<std::uint8_t> &&payload);
+    // Receive path.  Payloads are zero-copy slices of the received
+    // packet; reassembly chains them without materializing.
+    void handlePacket(sim::PacketView &&packet, bool corrupted);
+    void processPacket(const Header &h, sim::PacketView &&payload);
+    void handleStreamData(const Header &h, sim::PacketView &&payload);
     void handleAck(const Header &h);
-    void handleDatagram(const Header &h,
-                        std::vector<std::uint8_t> &&payload);
-    void handleRequest(const Header &h,
-                       std::vector<std::uint8_t> &&payload);
-    void handleResponse(const Header &h,
-                        std::vector<std::uint8_t> &&payload);
+    void handleDatagram(const Header &h, sim::PacketView &&payload);
+    void handleRequest(const Header &h, sim::PacketView &&payload);
+    void handleResponse(const Header &h, sim::PacketView &&payload);
 
     /** Deliver a complete message into its destination mailbox. */
-    bool deliver(std::uint16_t dstMailbox,
-                 std::vector<std::uint8_t> &&msg, std::uint64_t tag);
+    bool deliver(std::uint16_t dstMailbox, sim::PacketView &&msg,
+                 std::uint64_t tag);
 
     /**
      * Acknowledge up to @p nextExpected.  @p epoch is the receiver
@@ -365,7 +361,7 @@ class Transport : public sim::Component
         std::uint32_t seq;
     };
     std::map<std::uint64_t, ServerRequest> pendingServer;
-    std::map<std::uint64_t, std::vector<std::uint8_t>> responseCache;
+    std::map<std::uint64_t, sim::PacketView> responseCache;
     std::deque<std::uint64_t> responseCacheOrder;
 };
 

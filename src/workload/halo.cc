@@ -71,9 +71,9 @@ HaloExchange::HaloExchange(nectarine::Nectarine &api,
                             auto m = co_await ctx.receive();
                             std::uint32_t msg_it =
                                 (static_cast<std::uint32_t>(
-                                     m.bytes[0])
+                                     m.view()[0])
                                  << 8) |
-                                m.bytes[1];
+                                m.view()[1];
                             ++arrived[msg_it];
                         }
                         arrived.erase(want);

@@ -26,10 +26,10 @@ PingPong::PingPong(nectarine::Nectarine &api, std::size_t siteA,
                 // Echo the payload straight back to the initiator.
                 nectarine::TaskId back{
                     static_cast<transport::CabAddress>(
-                        (m.bytes[0] << 8) | m.bytes[1]),
+                        (m.view()[0] << 8) | m.view()[1]),
                     static_cast<std::uint16_t>(
-                        (m.bytes[2] << 8) | m.bytes[3])};
-                co_await ctx.send(back, std::move(m.bytes),
+                        (m.view()[2] << 8) | m.view()[3])};
+                co_await ctx.send(back, m.takeView(),
                                   cfg.delivery);
             }
         });
@@ -68,7 +68,7 @@ StreamMeter::StreamMeter(nectarine::Nectarine &api, std::size_t siteA,
         [this, messages](TaskContext &ctx) -> Task<void> {
             for (std::uint64_t i = 0; i < messages; ++i) {
                 auto m = co_await ctx.receive();
-                delivered += m.bytes.size();
+                delivered += m.size();
             }
             _end = ctx.now();
             _finished = true;

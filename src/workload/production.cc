@@ -21,7 +21,7 @@ putTick(std::vector<std::uint8_t> &v, std::size_t off, Tick t)
 }
 
 Tick
-getTick(const std::vector<std::uint8_t> &v, std::size_t off)
+getTick(const sim::PacketView &v, std::size_t off)
 {
     std::uint64_t t = 0;
     for (int i = 0; i < 8; ++i)
@@ -49,12 +49,12 @@ ProductionWorkload::ProductionWorkload(
                 sim::Random rng(cfg.seed * 97 + w);
                 for (;;) {
                     auto token = co_await ctx.receive();
-                    if (token.bytes.size() < 8)
+                    if (token.size() < 8)
                         continue;
                     if (*processed >= cfg.maxTokens)
                         continue; // drain silently after cutoff
                     _tokenLat.record(static_cast<double>(
-                        ctx.now() - getTick(token.bytes, 0)));
+                        ctx.now() - getTick(token.view(), 0)));
                     // Match: evaluate this partition of the RETE
                     // network against the token.
                     co_await ctx.compute(cfg.matchCompute);

@@ -18,7 +18,7 @@ putTick(std::vector<std::uint8_t> &v, Tick t)
 }
 
 Tick
-getTick(const std::vector<std::uint8_t> &v)
+getTick(const sim::PacketView &v)
 {
     std::uint64_t t = 0;
     for (int i = 0; i < 8; ++i)
@@ -43,11 +43,11 @@ RandomTraffic::RandomTraffic(nectarine::Nectarine &api,
             [this](TaskContext &ctx) -> Task<void> {
                 for (;;) {
                     auto m = co_await ctx.receive();
-                    if (m.bytes.size() < 8)
+                    if (m.size() < 8)
                         break; // poison: traffic over
                     ++_delivered;
                     _latency.record(static_cast<double>(
-                        ctx.now() - getTick(m.bytes)));
+                        ctx.now() - getTick(m.view())));
                 }
             }));
     }

@@ -25,7 +25,7 @@ putTick(std::vector<std::uint8_t> &v, std::size_t off, Tick t)
 }
 
 Tick
-getTick(const std::vector<std::uint8_t> &v, std::size_t off)
+getTick(const sim::PacketView &v, std::size_t off)
 {
     std::uint64_t t = 0;
     for (int i = 0; i < 8; ++i)
@@ -56,15 +56,15 @@ VisionWorkload::VisionWorkload(nectarine::Nectarine &api,
             [this](TaskContext &ctx) -> Task<void> {
                 for (;;) {
                     auto m = co_await ctx.receive();
-                    if (m.bytes.empty())
+                    if (m.view().empty())
                         continue;
-                    if (m.bytes[0] == kindFeature) {
+                    if (m.view()[0] == kindFeature) {
                         // A frame's features are now stored: the
                         // pipeline latency ends here.
                         _frameLat.record(static_cast<double>(
-                            ctx.now() - getTick(m.bytes, 1)));
+                            ctx.now() - getTick(m.view(), 1)));
                         ++_frames;
-                    } else if (m.bytes[0] == kindQuery) {
+                    } else if (m.view()[0] == kindQuery) {
                         co_await ctx.compute(cfg.dbComputePerQuery);
                         std::vector<std::uint8_t> answer(
                             cfg.answerBytes, 0xA5);
@@ -87,7 +87,7 @@ VisionWorkload::VisionWorkload(nectarine::Nectarine &api,
                                                    0);
                 features[0] = kindFeature;
                 // Propagate the camera timestamp end to end.
-                putTick(features, 1, getTick(frame.bytes, 1));
+                putTick(features, 1, getTick(frame.view(), 1));
                 co_await ctx.send(
                     shards[f % shards.size()], std::move(features),
                     nectarine::Delivery::reliable);

@@ -72,7 +72,7 @@ class TestEndpoint : public phys::FiberSink
     {
         tx->send(WireItem::startPacket());
         auto p = phys::makePayload(std::move(payload));
-        std::uint32_t size = static_cast<std::uint32_t>(p->size());
+        std::uint32_t size = static_cast<std::uint32_t>(p.size());
         for (std::uint32_t off = 0; off < size; off += chunkBytes) {
             std::uint32_t len = std::min(chunkBytes, size - off);
             tx->send(WireItem::dataChunk(p, off, len));
@@ -116,9 +116,11 @@ class TestEndpoint : public phys::FiberSink
         for (const auto &r : received) {
             if (r.item.kind != ItemKind::data)
                 continue;
-            const auto &buf = *r.item.data;
-            out.insert(out.end(), buf.begin() + r.item.dataOffset,
-                       buf.begin() + r.item.dataOffset + r.item.dataLen);
+            // Each chunk's view is already the slice it carries.
+            r.item.data.forEachSegment(
+                [&](const std::uint8_t *p, std::size_t n) {
+                    out.insert(out.end(), p, p + n);
+                });
         }
         return out;
     }

@@ -29,8 +29,8 @@ TEST(Ethernet, DeliversFrameAtTenMegabits)
     EthernetNic nicA(a, seg, 1), nicB(b, seg, 2);
 
     std::vector<std::uint8_t> got;
-    nicB.rxRaw = [&](std::vector<std::uint8_t> &&f) {
-        got = std::move(f);
+    nicB.rxRaw = [&](sim::PacketView &&f) {
+        got = f.toVector();
     };
 
     std::vector<std::uint8_t> frame(100, 0x5A);
@@ -107,7 +107,7 @@ TEST(Ethernet, ContentionCausesDeferrals)
             eq, "n" + std::to_string(i)));
         nics.push_back(std::make_unique<EthernetNic>(
             *nodes[i], seg, static_cast<std::uint16_t>(i + 1)));
-        nics[i]->rxRaw = [](std::vector<std::uint8_t> &&) {};
+        nics[i]->rxRaw = [](sim::PacketView &&) {};
     }
 
     int done = 0;

@@ -225,10 +225,10 @@ TEST_F(CabDatapath, ReceivesAcceptedPacket)
 {
     std::vector<std::uint8_t> got;
     board.onPacketStart = [&] { board.acceptPacket(); };
-    board.onPacketComplete = [&](std::vector<std::uint8_t> &&bytes,
+    board.onPacketComplete = [&](sim::PacketView &&bytes,
                                  bool corrupted) {
         EXPECT_FALSE(corrupted);
-        got = std::move(bytes);
+        got = bytes.toVector();
     };
 
     std::vector<std::uint8_t> payload(300);
@@ -257,8 +257,8 @@ TEST_F(CabDatapath, UnacceptedOversizePacketOverflows)
 TEST_F(CabDatapath, LateAcceptStillCompletesSmallPacket)
 {
     std::vector<std::uint8_t> got;
-    board.onPacketComplete = [&](std::vector<std::uint8_t> &&bytes,
-                                 bool) { got = std::move(bytes); };
+    board.onPacketComplete = [&](sim::PacketView &&bytes,
+                                 bool) { got = bytes.toVector(); };
     // Accept 50 us after the packet started: it fits in the queue.
     board.onPacketStart = [&] {
         eq.scheduleIn(50 * us, [&] { board.acceptPacket(); });
@@ -311,7 +311,7 @@ TEST_F(CabDatapath, CorruptedChunkFlagsPacket)
 {
     bool corrupted = false;
     board.onPacketStart = [&] { board.acceptPacket(); };
-    board.onPacketComplete = [&](std::vector<std::uint8_t> &&,
+    board.onPacketComplete = [&](sim::PacketView &&,
                                  bool c) { corrupted = c; };
     toCab.send(WireItem::startPacket());
     auto p = phys::makePayload(std::vector<std::uint8_t>(64, 1));

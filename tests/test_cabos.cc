@@ -150,8 +150,8 @@ TEST_F(KernelTest, MailboxFifoOrder)
     auto m1 = mb.tryGet();
     auto m2 = mb.tryGet();
     ASSERT_TRUE(m1 && m2);
-    EXPECT_EQ(m1->bytes[0], 1);
-    EXPECT_EQ(m2->bytes[0], 2);
+    EXPECT_EQ(m1->view()[0], 1);
+    EXPECT_EQ(m2->view()[0], 2);
     EXPECT_FALSE(mb.tryGet().has_value());
 }
 
@@ -184,7 +184,7 @@ TEST_F(KernelTest, BlockingGetWokenByPut)
                        [](Kernel &k, Mailbox &mb, std::uint8_t &got,
                           Tick &when) -> Task<void> {
         Message m = co_await mb.get();
-        got = m.bytes[0];
+        got = m.view()[0];
         when = k.now();
     }(kernel, mb, got, when));
     eq.schedule(1000, [&] { mb.tryPut(Message{{42}, 0, 0, 0}); });
@@ -203,7 +203,7 @@ TEST_F(KernelTest, ImmediateGetSkipsContextSwitch)
     kernel.spawnThread("reader",
                        [](Mailbox &mb, std::uint8_t &got) -> Task<void> {
         Message m = co_await mb.get();
-        got = m.bytes[0];
+        got = m.view()[0];
     }(mb, got));
     eq.run();
     EXPECT_EQ(got, 9);
@@ -219,10 +219,10 @@ TEST_F(KernelTest, OutOfOrderTagReads)
     mb.tryPut(Message{{3}, /*tag=*/30, 0, 0});
     auto m = mb.tryGetTag(20);
     ASSERT_TRUE(m.has_value());
-    EXPECT_EQ(m->bytes[0], 2);
+    EXPECT_EQ(m->view()[0], 2);
     // FIFO order preserved among the rest.
-    EXPECT_EQ(mb.tryGet()->bytes[0], 1);
-    EXPECT_EQ(mb.tryGet()->bytes[0], 3);
+    EXPECT_EQ(mb.tryGet()->view()[0], 1);
+    EXPECT_EQ(mb.tryGet()->view()[0], 3);
 }
 
 TEST_F(KernelTest, BlockingTagReadersAreServedSelectively)

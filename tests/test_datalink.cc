@@ -64,8 +64,8 @@ class DatalinkTest : public ::testing::Test
         RxCapture &ref = *cap;
         captures.push_back(std::move(cap));
         sys->site(site).datalink->rxHandler =
-            [&ref](std::vector<std::uint8_t> &&bytes, bool corrupted) {
-                ref.packets.push_back(std::move(bytes));
+            [&ref](sim::PacketView &&bytes, bool corrupted) {
+                ref.packets.push_back(bytes.toVector());
                 if (corrupted)
                     ++ref.corrupted;
             };

@@ -70,7 +70,7 @@ drainTags(cabos::Mailbox &mb)
 {
     std::map<int, int> count;
     while (auto m = mb.tryGet())
-        ++count[m->bytes.empty() ? -1 : m->bytes[0]];
+        ++count[m->view().empty() ? -1 : m->view()[0]];
     return count;
 }
 

@@ -42,23 +42,23 @@ TEST(Ipv4, HeaderRoundTrip)
     h.dst = ipOfCab(2);
     h.id = 77;
     auto bytes = encodeIp(h, iotaBytes(40));
-    std::vector<std::uint8_t> payload;
+    sim::PacketView payload;
     auto got = decodeIp(bytes, payload);
     ASSERT_TRUE(got.has_value());
     EXPECT_EQ(got->protocol, proto::tcp);
     EXPECT_EQ(got->src, ipOfCab(1));
     EXPECT_EQ(got->dst, ipOfCab(2));
     EXPECT_EQ(got->id, 77);
-    EXPECT_EQ(payload, iotaBytes(40));
+    EXPECT_EQ(payload.toVector(), iotaBytes(40));
 }
 
 TEST(Ipv4, HeaderChecksumCatchesCorruption)
 {
     Ipv4Header h;
     h.src = ipOfCab(1);
-    auto bytes = encodeIp(h, {});
+    auto bytes = encodeIp(h, sim::PacketView{}).toVector();
     bytes[15] ^= 0x01; // flip a bit in src
-    std::vector<std::uint8_t> payload;
+    sim::PacketView payload;
     EXPECT_FALSE(decodeIp(bytes, payload).has_value());
 }
 
@@ -79,7 +79,7 @@ TEST(Tcp, HeaderRoundTrip)
     h.flags = tcpflags::syn | tcpflags::ack;
     h.window = 8192;
     auto bytes = encodeTcp(h, iotaBytes(13));
-    std::vector<std::uint8_t> payload;
+    sim::PacketView payload;
     auto got = decodeTcp(bytes, payload);
     ASSERT_TRUE(got.has_value());
     EXPECT_EQ(got->srcPort, 1234);
@@ -87,7 +87,7 @@ TEST(Tcp, HeaderRoundTrip)
     EXPECT_EQ(got->seq, 0xAABBCCDDu);
     EXPECT_EQ(got->ack, 0x11223344u);
     EXPECT_EQ(got->flags, tcpflags::syn | tcpflags::ack);
-    EXPECT_EQ(payload, iotaBytes(13));
+    EXPECT_EQ(payload.toVector(), iotaBytes(13));
 }
 
 // ----- End-to-end fixture ----------------------------------------------
@@ -118,8 +118,8 @@ TEST_F(InetTest, IpDatagramDelivery)
     build();
     std::vector<std::uint8_t> got;
     ips[1]->registerProtocol(99, [&](const Ipv4Header &,
-                                     std::vector<std::uint8_t> &&pl) {
-        got = std::move(pl);
+                                     sim::PacketView &&pl) {
+        got = pl.toVector();
     });
     sim::spawn([](IpLayer &ip, IpAddress dst) -> Task<void> {
         co_await ip.send(dst, 99, iotaBytes(100));

@@ -58,7 +58,7 @@ TEST_F(NectarineTest, SendReceiveBetweenTasks)
     TaskId rx = api->createTask(
         1, "rx", [&got](TaskContext &ctx) -> Task<void> {
             auto m = co_await ctx.receive();
-            got = m.bytes;
+            got = m.bytes();
         });
     api->createTask(0, "tx", [rx](TaskContext &ctx) -> Task<void> {
         std::vector<std::uint8_t> msg(100);
@@ -78,7 +78,7 @@ TEST_F(NectarineTest, DatagramDelivery)
     TaskId rx = api->createTask(
         1, "rx", [&got](TaskContext &ctx) -> Task<void> {
             auto m = co_await ctx.receive();
-            got = m.bytes.size();
+            got = m.size();
         });
     api->createTask(0, "tx", [rx](TaskContext &ctx) -> Task<void> {
         std::vector<std::uint8_t> msg(64, 1);
@@ -95,7 +95,7 @@ TEST_F(NectarineTest, RpcCallAndReply)
         1, "server", [](TaskContext &ctx) -> Task<void> {
             for (int i = 0; i < 3; ++i) {
                 auto req = co_await ctx.receive();
-                std::vector<std::uint8_t> resp = req.bytes;
+                std::vector<std::uint8_t> resp = req.bytes();
                 for (auto &b : resp)
                     b *= 2;
                 ctx.reply(req, std::move(resp));
@@ -137,7 +137,7 @@ TEST_F(NectarineTest, SendBufferTransfersContents)
     TaskId rx = api->createTask(
         1, "rx", [&got](TaskContext &ctx) -> Task<void> {
             auto m = co_await ctx.receive();
-            got = m.bytes;
+            got = m.bytes();
         });
     api->createTask(0, "tx", [rx](TaskContext &ctx) -> Task<void> {
         auto buf = ctx.allocBuffer(512);

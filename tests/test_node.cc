@@ -91,7 +91,7 @@ TEST_F(NodeIfTest, SharedMemorySendAndPollReceive)
     sim::spawn([](SharedMemoryInterface &shm,
                   std::vector<std::uint8_t> &got) -> Task<void> {
         auto m = co_await shm.receive(10);
-        got = m.bytes;
+        got = m.bytes();
     }(shmB, got));
     eq.run();
 
@@ -148,7 +148,7 @@ TEST_F(NodeIfTest, SocketSendAndBlockingReceive)
     sim::spawn([](SocketInterface &sock,
                   std::vector<std::uint8_t> &got) -> Task<void> {
         auto m = co_await sock.receive(10);
-        got = m.bytes;
+        got = m.bytes();
     }(sockB, got));
     eq.run();
 

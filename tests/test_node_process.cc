@@ -83,15 +83,15 @@ TEST_F(NodeProcessTest, RoundTripBetweenNodeAndCabTask)
     nectarine::TaskId echo = api->createTask(
         1, "echo", [&cab_got](TaskContext &ctx) -> Task<void> {
             auto m = co_await ctx.receive();
-            cab_got = m.bytes;
+            cab_got = m.bytes();
             // First two bytes carry the reply address.
             nectarine::TaskId back{
                 static_cast<transport::CabAddress>(
-                    (m.bytes[0] << 8) | m.bytes[1]),
-                static_cast<std::uint16_t>((m.bytes[2] << 8) |
-                                           m.bytes[3])};
-            std::vector<std::uint8_t> reply(m.bytes.rbegin(),
-                                            m.bytes.rend());
+                    (m.view()[0] << 8) | m.view()[1]),
+                static_cast<std::uint16_t>((m.view()[2] << 8) |
+                                           m.view()[3])};
+            std::vector<std::uint8_t> reply(m.bytes().rbegin(),
+                                            m.bytes().rend());
             co_await ctx.send(back, std::move(reply));
         });
 
@@ -106,7 +106,7 @@ TEST_F(NodeProcessTest, RoundTripBetweenNodeAndCabTask)
         msg[7] = 0x77;
         co_await self.send(echo, msg);
         auto m = co_await self.receive();
-        node_got = m.bytes;
+        node_got = m.bytes();
     });
 
     eq.run();
@@ -136,7 +136,7 @@ TEST_F(NodeProcessTest, TwoNodeProcessesCommunicate)
                   std::vector<std::uint8_t> &got) -> Task<void> {
         auto m = co_await shm.receive(
             nectarine::Nectarine::inboxId(id.index));
-        got = m.bytes;
+        got = m.bytes();
     }(*shm_rx, receiver, got));
 
     runner->spawn(0, sun1, "tx",

@@ -90,7 +90,7 @@ TEST(TransportHeader, HeaderCorruptionDetected)
     Header h;
     h.protocol = Proto::stream;
     h.seq = 42;
-    auto bytes = encodePacket(h, {});
+    auto bytes = encodePacket(h, std::vector<std::uint8_t>{});
     bytes[10] ^= 0x80; // flip a bit in seq
     std::vector<std::uint8_t> out;
     EXPECT_FALSE(decodePacket(bytes, out).has_value());
@@ -143,7 +143,7 @@ TEST_F(TransportTest, DatagramDelivery)
     eq.run();
     EXPECT_TRUE(sent);
     ASSERT_EQ(mb.count(), 1u);
-    EXPECT_EQ(mb.tryGet()->bytes, data);
+    EXPECT_EQ(mb.tryGet()->bytes(), data);
 }
 
 TEST_F(TransportTest, DatagramFragmentationAndReassembly)
@@ -159,7 +159,7 @@ TEST_F(TransportTest, DatagramFragmentationAndReassembly)
     eq.run();
     EXPECT_TRUE(sent);
     ASSERT_EQ(mb.count(), 1u);
-    EXPECT_EQ(mb.tryGet()->bytes, data);
+    EXPECT_EQ(mb.tryGet()->bytes(), data);
     EXPECT_GT(tp(0).stats().packetsSent.value(), 4u);
 }
 
@@ -197,7 +197,7 @@ TEST_F(TransportTest, DatagramLostFragmentLosesMessage)
     // Some messages must have been lost, and none delivered partially.
     EXPECT_LT(mb.count(), 20u);
     while (auto m = mb.tryGet())
-        EXPECT_EQ(m->bytes.size(), 3000u);
+        EXPECT_EQ(m->size(), 3000u);
 }
 
 // ----- Byte-stream protocol ------------------------------------------------
@@ -215,7 +215,7 @@ TEST_F(TransportTest, ReliableDeliverySmall)
     eq.run();
     EXPECT_TRUE(ok);
     ASSERT_EQ(mb.count(), 1u);
-    EXPECT_EQ(mb.tryGet()->bytes, data);
+    EXPECT_EQ(mb.tryGet()->bytes(), data);
 }
 
 TEST_F(TransportTest, ReliableLargeMessageWindowed)
@@ -231,7 +231,7 @@ TEST_F(TransportTest, ReliableLargeMessageWindowed)
     eq.run();
     EXPECT_TRUE(ok);
     ASSERT_EQ(mb.count(), 1u);
-    EXPECT_EQ(mb.tryGet()->bytes, data);
+    EXPECT_EQ(mb.tryGet()->bytes(), data);
     EXPECT_EQ(tp(0).stats().sendFailures.value(), 0u);
 }
 
@@ -252,7 +252,7 @@ TEST_F(TransportTest, ReliableRecoversFromPacketLoss)
     eq.run();
     EXPECT_TRUE(ok);
     ASSERT_EQ(mb.count(), 1u);
-    EXPECT_EQ(mb.tryGet()->bytes, data);
+    EXPECT_EQ(mb.tryGet()->bytes(), data);
     EXPECT_GT(tp(0).stats().retransmissions.value(), 0u);
 }
 
@@ -273,7 +273,7 @@ TEST_F(TransportTest, ReliableRecoversFromCorruption)
     eq.run();
     EXPECT_TRUE(ok);
     ASSERT_EQ(mb.count(), 1u);
-    EXPECT_EQ(mb.tryGet()->bytes, data);
+    EXPECT_EQ(mb.tryGet()->bytes(), data);
     // Corruption was detected either by the phys flag or checksum.
     EXPECT_GT(tp(1).stats().checksumDrops.value() +
                   tp(1).stats().duplicates.value(),
@@ -293,7 +293,7 @@ TEST_F(TransportTest, ReliableAcrossMesh)
     eq.run();
     EXPECT_TRUE(ok);
     ASSERT_EQ(mb.count(), 1u);
-    EXPECT_EQ(mb.tryGet()->bytes, data);
+    EXPECT_EQ(mb.tryGet()->bytes(), data);
 }
 
 TEST_F(TransportTest, ReliableInterleavedMessagesInOrder)
@@ -313,7 +313,7 @@ TEST_F(TransportTest, ReliableInterleavedMessagesInOrder)
     EXPECT_EQ(done, 8);
     ASSERT_EQ(mb.count(), 8u);
     for (int i = 0; i < 8; ++i)
-        EXPECT_EQ(mb.tryGet()->bytes[0], std::uint8_t(i));
+        EXPECT_EQ(mb.tryGet()->view()[0], std::uint8_t(i));
 }
 
 TEST_F(TransportTest, ReliableBackpressureOnFullMailbox)
@@ -390,7 +390,7 @@ startEchoServer(cabos::Kernel &kernel, Transport &tp,
                           int count) -> Task<void> {
         for (int i = 0; i < count; ++i) {
             cabos::Message m = co_await mb.get();
-            std::vector<std::uint8_t> reply = m.bytes;
+            std::vector<std::uint8_t> reply = m.bytes();
             for (auto &b : reply)
                 b += 1;
             tp.respond(m.tag, std::move(reply));

@@ -54,7 +54,7 @@ TEST_F(TransportEdge, ZeroLengthMessageDelivered)
     eq.run();
     EXPECT_TRUE(ok);
     ASSERT_EQ(mb.count(), 1u);
-    EXPECT_TRUE(mb.tryGet()->bytes.empty());
+    EXPECT_TRUE(mb.tryGet()->view().empty());
 }
 
 TEST_F(TransportEdge, ExactMtuMultiples)
@@ -81,8 +81,8 @@ TEST_F(TransportEdge, ExactMtuMultiples)
     for (std::size_t n : sizes) {
         auto m = mb.tryGet();
         ASSERT_TRUE(m.has_value());
-        EXPECT_EQ(m->bytes.size(), n);
-        EXPECT_EQ(m->bytes, iotaBytes(n));
+        EXPECT_EQ(m->size(), n);
+        EXPECT_EQ(m->bytes(), iotaBytes(n));
     }
 }
 
@@ -175,7 +175,7 @@ TEST_F(TransportEdge, ManySmallMessagesKeepOrderPerFlow)
     eq.run();
     ASSERT_EQ(mb.count(), 64u);
     for (int i = 0; i < 64; ++i)
-        EXPECT_EQ(mb.tryGet()->bytes[0], std::uint8_t(i));
+        EXPECT_EQ(mb.tryGet()->view()[0], std::uint8_t(i));
 }
 
 // ---- Parameterized sweeps -------------------------------------------
@@ -198,7 +198,7 @@ TEST_P(WindowSweep, LargeMessageCompletesAtAnyWindow)
     eq.run();
     EXPECT_TRUE(ok);
     ASSERT_EQ(mb.count(), 1u);
-    EXPECT_EQ(mb.tryGet()->bytes.size(), 20000u);
+    EXPECT_EQ(mb.tryGet()->size(), 20000u);
 }
 
 INSTANTIATE_TEST_SUITE_P(Windows, WindowSweep,
@@ -223,7 +223,7 @@ TEST_P(MtuSweep, StreamsAreMtuAgnostic)
     eq.run();
     EXPECT_TRUE(ok);
     ASSERT_EQ(mb.count(), 1u);
-    EXPECT_EQ(mb.tryGet()->bytes, data);
+    EXPECT_EQ(mb.tryGet()->bytes(), data);
 }
 
 INSTANTIATE_TEST_SUITE_P(Mtus, MtuSweep,
