@@ -97,19 +97,22 @@ Cab::fiberDeliver(WireItem item, Tick firstByte, Tick lastByte)
             onReadySignal();
         return;
 
-      case ItemKind::startOfPacket:
+      case ItemKind::startOfPacket: {
         if (rx.inPacket) {
             // The previous packet's end marker never arrived: a
             // framing error.  Discard the partial packet; transport
             // recovers by retransmission (Section 6.2.1).
             _stats.framingErrors.add();
         }
+        std::uint64_t gen = rx.generation;
         rx = RxState{};
+        rx.generation = gen + 1;
         rx.inPacket = true;
         rx.queuedBytes = 1;
         if (onPacketStart)
             onPacketStart();
         return;
+      }
 
       case ItemKind::data: {
         if (!rx.inPacket) {
@@ -143,7 +146,9 @@ Cab::fiberDeliver(WireItem item, Tick firstByte, Tick lastByte)
         rx.eopSeen = true;
         if (rx.overflowed) {
             _stats.rxDropped.add();
+            std::uint64_t gen = rx.generation;
             rx = RxState{};
+            rx.generation = gen;
             if (onPacketDropped)
                 onPacketDropped();
             return;
@@ -163,8 +168,10 @@ Cab::fiberDeliver(WireItem item, Tick firstByte, Tick lastByte)
 }
 
 void
-Cab::acceptPacket()
+Cab::acceptPacket(std::uint64_t generation)
 {
+    if (generation != rx.generation)
+        return; // stale accept: a new start of packet took over
     if (!rx.inPacket)
         return; // the packet already overflowed away or never started
     if (rx.accepted)
@@ -198,7 +205,9 @@ Cab::completeRx()
     auto view = std::move(rx.buf);
     bool corrupted = rx.corrupted;
     view.markCorrupted(corrupted);
+    std::uint64_t gen = rx.generation;
     rx = RxState{};
+    rx.generation = gen;
     if (onPacketComplete)
         onPacketComplete(std::move(view), corrupted);
 }

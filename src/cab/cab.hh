@@ -136,8 +136,21 @@ class Cab : public sim::Component, public phys::FiberSink
     /**
      * Software supplies a destination buffer: start the receive DMA,
      * draining the input queue and signalling readiness upstream.
+     *
+     * The accept belongs to the packet whose start raised the
+     * interrupt, identified by @p generation (rxGeneration() at
+     * onPacketStart time).  If a new start of packet has replaced
+     * that packet in the meantime — back-to-back packets racing the
+     * upcall latency — the stale accept is ignored; the new packet's
+     * own interrupt carries its own accept.
      */
-    void acceptPacket();
+    void acceptPacket(std::uint64_t generation);
+
+    /** Accept whatever packet is currently in the receive window. */
+    void acceptPacket() { acceptPacket(rx.generation); }
+
+    /** Identity of the packet currently being received. */
+    std::uint64_t rxGeneration() const { return rx.generation; }
 
     /** Bytes sitting in the fiber input queue right now. */
     std::uint32_t inputQueueBytes() const { return rx.queuedBytes; }
@@ -155,6 +168,8 @@ class Cab : public sim::Component, public phys::FiberSink
         bool corrupted = false;
         bool eopSeen = false;
         std::uint32_t queuedBytes = 0;
+        /** Monotonic packet identity; survives RxState resets. */
+        std::uint64_t generation = 0;
         sim::PacketView buf;
         std::vector<phys::WireItem> pending;
     };

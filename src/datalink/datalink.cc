@@ -37,8 +37,11 @@ Datalink::handlePacketStart()
     Tick upcall_cost = costs.interruptDispatch +
                        costs.datalinkPerPacket + costs.transportUpcall +
                        costs.dmaSetup;
-    board().cpu().chargeThen(upcall_cost,
-                             [this] { board().acceptPacket(); });
+    // Bind the accept to this packet: if a second start of packet
+    // outruns the upcall, this accept must not claim the newcomer.
+    std::uint64_t gen = board().rxGeneration();
+    board().cpu().chargeThen(
+        upcall_cost, [this, gen] { board().acceptPacket(gen); });
 }
 
 void

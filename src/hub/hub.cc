@@ -18,6 +18,7 @@ Hub::Hub(sim::EventQueue &eq, std::string name, std::uint8_t id,
 {
     if (config.numPorts < 2 || config.numPorts > 255)
         sim::fatal("Hub: port count must be in [2, 255]");
+    lastActivity.assign(static_cast<std::size_t>(config.numPorts), 0);
     ports.reserve(config.numPorts);
     for (int i = 0; i < config.numPorts; ++i) {
         ports.push_back(
@@ -84,8 +85,72 @@ Hub::doOpen(const CommandWord &cmd, PortId arrival)
 
     _stats.opensOk.add();
     monitorRecord(HubEvent::connectionOpen, arrival, out);
+    // Building a route counts as circuit activity (a multi-branch
+    // tree may take a while to finish opening before data flows).
+    lastActivity[arrival] = now();
+    if (config.circuitIdleTimeout > 0)
+        armIdleReaper(now() + config.circuitIdleTimeout);
     ports[arrival]->connectionOpened();
     return true;
+}
+
+void
+Hub::noteCircuitActivity(PortId in)
+{
+    lastActivity[in] = now();
+}
+
+void
+Hub::noteCircuitClosed()
+{
+    if (xbar.connectionCount() > 0)
+        return;
+    if (idleReaper != sim::invalidEventId &&
+        eventq().pending(idleReaper))
+        eventq().cancel(idleReaper);
+    idleReaper = sim::invalidEventId;
+}
+
+void
+Hub::armIdleReaper(Tick when)
+{
+    if (idleReaper != sim::invalidEventId &&
+        eventq().pending(idleReaper)) {
+        return; // already armed; the scan re-arms as needed
+    }
+    idleReaper = eventq().schedule(
+        when, [this] { reapIdleCircuits(); },
+        sim::EventPriority::hardware);
+}
+
+void
+Hub::reapIdleCircuits()
+{
+    const Tick limit = config.circuitIdleTimeout;
+    Tick next = sim::maxTick;
+    for (PortId in = 0; in < config.numPorts; ++in) {
+        const auto &outs = xbar.outputsOf(in);
+        if (outs.empty())
+            continue;
+        Tick deadline = lastActivity[in] + limit;
+        if (deadline > now()) {
+            next = std::min(next, deadline);
+            continue;
+        }
+        // Silent past the limit: the circuit's close all is presumed
+        // lost.  Reap every connection so the held outputs can serve
+        // live routes again.
+        for (PortId out : outs) {
+            _stats.idleCloses.add();
+            monitorRecord(HubEvent::connectionClose, in, out);
+        }
+        xbar.closeAllFrom(in);
+        countError();
+    }
+    if (next != sim::maxTick)
+        armIdleReaper(next);
+    else
+        noteCircuitClosed();
 }
 
 bool
@@ -171,6 +236,7 @@ Hub::executeSerialized(const CommandWord &cmd, PortId arrival)
       // --- Supervisor commands ------------------------------------
       case Op::svReset: {
         xbar.reset();
+        noteCircuitClosed();
         ctrl.clear();
         for (auto &p : ports) {
             p->flushQueue();
@@ -191,6 +257,7 @@ Hub::executeSerialized(const CommandWord &cmd, PortId arrival)
         xbar.closeAllFrom(p);     // as an input
         xbar.releaseLocksOf(p);
         xbar.releaseLock(p, xbar.lockHolder(p));
+        noteCircuitClosed();
         ports[p]->flushQueue();
         ports[p]->setReady(true);
         return true;
@@ -251,6 +318,7 @@ Hub::executeLocal(const CommandWord &cmd, PortId arrival)
         if (in != noPort) {
             _stats.closes.add();
             monitorRecord(HubEvent::connectionClose, in, cmd.param);
+            noteCircuitClosed();
         }
         return;
       }
@@ -261,6 +329,7 @@ Hub::executeLocal(const CommandWord &cmd, PortId arrival)
             monitorRecord(HubEvent::connectionClose, arrival, out);
         }
         xbar.closeAllFrom(arrival);
+        noteCircuitClosed();
         return;
       }
 

@@ -53,6 +53,8 @@ struct HubStats
                                  ///< blocked-head watchdog.
     sim::Counter readyRearms;    ///< Ready bits re-armed after the
                                  ///< restoring signal was presumed lost.
+    sim::Counter idleCloses;     ///< Connections reaped by the
+                                 ///< idle-circuit watchdog.
 };
 
 /** Configuration for a Hub instance. */
@@ -83,6 +85,20 @@ struct HubConfig
      * drained and re-arms.  0 disables the watchdog.
      */
     Tick readyTimeout = 500 * sim::ticks::us;
+    /**
+     * Watchdog on open connections whose input port has gone silent.
+     * A close all that is dropped (queue overflow, dark fiber) leaves
+     * its circuit open with nothing left to close it; the held output
+     * ports then fail every later open until the command retry limit
+     * silently discards the traffic.  A connection whose input has
+     * neither forwarded an item nor opened a branch for this long is
+     * presumed abandoned and closed; reliability above retransmits
+     * anything cut off mid-flight.  0 (the default) disables the
+     * watchdog: a bare HUB keeps circuits open indefinitely, as the
+     * hardware does.  The nectarine system builders enable it, since
+     * a full transport stack is what suffers from wedged circuits.
+     */
+    Tick circuitIdleTimeout = 0;
 };
 
 /**
@@ -164,9 +180,28 @@ class Hub : public sim::Component
     /** Count an error toward svQueryErrors. */
     void countError();
 
+    /**
+     * An item was forwarded through the crossbar from @p in: the
+     * circuit is live.  Feeds the idle-circuit watchdog.
+     */
+    void noteCircuitActivity(PortId in);
+
+    /**
+     * Connections were closed.  If the crossbar is now fully idle the
+     * pending idle-circuit watchdog is disarmed, so a quiescent HUB
+     * leaves no event behind to stretch the simulation's drain time.
+     */
+    void noteCircuitClosed();
+
   private:
     /** Open @p arrival -> param connection; shared by open family. */
     bool doOpen(const phys::CommandWord &cmd, PortId arrival);
+
+    /** (Re)arm the idle-circuit watchdog to fire at @p when. */
+    void armIdleReaper(Tick when);
+
+    /** Close connections whose input sat silent past the limit. */
+    void reapIdleCircuits();
 
     std::uint8_t _hubId;
     HubConfig config;
@@ -176,6 +211,9 @@ class Hub : public sim::Component
     HubMonitor *monitor;
     HubStats _stats;
     std::uint64_t errors = 0;
+    /** Per input port: when its circuit last carried an item. */
+    std::vector<Tick> lastActivity;
+    sim::EventId idleReaper = sim::invalidEventId;
 };
 
 } // namespace nectar::hub

@@ -257,6 +257,7 @@ IoPort::forwardHead(const std::vector<PortId> &outputs)
 
     for (PortId o : outputs)
         hub.port(o).transmit(head_copy.item);
+    hub.noteCircuitActivity(_id);
 
     if (head_copy.item.kind == ItemKind::data)
         hub.stats().dataBytes.add(head_copy.item.dataLen);
@@ -279,6 +280,7 @@ IoPort::forwardHead(const std::vector<PortId> &outputs)
             hub.stats().closes.add();
             hub.monitorRecord(HubEvent::connectionClose, _id, o);
         }
+        hub.noteCircuitClosed();
     }
 
     return 0;

@@ -49,6 +49,14 @@ NectarSystem::site(std::size_t i)
     return *sites[i];
 }
 
+hub::HubConfig
+NectarSystem::defaultHubConfig()
+{
+    hub::HubConfig cfg;
+    cfg.circuitIdleTimeout = 1 * sim::ticks::ms;
+    return cfg;
+}
+
 std::unique_ptr<NectarSystem>
 NectarSystem::singleHub(sim::EventQueue &eq, int cabs,
                         const SiteConfig &config,

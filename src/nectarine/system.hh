@@ -85,11 +85,20 @@ class NectarSystem
 
     // ----- Convenience builders -------------------------------------
 
+    /**
+     * HUB configuration the builders default to: stock hardware plus
+     * the idle-circuit watchdog.  A bare HUB leaves it off so circuits
+     * persist as the hardware's do; a full transport stack is what
+     * gets wedged when a lost close all strands one, so the system
+     * builders turn it on.
+     */
+    static hub::HubConfig defaultHubConfig();
+
     /** A single-HUB star with @p cabs CABs (Figure 2). */
     static std::unique_ptr<NectarSystem>
     singleHub(sim::EventQueue &eq, int cabs,
               const SiteConfig &config = {},
-              const hub::HubConfig &hubConfig = {});
+              const hub::HubConfig &hubConfig = defaultHubConfig());
 
     /**
      * A rows x cols 2-D mesh of HUB clusters with @p cabsPerHub CABs
@@ -98,7 +107,7 @@ class NectarSystem
     static std::unique_ptr<NectarSystem>
     mesh2D(sim::EventQueue &eq, int rows, int cols, int cabsPerHub,
            const SiteConfig &config = {},
-           const hub::HubConfig &hubConfig = {});
+           const hub::HubConfig &hubConfig = defaultHubConfig());
 
   private:
     sim::EventQueue &eq;

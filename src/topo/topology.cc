@@ -297,10 +297,18 @@ Topology::multicastRoute(const Endpoint &from,
         if (dst.hubIndex < 0 || dst.hubIndex >= numHubs())
             sim::fatal("Topology::multicastRoute: bad endpoint");
         if (dst.hubIndex != from.hubIndex &&
-            prev[dst.hubIndex].first == -1)
-            sim::fatal("Topology::multicastRoute: unreachable "
-                       "destination");
-        terminals[dst.hubIndex].push_back(dst.port);
+            prev[dst.hubIndex].first == -1) {
+            // Like route(): an unreachable member is an operational
+            // condition (link failures), not a programming error.
+            // An empty route tells the caller the tree cannot be
+            // built; transports fall back to per-member unicast.
+            return {};
+        }
+        auto &opens = terminals[dst.hubIndex];
+        if (std::find(opens.begin(), opens.end(), dst.port) !=
+            opens.end())
+            continue; // duplicate destination: open each port once
+        opens.push_back(dst.port);
         for (int h = dst.hubIndex; !inTree[h]; h = prev[h].first) {
             inTree[h] = true;
             auto [parent, port] = prev[h];

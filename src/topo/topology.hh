@@ -172,6 +172,10 @@ class Topology
      * Compute a multicast tree from @p from to several destinations,
      * in the command order of Section 4.2.2: depth-first, with a
      * reply requested on each terminal (CAB-port) open.
+     *
+     * Duplicate destinations are opened once.  May be empty when
+     * link failures leave any member unreachable (mirroring route():
+     * callers fall back to per-member unicast fan-out).
      */
     Route multicastRoute(const Endpoint &from,
                          const std::vector<Endpoint> &to) const;

@@ -10,8 +10,11 @@
 
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <map>
+#include <utility>
+#include <vector>
 
 #include "sim/logging.hh"
 #include "sim/stats.hh"
@@ -86,6 +89,38 @@ class NetworkDirectory
         return it->second;
     }
 
+    /**
+     * Multicast tree route from @p from to every CAB in @p members
+     * (cached per sorted member set, invalidated by link events like
+     * route()).  Empty when link failures leave any member
+     * unreachable — callers fall back to per-member unicast fan-out.
+     */
+    const topo::Route &
+    multicastRoute(CabAddress from, std::vector<CabAddress> members)
+    {
+        if (mcastVersion != topo.linkVersion()) {
+            mcastRoutes.clear();
+            mcastVersion = topo.linkVersion();
+        }
+        std::sort(members.begin(), members.end());
+        members.erase(std::unique(members.begin(), members.end()),
+                      members.end());
+        auto key = std::make_pair(from, members);
+        auto it = mcastRoutes.find(key);
+        if (it == mcastRoutes.end()) {
+            std::vector<topo::Endpoint> to;
+            to.reserve(members.size());
+            for (CabAddress m : members)
+                to.push_back(endpointOf(m));
+            it = mcastRoutes
+                     .emplace(key,
+                              topo.multicastRoute(endpointOf(from),
+                                                  to))
+                     .first;
+        }
+        return it->second;
+    }
+
     /** Route recomputations that changed the path after a link event. */
     std::uint64_t reroutes() const { return _reroutes.value(); }
 
@@ -100,7 +135,11 @@ class NetworkDirectory
     std::map<std::pair<CabAddress, CabAddress>, topo::Route> routes;
     std::map<std::pair<CabAddress, CabAddress>, topo::Route>
         staleRoutes;
+    std::map<std::pair<CabAddress, std::vector<CabAddress>>,
+             topo::Route>
+        mcastRoutes;
     std::uint64_t version = 0;
+    std::uint64_t mcastVersion = 0;
     sim::Counter _reroutes;
 };
 

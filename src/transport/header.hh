@@ -26,6 +26,15 @@ namespace nectar::transport {
 /** Network-wide CAB address. */
 using CabAddress = std::uint16_t;
 
+/**
+ * Destination address of multicast packets.  A hardware multicast
+ * tree delivers one packet to several CABs at once, so no single
+ * unicast address fits; receivers accept on the multicast flag
+ * instead (their own HUB port received the bytes, which is exactly
+ * the membership test the fabric performs).
+ */
+constexpr CabAddress broadcastAddress = 0xFFFF;
+
 /** Protocol discriminator. */
 enum class Proto : std::uint8_t {
     datagram = 1, ///< Best-effort, no delivery guarantee.
@@ -39,6 +48,9 @@ enum class Proto : std::uint8_t {
 namespace flags {
 constexpr std::uint8_t none = 0;
 constexpr std::uint8_t lastFragment = 1; ///< Final fragment of a message.
+constexpr std::uint8_t multicast = 2;    ///< One-to-many delivery; the
+                                         ///< dstCab field holds
+                                         ///< broadcastAddress.
 } // namespace flags
 
 /** The on-wire transport header. */

@@ -139,6 +139,12 @@ Transport::wakeFlow(SenderFlow &flow)
         eventq().scheduleIn(0, [h] { h.resume(); },
                             sim::EventPriority::software);
     }
+    // Multicast senders watch several flows at once through a
+    // channel; signal and clear (they re-register per wait).
+    auto watchers = std::move(flow.watchers);
+    flow.watchers.clear();
+    for (auto *w : watchers)
+        w->push(true);
 }
 
 void
@@ -300,6 +306,229 @@ Transport::sendReliable(CabAddress dst, std::uint16_t dstMailbox,
     co_return ok;
 }
 
+// --------------------------------------------------------------------
+// Reliable multicast (sender side).
+// --------------------------------------------------------------------
+
+bool
+Transport::frameFits(const topo::Route &route,
+                     const sim::PacketView &packet) const
+{
+    if (cfg.mode != datalink::SwitchMode::packet)
+        return true; // circuit switching streams; no frame limit
+    // Mirror the datalink's packet-mode frame check: SOP + EOP +
+    // data + per-hop command + closeAll must fit the input queues.
+    std::uint32_t wire = 2 +
+        static_cast<std::uint32_t>(packet.size()) +
+        3 * (static_cast<std::uint32_t>(route.size()) + 1);
+    return wire <= dl.config().maxWirePacketBytes;
+}
+
+sim::Task<void>
+Transport::transmitMulticastPacket(
+    const std::vector<CabAddress> &dsts, sim::PacketView packet,
+    bool allowHardware, bool &usedHardware)
+{
+    if (!_alive)
+        co_return;
+    co_await _kernel.board().cpu().compute(
+        _kernel.costs().transportSendPerPacket);
+    if (!_alive)
+        co_return;
+
+    if (allowHardware && dsts.size() > 1) {
+        const topo::Route &tree = directory.multicastRoute(self, dsts);
+        if (!tree.empty() && frameFits(tree, packet)) {
+            // One transmission covers every member: the HUB crossbar
+            // fans the bytes out along the tree (Section 4.2.2).
+            _stats.packetsSent.add();
+            _stats.mcastHwPackets.add();
+            usedHardware = true;
+            co_await dl.sendPacket(tree, std::move(packet), cfg.mode);
+            co_return;
+        }
+        // No surviving tree, or the open list would overflow a
+        // packet-switched frame: spill to unicast fan-out.
+        _stats.mcastFallbacks.add();
+    }
+    for (CabAddress dst : dsts) {
+        const topo::Route &route = directory.route(self, dst);
+        if (route.empty()) {
+            _stats.unroutable.add();
+            continue; // member's RTO machinery keeps retrying
+        }
+        _stats.packetsSent.add();
+        _stats.mcastUnicastPackets.add();
+        co_await dl.sendPacket(route, packet, cfg.mode);
+    }
+}
+
+sim::Task<void>
+Transport::multicastWait(const std::vector<SenderFlow *> &flows)
+{
+    sim::Channel<bool> progress(eventq());
+    for (auto *f : flows)
+        f->watchers.push_back(&progress);
+    co_await progress.pop();
+    for (auto *f : flows)
+        std::erase(f->watchers, &progress);
+}
+
+sim::Task<Transport::MulticastResult>
+Transport::sendReliableMulticast(std::vector<CabAddress> dsts,
+                                 std::uint16_t dstMailbox,
+                                 sim::PacketView data,
+                                 bool allowHardware)
+{
+    std::sort(dsts.begin(), dsts.end());
+    dsts.erase(std::unique(dsts.begin(), dsts.end()), dsts.end());
+    if (dsts.empty())
+        sim::fatal(name() + ": multicast needs destinations");
+    for (CabAddress d : dsts) {
+        if (d == self)
+            sim::fatal(name() + ": multicast to self (keep the local "
+                       "contribution local)");
+    }
+
+    _stats.messagesSent.add();
+    _stats.mcastSends.add();
+    MulticastResult result;
+    if (!_alive) {
+        _stats.sendFailures.add();
+        result.ok = false;
+        result.failed = dsts;
+        co_return result;
+    }
+
+    std::vector<SenderFlow *> flows;
+    flows.reserve(dsts.size());
+    for (CabAddress d : dsts)
+        flows.push_back(&senderFlow(d, dstMailbox));
+    // dsts is sorted, so nested multicasts acquire in one global
+    // order; unicast senders hold at most one flow mutex.
+    for (auto *f : flows)
+        co_await f->mutex.lock();
+
+    if (!_alive) {
+        _stats.sendFailures.add();
+        result.ok = false;
+        result.failed = dsts;
+        for (auto *f : flows)
+            f->mutex.unlock();
+        co_return result;
+    }
+
+    // Fragments share one sequence space across every member, so
+    // each fragment is encoded exactly once.  Flows idle at
+    // different sequence origins (earlier unicast traffic on the
+    // same mailbox) are realigned to zero; receivers resynchronize
+    // on the fresh message id, exactly as after a flow reset.
+    bool aligned = true;
+    for (auto *f : flows)
+        if (f->nextSeq != flows.front()->nextSeq)
+            aligned = false;
+    if (!aligned) {
+        for (auto *f : flows)
+            f->base = f->nextSeq = 0;
+        _stats.mcastRealigns.add();
+    }
+
+    std::uint32_t msg_id = nextMsgId++;
+    for (auto *f : flows) {
+        f->failed = false;
+        f->timeouts = 0;
+        f->hadTimeout = false;
+        f->currentMsgId = msg_id;
+    }
+
+    auto anyActive = [&flows] {
+        for (auto *f : flows)
+            if (!f->failed)
+                return true;
+        return false;
+    };
+    auto windowFull = [&flows, this] {
+        for (auto *f : flows)
+            if (!f->failed &&
+                f->nextSeq - f->base >= cfg.windowPackets)
+                return true;
+        return false;
+    };
+
+    std::uint32_t seq0 = flows.front()->nextSeq;
+    auto frag_count = static_cast<std::uint16_t>(
+        std::max<std::size_t>(1, (data.size() + cfg.mtu - 1) / cfg.mtu));
+
+    for (std::uint16_t i = 0; i < frag_count; ++i) {
+        // The window advances at the pace of the slowest member.
+        while (anyActive() && windowFull())
+            co_await multicastWait(flows);
+        if (!anyActive())
+            break;
+
+        std::size_t off = static_cast<std::size_t>(i) * cfg.mtu;
+        std::size_t len = std::min<std::size_t>(cfg.mtu,
+                                                data.size() - off);
+        Header h;
+        h.protocol = Proto::stream;
+        h.flags = flags::multicast;
+        h.srcCab = self;
+        h.dstCab = broadcastAddress;
+        h.dstMailbox = dstMailbox;
+        h.seq = seq0 + i;
+        h.window = static_cast<std::uint16_t>(cfg.windowPackets);
+        h.msgId = msg_id;
+        h.fragIndex = i;
+        h.fragCount = frag_count;
+        if (i + 1 == frag_count)
+            h.flags |= flags::lastFragment;
+
+        auto pkt = encodePacket(h, data.slice(off, len));
+        // Every member's retransmit queue holds a view of the same
+        // packet bytes; per-member timers retransmit unicast.
+        std::vector<CabAddress> active;
+        for (std::size_t j = 0; j < flows.size(); ++j) {
+            SenderFlow &f = *flows[j];
+            if (f.failed)
+                continue;
+            f.nextSeq = h.seq + 1;
+            f.unacked.emplace(h.seq, Unacked{pkt, now(), false});
+            armTimer(dsts[j], dstMailbox, f);
+            active.push_back(dsts[j]);
+        }
+        co_await transmitMulticastPacket(active, std::move(pkt),
+                                         allowHardware,
+                                         result.usedHardware);
+    }
+
+    // Wait until every surviving member acknowledged everything.
+    for (;;) {
+        bool pending = false;
+        for (auto *f : flows)
+            if (!f->failed && f->base != f->nextSeq)
+                pending = true;
+        if (!pending)
+            break;
+        co_await multicastWait(flows);
+    }
+
+    bool recovered = false;
+    for (std::size_t j = 0; j < flows.size(); ++j) {
+        if (flows[j]->failed) {
+            result.failed.push_back(dsts[j]);
+            _stats.mcastMemberFailures.add();
+        } else if (flows[j]->hadTimeout) {
+            recovered = true;
+        }
+    }
+    result.ok = result.failed.empty();
+    if (recovered)
+        _stats.messagesRecovered.add();
+    for (auto *f : flows)
+        f->mutex.unlock();
+    co_return result;
+}
+
 void
 Transport::handleAck(const Header &h)
 {
@@ -371,7 +600,8 @@ Transport::handlePacket(sim::PacketView &&packet, bool corrupted)
         _stats.checksumDrops.add();
         return;
     }
-    if (header->dstCab != self) {
+    if (header->dstCab != self &&
+        !(header->flags & flags::multicast)) {
         _stats.checksumDrops.add(); // misrouted; treat as damage
         return;
     }

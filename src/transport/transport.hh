@@ -113,6 +113,18 @@ struct TransportStats
     sim::Counter flowResyncs;     ///< Receiver flows resynchronized
                                   ///< after a peer reset its epoch.
     sim::Counter staleAcks;       ///< Acks from a previous flow epoch.
+
+    // Reliable-multicast instrumentation.
+    sim::Counter mcastSends;        ///< sendReliableMulticast calls.
+    sim::Counter mcastHwPackets;    ///< Packets sent once down a
+                                    ///< hardware multicast tree.
+    sim::Counter mcastUnicastPackets; ///< Per-member fan-out copies.
+    sim::Counter mcastFallbacks;    ///< Hardware path unavailable
+                                    ///< (no tree / frame too large).
+    sim::Counter mcastRealigns;     ///< Member flows reset to a
+                                    ///< common sequence origin.
+    sim::Counter mcastMemberFailures; ///< Members a multicast send
+                                      ///< gave up on.
     sim::SampleStats rttSampleNs; ///< Accepted RTT samples (ticks).
     sim::Histogram recoveryNs;    ///< First-timeout-to-recovery times
                                   ///< of stalled flows (ticks).
@@ -173,6 +185,45 @@ class Transport : public sim::Component
     sim::Task<bool> sendReliable(CabAddress dst,
                                  std::uint16_t dstMailbox,
                                  sim::PacketView data);
+
+    // ----- Reliable multicast ------------------------------------------
+
+    /** Outcome of one reliable multicast send. */
+    struct MulticastResult
+    {
+        bool ok = true;          ///< Every member acknowledged.
+        bool usedHardware = false; ///< At least one packet travelled
+                                   ///< a hardware multicast tree.
+        std::vector<CabAddress> failed; ///< Members that never
+                                        ///< acknowledged (RTO gave up).
+    };
+
+    /**
+     * Reliable one-to-many send: @p data goes to @p dstMailbox on
+     * every CAB in @p dsts.
+     *
+     * The members' sender flows are driven in lockstep through a
+     * shared sequence space, so each fragment is encoded once and —
+     * when the fabric allows and @p allowHardware is set — transmitted
+     * once down a hardware multicast tree (Topology::multicastRoute).
+     * When no tree survives (partition, or the command list would
+     * overflow a packet-switched frame), the same encoded packet fans
+     * out as per-member unicasts.  Loss recovery is per member: each
+     * member's flow keeps its own RTO/Karn estimator and go-back-N
+     * retransmission, and retransmits travel unicast to the lagging
+     * member only.
+     *
+     * Self-addressed members are a programming error (collectives
+     * keep the root's contribution local).
+     *
+     * @return Per-member outcome; failed members' flows are reset to
+     *         a fresh epoch (like a failed sendReliable).
+     */
+    sim::Task<MulticastResult>
+    sendReliableMulticast(std::vector<CabAddress> dsts,
+                          std::uint16_t dstMailbox,
+                          sim::PacketView data,
+                          bool allowHardware = true);
 
     // ----- Request-response protocol -----------------------------------
 
@@ -240,6 +291,9 @@ class Transport : public sim::Component
         bool failed = false;
         sim::AsyncMutex mutex; ///< One message in flight per flow.
         std::vector<std::coroutine_handle<>> waiters;
+        /** Multicast sends watching several flows at once register a
+         *  channel here; wakeFlow() signals and clears it. */
+        std::vector<sim::Channel<bool> *> watchers;
 
         // Jacobson/Karn retransmission-timeout estimator.
         double srtt = 0;   ///< Smoothed RTT (ticks).
@@ -284,6 +338,25 @@ class Transport : public sim::Component
     /** Charge send-path CPU and hand one packet to the datalink. */
     sim::Task<void> transmitPacket(CabAddress dst,
                                    sim::PacketView packet);
+
+    /**
+     * Transmit one packet to several members: once down the hardware
+     * multicast tree when possible, per-member unicast otherwise.
+     * Sets @p usedHardware when the tree path was taken.
+     */
+    sim::Task<void>
+    transmitMulticastPacket(const std::vector<CabAddress> &dsts,
+                            sim::PacketView packet, bool allowHardware,
+                            bool &usedHardware);
+
+    /** True when @p route + @p packet fit the switching discipline's
+     *  wire-frame limit (packet mode only constrains it). */
+    bool frameFits(const topo::Route &route,
+                   const sim::PacketView &packet) const;
+
+    /** Park until any of @p flows makes progress (ack, failure). */
+    sim::Task<void> multicastWait(
+        const std::vector<SenderFlow *> &flows);
 
     /** Fire-and-forget transmit (acks, retransmissions). */
     void transmitAsync(CabAddress dst, sim::PacketView pkt);

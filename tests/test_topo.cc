@@ -173,6 +173,73 @@ TEST(Topology, MulticastToSharedPathSplitsOnce)
     EXPECT_EQ(r[3], (Hop{2, 3, true}));
 }
 
+TEST(Topology, MulticastSingleDestinationMatchesUnicastRoute)
+{
+    sim::EventQueue eq;
+    Topology t(eq);
+    t.addHub();
+    t.addHub();
+    t.linkHubs(0, 10, 1, 11);
+    auto uni = t.route({0, 0}, {1, 3});
+    auto mc = t.multicastRoute({0, 0}, {{1, 3}});
+    EXPECT_EQ(mc, uni);
+}
+
+TEST(Topology, MulticastDuplicateDestinationsDeduped)
+{
+    sim::EventQueue eq;
+    Topology t(eq);
+    t.addHub();
+    auto r = t.multicastRoute({0, 0}, {{0, 3}, {0, 3}, {0, 7}});
+    // Each terminal port opened exactly once: a duplicate open would
+    // stall the frame on a reply that never comes back twice.
+    ASSERT_EQ(r.size(), 2u);
+    EXPECT_EQ(r[0], (Hop{0, 3, true}));
+    EXPECT_EQ(r[1], (Hop{0, 7, true}));
+}
+
+TEST(Topology, MulticastUnreachableMemberYieldsEmptyRoute)
+{
+    // Line: hub0 - hub1.  Once the link dies, a tree covering a
+    // member on hub1 cannot be built: empty route, like route().
+    sim::EventQueue eq;
+    Topology t(eq);
+    t.addHub();
+    t.addHub();
+    t.linkHubs(0, 10, 1, 11);
+    EXPECT_EQ(t.multicastRoute({0, 0}, {{0, 3}, {1, 2}}).size(), 3u);
+    t.markLinkDown(0, 10);
+    EXPECT_TRUE(t.multicastRoute({0, 0}, {{0, 3}, {1, 2}}).empty());
+    // Members on surviving hubs still form a tree.
+    EXPECT_EQ(t.multicastRoute({0, 0}, {{0, 3}, {0, 7}}).size(), 2u);
+    t.markLinkUp(0, 10);
+    EXPECT_EQ(t.multicastRoute({0, 0}, {{0, 3}, {1, 2}}).size(), 3u);
+}
+
+TEST(Topology, MulticastTreeOverlapsExistingCircuitRoute)
+{
+    // A multicast tree sharing links with a concurrently computed
+    // unicast circuit is structurally independent: both traverse the
+    // hub0->hub1 link by the same output port, and the tree still
+    // covers every member exactly once.
+    sim::EventQueue eq;
+    Topology t(eq);
+    t.addHub();
+    t.addHub();
+    t.linkHubs(0, 10, 1, 11);
+    auto circuit = t.route({0, 0}, {1, 5});
+    auto tree = t.multicastRoute({0, 0}, {{1, 2}, {1, 3}});
+    ASSERT_EQ(circuit.size(), 2u);
+    ASSERT_EQ(tree.size(), 3u);
+    // Shared trunk: same hub0 output port toward hub1.
+    EXPECT_EQ(tree[0], (Hop{0, 10, false}));
+    EXPECT_EQ(circuit[0], (Hop{0, 10, false}));
+    // The tree's terminal opens are disjoint from the circuit's.
+    EXPECT_EQ(tree[1], (Hop{1, 2, true}));
+    EXPECT_EQ(tree[2], (Hop{1, 3, true}));
+    EXPECT_EQ(circuit[1], (Hop{1, 5, true}));
+}
+
 TEST(Topology, MeshBuilderValidation)
 {
     sim::EventQueue eq;
