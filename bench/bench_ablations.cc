@@ -107,6 +107,8 @@ A3_CutThroughAblation(benchmark::State &state)
         auto route =
             sys->topo().route(sys->site(0).at, sys->site(2).at);
         Tick t0 = 1000;
+        // nectar-lint: capture-ok the frame below drives eq.run() to
+        // completion before any captured locals leave scope
         eq.schedule(t0, [&, route] {
             sim::spawn([](datalink::Datalink &dl,
                           topo::Route r) -> Task<void> {

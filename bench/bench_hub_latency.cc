@@ -89,6 +89,8 @@ E1_EstablishedTransferLatency(benchmark::State &state)
         rig.a.sendCommand(Op::open, 0, 1);
         rig.eq.run();
         sim::Tick t0 = rig.eq.now() + 1000;
+        // nectar-lint: capture-ok the frame below drives rig.eq.run()
+        // to completion before any captured locals leave scope
         rig.eq.schedule(t0, [&] {
             rig.a.sendPacket(std::vector<std::uint8_t>(1, 1));
         });

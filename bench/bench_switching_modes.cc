@@ -58,6 +58,8 @@ unicastLatencyNs(SwitchMode mode, std::uint32_t bytes)
         };
     auto route = sys->topo().route(sys->site(0).at, sys->site(1).at);
     Tick t0 = 1000;
+    // nectar-lint: capture-ok the frame below drives eq.run() to
+    // completion before any captured locals leave scope
     eq.schedule(t0, [&, route] {
         sim::spawn([](datalink::Datalink &dl, topo::Route r,
                       std::uint32_t bytes,
@@ -90,6 +92,8 @@ multicastLatencyNs(SwitchMode mode, std::uint32_t bytes)
     auto route = sys->topo().multicastRoute(
         sys->site(2).at, {sys->site(3).at, sys->site(4).at});
     Tick t0 = 1000;
+    // nectar-lint: capture-ok the frame below drives eq.run() to
+    // completion before any captured locals leave scope
     eq.schedule(t0, [&, route] {
         sim::spawn([](datalink::Datalink &dl, topo::Route r,
                       std::uint32_t bytes,

@@ -113,8 +113,12 @@ class CabMemory
     /** Map an address range to backing storage, or nullptr. */
     std::uint8_t *backing(std::uint32_t addr, std::uint32_t len);
 
+    // nectar-lint: copy-ok the CAB's memory arrays themselves;
+    // packets stay as PacketViews until DMA touches these
     std::vector<std::uint8_t> prom;
+    // nectar-lint: copy-ok memory array backing store
     std::vector<std::uint8_t> programRam;
+    // nectar-lint: copy-ok memory array backing store
     std::vector<std::uint8_t> dataRam;
     MemoryProtection prot;
     sim::Counter byteCounts[4];

@@ -14,6 +14,8 @@ MemoryProtection::MemoryProtection(std::uint32_t addressSpaceBytes,
         sim::fatal("MemoryProtection: zero-sized space or page");
     if (domains < 1 || domains > 256)
         sim::fatal("MemoryProtection: bad domain count");
+    // nectar-lint: copy-ok per-domain permission tables, not
+    // packet payload
     tables.assign(domains, std::vector<std::uint8_t>(pages, permNone));
     // The kernel domain starts with full access, as the CAB kernel
     // owns the assignment of protection domains (Section 5.2).

@@ -27,7 +27,7 @@ Kernel::spawnThread(const std::string &name, sim::Task<void> body)
     // the caller's stack: threads created together all exist before
     // any of them runs, as with a real non-preemptive scheduler.
     auto task = std::make_shared<sim::Task<void>>(std::move(body));
-    eventq().scheduleIn(0, [this, name, task] {
+    eventq().scheduleIn(sim::ticks::immediate, [this, name, task] {
         sim::spawn(threadRunner(name, std::move(*task)));
     }, sim::EventPriority::software);
 }

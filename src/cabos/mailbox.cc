@@ -69,7 +69,8 @@ Mailbox::handToReader(Message &m)
         readers.erase(it);
         // Resume through the event queue so the producer's stack
         // unwinds first.
-        kernel.eventq().scheduleIn(0, [h] { h.resume(); },
+        kernel.eventq().scheduleIn(sim::ticks::immediate,
+                                   [h] { h.resume(); },
                                    sim::EventPriority::software);
         return true;
     }
@@ -226,7 +227,8 @@ Mailbox::wakeWriters()
     while (!writers.empty()) {
         auto h = writers.front();
         writers.pop_front();
-        kernel.eventq().scheduleIn(0, [h] { h.resume(); },
+        kernel.eventq().scheduleIn(sim::ticks::immediate,
+                                   [h] { h.resume(); },
                                    sim::EventPriority::software);
     }
 }

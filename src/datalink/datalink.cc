@@ -105,6 +105,8 @@ Datalink::waitHubReady()
         }
         sim::Channel<bool> arrived(eventq());
         readyWaiters.push_back(&arrived);
+        // nectar-lint: capture-ok timer fires only while this frame
+        // is suspended on pop() below, and is cancelled on resume
         sim::EventId timer = eventq().scheduleIn(
             deadline - now(), [&arrived] { arrived.push(false); },
             sim::EventPriority::software);
@@ -125,6 +127,8 @@ Datalink::waitReplies(int need)
     replyWait = ReplyWait{need, 0, false, &signal};
 
     // Race the replies against a timeout.
+    // nectar-lint: capture-ok timer fires only while this frame is
+    // suspended on pop() below, and is cancelled on resume
     sim::EventId timer = eventq().scheduleIn(
         cfg.replyTimeout, [&signal] { signal.push(false); },
         sim::EventPriority::software);
@@ -272,6 +276,8 @@ Datalink::queryConnection(std::uint8_t hubId, int port)
         static_cast<std::uint8_t>(Op::queryConn), hubId,
         static_cast<std::uint8_t>(port)));
 
+    // nectar-lint: capture-ok timer fires only while this frame is
+    // suspended on pop() below, and is cancelled on resume
     sim::EventId timer = eventq().scheduleIn(
         cfg.replyTimeout, [&answer] { answer.push(-1); },
         sim::EventPriority::software);

@@ -2,9 +2,39 @@
 
 #include <algorithm>
 
+#include "sim/invariant.hh"
 #include "sim/logging.hh"
 
 namespace nectar::hub {
+
+void
+Crossbar::checkRep() const
+{
+#ifdef NECTAR_CHECKED
+    int owned = 0;
+    for (PortId out = 0; out < n; ++out) {
+        PortId in = owner[out];
+        if (in == noPort)
+            continue;
+        ++owned;
+        const auto &v = outs[in];
+        SIM_INVARIANT(std::count(v.begin(), v.end(), out) == 1,
+                      "owned output listed exactly once by its input");
+    }
+    SIM_INVARIANT(owned == openCount,
+                  "openCount equals the number of owned outputs");
+    int listed = 0;
+    for (PortId in = 0; in < n; ++in) {
+        for (PortId out : outs[in]) {
+            ++listed;
+            SIM_INVARIANT(valid(out) && owner[out] == in,
+                          "listed output is owned by that input");
+        }
+    }
+    SIM_INVARIANT(listed == openCount,
+                  "output lists cover every open circuit");
+#endif
+}
 
 Crossbar::Crossbar(int nports)
     : n(nports), owner(nports, noPort), outs(nports),
@@ -31,6 +61,7 @@ Crossbar::open(PortId in, PortId out)
     owner[out] = in;
     outs[in].push_back(out);
     ++openCount;
+    checkRep();
     return true;
 }
 
@@ -46,6 +77,7 @@ Crossbar::close(PortId out)
     auto &v = outs[in];
     v.erase(std::remove(v.begin(), v.end(), out), v.end());
     --openCount;
+    checkRep();
     return in;
 }
 
@@ -59,6 +91,7 @@ Crossbar::closeAllFrom(PortId in)
         --openCount;
     }
     outs[in].clear();
+    checkRep();
 }
 
 PortId
@@ -123,6 +156,7 @@ Crossbar::reset()
     for (auto &v : outs)
         v.clear();
     openCount = 0;
+    checkRep();
 }
 
 } // namespace nectar::hub

@@ -100,6 +100,16 @@ class Crossbar
     bool valid(PortId p) const { return p >= 0 && p < n; }
 
   private:
+    /**
+     * Circuit-accounting invariant, checked under NECTAR_CHECKED
+     * after every connection mutation: openCount equals the number
+     * of owned outputs, and the owner table and per-input output
+     * lists agree in both directions.  A lost closeAll once wedged
+     * circuits forever (see ROADMAP, PR 3); this catches the
+     * bookkeeping half of that class of bug at the mutation site.
+     */
+    void checkRep() const;
+
     int n;
     std::vector<PortId> owner;               ///< Per output.
     std::vector<std::vector<PortId>> outs;   ///< Per input.

@@ -270,7 +270,8 @@ TcpSocket::wakeAll()
     auto list = std::move(waiters);
     waiters.clear();
     for (auto h : list) {
-        tcp.eventq().scheduleIn(0, [h] { h.resume(); },
+        tcp.eventq().scheduleIn(sim::ticks::immediate,
+                                [h] { h.resume(); },
                                 sim::EventPriority::software);
     }
     // Listener-side accept() parks on the listener, not the socket.
@@ -279,7 +280,8 @@ TcpSocket::wakeAll()
         auto ws = std::move(lit->second.waiters);
         lit->second.waiters.clear();
         for (auto h : ws) {
-            tcp.eventq().scheduleIn(0, [h] { h.resume(); },
+            tcp.eventq().scheduleIn(sim::ticks::immediate,
+                                [h] { h.resume(); },
                                     sim::EventPriority::software);
         }
     }

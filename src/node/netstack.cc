@@ -37,7 +37,7 @@ NodeNetStack::wake(std::vector<std::coroutine_handle<>> &waiters)
     auto list = std::move(waiters);
     waiters.clear();
     for (auto h : list) {
-        eventq().scheduleIn(0, [h] { h.resume(); },
+        eventq().scheduleIn(sim::ticks::immediate, [h] { h.resume(); },
                             sim::EventPriority::software);
     }
 }

@@ -20,7 +20,7 @@ NodeProcessRunner::spawn(
     // Start from the event queue so processes created together all
     // exist before any of them runs (as Kernel::spawnThread does).
     host.eventq().scheduleIn(
-        0,
+        sim::ticks::immediate,
         [this, proc, body = std::move(body)] {
             sim::spawn(
                 [](std::shared_ptr<NodeProcess> p,

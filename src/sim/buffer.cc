@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "invariant.hh"
+
 namespace nectar::sim {
 
 // --------------------------------------------------------------------
@@ -26,6 +28,8 @@ BufferArena::acquire(std::size_t n)
         if (it != free_.end() && !it->second.empty()) {
             auto v = std::move(it->second.back());
             it->second.pop_back();
+            SIM_INVARIANT(pooled_ > 0,
+                          "arena pooled count matches its freelists");
             --pooled_;
             ++_stats.hits;
             // Same contract as a fresh vector: zero-filled (header
@@ -62,6 +66,26 @@ Buffer::~Buffer()
     BufferArena::instance().recycle(std::move(bytes_));
 }
 
+void
+PacketView::checkRep() const
+{
+#ifdef NECTAR_CHECKED
+    std::size_t total = 0;
+    for (const auto &s : segs_) {
+        SIM_INVARIANT(s.buf != nullptr,
+                      "PacketView segment references a buffer");
+        SIM_INVARIANT(s.buf.use_count() >= 1,
+                      "Buffer refcount sanity");
+        SIM_INVARIANT(s.len > 0, "PacketView segment is non-empty");
+        SIM_INVARIANT(s.off + s.len <= s.buf->size(),
+                      "PacketView segment lies inside its buffer");
+        total += s.len;
+    }
+    SIM_INVARIANT(total == size_,
+                  "PacketView size equals the sum of its segments");
+#endif
+}
+
 PacketView
 PacketView::slice(std::size_t off, std::size_t len) const
 {
@@ -84,6 +108,7 @@ PacketView::slice(std::size_t off, std::size_t len) const
         want -= take;
         off = 0;
     }
+    out.checkRep();
     return out;
 }
 
@@ -106,6 +131,7 @@ PacketView::append(const PacketView &tail)
         segs_.push_back(s);
         size_ += s.len;
     }
+    checkRep();
 }
 
 void

@@ -316,6 +316,14 @@ class PacketView
         std::size_t len = 0;
     };
 
+    /**
+     * Representation invariant, checked under NECTAR_CHECKED after
+     * every structural mutation: each segment references a live
+     * buffer (refcount sanity), lies inside it, is non-empty, and
+     * size_ equals the sum of segment lengths.
+     */
+    void checkRep() const;
+
     std::vector<Seg> segs_;
     std::size_t size_ = 0;
     bool corrupted_ = false;

@@ -371,7 +371,8 @@ class Channel
         waiting.pop_front();
         // Resume through the event queue at the current tick so the
         // producer's stack unwinds first.
-        eq.scheduleIn(0, [h] { h.resume(); }, EventPriority::software);
+        eq.scheduleIn(ticks::immediate, [h] { h.resume(); },
+                      EventPriority::software);
     }
 
     EventQueue &eq;
@@ -437,7 +438,8 @@ class AsyncMutex
         // resumes via the event queue (still at the current tick).
         auto h = waiting.front();
         waiting.pop_front();
-        eq.scheduleIn(0, [h] { h.resume(); }, EventPriority::software);
+        eq.scheduleIn(ticks::immediate, [h] { h.resume(); },
+                      EventPriority::software);
     }
 
   private:

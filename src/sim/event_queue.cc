@@ -1,8 +1,19 @@
 #include "event_queue.hh"
 
+#include "invariant.hh"
 #include "logging.hh"
 
 namespace nectar::sim {
+
+void
+EventQueue::mixFingerprint(std::uint64_t v)
+{
+    // FNV-1a over the value's eight bytes.
+    for (int i = 0; i < 8; ++i) {
+        _fingerprint ^= (v >> (8 * i)) & 0xffU;
+        _fingerprint *= 0x100000001b3ULL;
+    }
+}
 
 EventId
 EventQueue::schedule(Tick when, std::function<void()> fn,
@@ -16,6 +27,8 @@ EventQueue::schedule(Tick when, std::function<void()> fn,
     EventId id = nextId++;
     heap.push(Entry{when, static_cast<int>(prio), id, std::move(fn)});
     live.insert(id);
+    SIM_INVARIANT(live.size() <= heap.size(),
+                  "every live event has a heap entry");
     return id;
 }
 
@@ -47,8 +60,14 @@ EventQueue::step()
         heap.pop();
         if (!live.erase(e.id))
             continue; // cancelled
+        SIM_INVARIANT(e.when >= _now,
+                      "event-time monotonicity: popped event lies in "
+                      "the past");
         _now = e.when;
         ++_executed;
+        mixFingerprint(static_cast<std::uint64_t>(e.when));
+        mixFingerprint(static_cast<std::uint64_t>(e.prio));
+        mixFingerprint(e.id);
         e.fn();
         return true;
     }

@@ -116,6 +116,15 @@ class EventQueue
     /** Total events executed over the queue's lifetime. */
     std::uint64_t executedCount() const { return _executed; }
 
+    /**
+     * Rolling FNV-1a hash of the (tick, priority, id) of every event
+     * executed so far — the event-trace fingerprint.  Two runs of the
+     * same seeded scenario must report identical fingerprints; the
+     * determinism harness (tests/test_determinism.cc) runs each
+     * tier-1 scenario twice and diffs them.
+     */
+    std::uint64_t fingerprint() const { return _fingerprint; }
+
     /** Default event-count safety limit for run()/runUntil(). */
     static constexpr std::uint64_t defaultEventLimit = 500'000'000;
 
@@ -142,11 +151,25 @@ class EventQueue
     /** Pop and execute the next live event, if any. */
     bool step();
 
+    /** Fold @p v into the event-trace fingerprint (FNV-1a). */
+    void mixFingerprint(std::uint64_t v);
+
     Tick _now = 0;
     EventId nextId = 1;
     std::uint64_t _executed = 0;
+    std::uint64_t _fingerprint = 0xcbf29ce484222325ULL; // FNV offset
     std::priority_queue<Entry, std::vector<Entry>, Later> heap;
-    /** Ids of scheduled-but-not-yet-fired, not-cancelled events. */
+    /**
+     * Ids of scheduled-but-not-yet-fired, not-cancelled events.
+     *
+     * Determinism audit: this unordered container is safe because it
+     * is used for membership only — insert() in schedule(), erase()
+     * in cancel()/step(), count()/size() queries.  Nothing iterates
+     * it, so its (unspecified) hash order can never reach event
+     * ordering; firing order is decided solely by the heap's
+     * (tick, priority, id) comparison.  If iteration is ever needed,
+     * drain into a sorted vector first or switch to std::set.
+     */
     std::unordered_set<EventId> live;
 };
 

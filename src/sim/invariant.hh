@@ -1,0 +1,52 @@
+/**
+ * @file
+ * SIM_INVARIANT: compiled-in runtime invariant checks.
+ *
+ * The runtime complement to nectar-lint (tools/nectar-lint): where
+ * the lint pass rejects code shapes that *could* break determinism
+ * or ownership, SIM_INVARIANT checks the properties themselves while
+ * a simulation runs — event-time monotonicity in the event queue,
+ * PacketView/Buffer representation sanity on the zero-copy path,
+ * circuit accounting in the HUB crossbar.
+ *
+ * The checks compile to nothing unless the tree is configured with
+ * -DNECTAR_CHECKED=ON (`cmake --preset checked`); in either mode the
+ * condition expression is type-checked, so a checked build cannot
+ * rot while the default build stays at full speed.  A failed
+ * invariant panics (throws sim::PanicError), the same contract as
+ * sim::panic — tests can assert on it and a simulation run dies
+ * loudly instead of silently diverging.
+ */
+
+#pragma once
+
+#include <string>
+
+#include "logging.hh"
+
+namespace nectar::sim {
+
+/** Report a failed SIM_INVARIANT.  @throws PanicError always. */
+[[noreturn]] void invariantFailed(const char *file, int line,
+                                  const char *expr,
+                                  const std::string &what);
+
+} // namespace nectar::sim
+
+#ifdef NECTAR_CHECKED
+#define SIM_INVARIANT(cond, what)                                     \
+    do {                                                              \
+        if (!(cond))                                                  \
+            ::nectar::sim::invariantFailed(__FILE__, __LINE__,        \
+                                           #cond, (what));            \
+    } while (0)
+#else
+/** Expansion still type-checks the condition; never evaluates it. */
+#define SIM_INVARIANT(cond, what)                                     \
+    do {                                                              \
+        if (false) {                                                  \
+            (void)(cond);                                             \
+            (void)(what);                                             \
+        }                                                             \
+    } while (0)
+#endif

@@ -2,6 +2,8 @@
 
 #include <iostream>
 
+#include "invariant.hh"
+
 namespace nectar::sim {
 
 namespace {
@@ -53,6 +55,14 @@ void
 panic(const std::string &msg)
 {
     throw PanicError(msg);
+}
+
+void
+invariantFailed(const char *file, int line, const char *expr,
+                const std::string &what)
+{
+    panic("invariant violated: " + what + " [" + expr + "] at " +
+          file + ":" + std::to_string(line));
 }
 
 } // namespace nectar::sim

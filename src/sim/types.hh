@@ -32,6 +32,13 @@ constexpr Tick ms = 1000 * us;
 /** One second. */
 constexpr Tick sec = 1000 * ms;
 
+/**
+ * Zero delay: fire at the current tick, after already-queued
+ * same-tick work of the same priority class.  Named so schedule
+ * sites never carry bare integer literals (nectar-lint rule D5).
+ */
+constexpr Tick immediate = 0;
+
 } // namespace ticks
 
 /**

@@ -101,6 +101,8 @@ std::optional<Header> decodePacket(const sim::PacketView &packet,
                                    sim::PacketView &payload);
 
 /** Vector-based convenience wrapper (tests). */
+// nectar-lint: copy-ok test convenience; materialization is
+// counted by toVector()
 inline std::vector<std::uint8_t>
 encodePacket(Header h, const std::vector<std::uint8_t> &payload)
 {
@@ -112,6 +114,8 @@ inline std::optional<Header>
 decodePacket(const std::vector<std::uint8_t> &bytes,
              std::vector<std::uint8_t> &payload)
 {
+    // nectar-lint: copy-ok test convenience; deliberate deep
+    // copy of the caller's bytes into a fresh Buffer
     sim::PacketView view{std::vector<std::uint8_t>(bytes)};
     sim::PacketView out;
     auto h = decodePacket(view, out);

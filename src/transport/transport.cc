@@ -136,7 +136,7 @@ Transport::wakeFlow(SenderFlow &flow)
     auto waiters = std::move(flow.waiters);
     flow.waiters.clear();
     for (auto h : waiters) {
-        eventq().scheduleIn(0, [h] { h.resume(); },
+        eventq().scheduleIn(sim::ticks::immediate, [h] { h.resume(); },
                             sim::EventPriority::software);
     }
     // Multicast senders watch several flows at once through a
@@ -814,6 +814,8 @@ Transport::request(CabAddress dst, std::uint16_t serviceMailbox,
 
         // A timeout pushes nullopt; a real (possibly empty) response
         // pushes a value.
+        // nectar-lint: capture-ok timer fires only while this frame
+        // is suspended on pop() below, and is cancelled on resume
         sim::EventId timer = eventq().scheduleIn(
             cfg.requestTimeout,
             [&responses] { responses.push(std::nullopt); },

@@ -1,0 +1,4 @@
+// A1 corpus: malformed annotations are themselves findings.
+// nectar-lint: no-such-tag this tag does not exist
+// nectar-lint: copy-ok
+int marker = 0;

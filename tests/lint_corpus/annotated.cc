@@ -1,0 +1,20 @@
+// Annotated corpus: properly waived violations must be silent.
+// Not compiled; linted by test_nectar_lint only.
+#include <chrono>
+
+#include "sim/event_queue.hh"
+
+// nectar-lint-file: raw-ticks-ok abstract demo ticks in this file
+
+// nectar-lint: wallclock-ok logging timestamp only, never feeds
+// the simulation clock
+static auto bootWall = std::chrono::system_clock::now();
+
+void
+arm(nectar::sim::EventQueue &eq)
+{
+    eq.schedule(5, [] {});
+    int hits = 0;
+    // nectar-lint: capture-ok hits outlives the queue in this demo
+    eq.scheduleIn(7, [&hits] { ++hits; });
+}

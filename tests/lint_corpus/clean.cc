@@ -1,0 +1,37 @@
+// Clean corpus: the accepted form of every rule; must lint clean.
+// Not compiled; linted by test_nectar_lint only.
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "sim/event_queue.hh"
+#include "sim/random.hh"
+
+namespace ns = nectar::sim;
+
+// Not on the packet path: an owning byte vector is fine here (D3
+// only applies under phys/hub/datalink/transport/cab directories).
+std::vector<std::uint8_t> scratch(16, 0);
+
+int
+total(const std::map<int, int> &m)
+{
+    int sum = 0;
+    // An ordered map iterates in key order: deterministic, no D2.
+    for (const auto &kv : m)
+        sum += kv.second;
+    return sum;
+}
+
+void
+arm(ns::EventQueue &eq, ns::Random &rng, ns::Tick delay)
+{
+    int hits = static_cast<int>(rng.uniform(0, 9));
+    // Unit expressions, named constants and variables satisfy D5;
+    // by-value captures satisfy D4.
+    eq.scheduleIn(10 * ns::ticks::us, [hits] { (void)hits; });
+    eq.schedule(ns::ticks::immediate, [] {});
+    eq.scheduleIn(delay, [] {});
+    int row[4] = {0, 1, 2, 3};
+    eq.scheduleIn(2 * ns::ticks::ns, [v = row[1]] { (void)v; });
+}

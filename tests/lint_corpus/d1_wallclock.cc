@@ -1,0 +1,16 @@
+// D1 corpus: every wall-clock / unseeded-randomness source fires.
+// Not compiled; linted by test_nectar_lint only.
+#include <chrono>
+#include <cstdlib>
+#include <random>
+
+int
+entropy()
+{
+    std::random_device rd;
+    std::srand(42);
+    int r = std::rand();
+    auto wall = std::chrono::system_clock::now();
+    (void)wall;
+    return static_cast<int>(rd()) + r;
+}

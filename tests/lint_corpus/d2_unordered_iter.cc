@@ -1,0 +1,16 @@
+// D2 corpus: iterating an unordered container diverges across runs.
+// Not compiled; linted by test_nectar_lint only.
+#include <string>
+#include <unordered_map>
+
+int
+sumAll()
+{
+    std::unordered_map<std::string, int> weights;
+    int total = 0;
+    for (const auto &kv : weights)
+        total += kv.second;
+    auto first = weights.begin();
+    (void)first;
+    return total;
+}

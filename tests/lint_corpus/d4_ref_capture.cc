@@ -1,0 +1,12 @@
+// D4 corpus: by-reference capture handed to schedule().
+// Not compiled; linted by test_nectar_lint only.
+#include "sim/event_queue.hh"
+
+void
+arm(nectar::sim::EventQueue &eq)
+{
+    int hits = 0;
+    eq.scheduleIn(10 * nectar::sim::ticks::ns,
+                  [&hits] { ++hits; });
+    eq.schedule(20 * nectar::sim::ticks::ns, [&] { ++hits; });
+}

@@ -1,0 +1,11 @@
+// D5 corpus: bare integer tick literals at schedule sites.
+// Not compiled; linted by test_nectar_lint only.
+#include "sim/event_queue.hh"
+
+void
+arm(nectar::sim::EventQueue &eq)
+{
+    eq.schedule(1'000'000, [] {});
+    eq.scheduleIn(0x40, [] {});
+    eq.scheduleIn(250u, [] {});
+}

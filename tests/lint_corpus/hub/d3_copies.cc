@@ -1,0 +1,15 @@
+// D3 corpus: raw payload copies inside a packet-path directory
+// (the parent directory is named hub/ so the path filter matches).
+// Not compiled; linted by test_nectar_lint only.
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+void
+copyBytes(const std::uint8_t *src, std::size_t n)
+{
+    std::vector<std::uint8_t> owned(n, 0);
+    std::memcpy(owned.data(), src, n);
+    auto *raw = new std::uint8_t[n];
+    delete[] raw;
+}

@@ -13,6 +13,9 @@
 #include "helpers/test_endpoint.hh"
 #include "phys/fiber.hh"
 
+// nectar-lint-file: capture-ok test frames drive eq.run() to
+// completion before any captured locals leave scope
+
 using namespace nectar;
 using namespace nectar::cab;
 using nectar::test::TestEndpoint;

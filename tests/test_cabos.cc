@@ -11,6 +11,9 @@
 #include "cabos/kernel.hh"
 #include "sim/coro.hh"
 
+// nectar-lint-file: capture-ok test frames drive eq.run() to
+// completion before any captured locals leave scope
+
 using namespace nectar;
 using namespace nectar::cabos;
 using sim::Task;
@@ -187,7 +190,7 @@ TEST_F(KernelTest, BlockingGetWokenByPut)
         got = m.view()[0];
         when = k.now();
     }(kernel, mb, got, when));
-    eq.schedule(1000, [&] { mb.tryPut(Message{{42}, 0, 0, 0}); });
+    eq.schedule(1000 * sim::ticks::ns, [&] { mb.tryPut(Message{{42}, 0, 0, 0}); });
     eq.run();
     EXPECT_EQ(got, 42);
     // The reader paid a context switch after the 1 us wakeup.
@@ -239,8 +242,8 @@ TEST_F(KernelTest, BlockingTagReadersAreServedSelectively)
     // mailbox" (Section 6.1).
     kernel.spawnThread("s1", server(mb, 1, 100, served));
     kernel.spawnThread("s2", server(mb, 2, 200, served));
-    eq.schedule(10, [&] { mb.tryPut(Message{{1}, 200, 0, 0}); });
-    eq.schedule(20, [&] { mb.tryPut(Message{{2}, 100, 0, 0}); });
+    eq.schedule(10 * sim::ticks::ns, [&] { mb.tryPut(Message{{1}, 200, 0, 0}); });
+    eq.schedule(20 * sim::ticks::ns, [&] { mb.tryPut(Message{{2}, 100, 0, 0}); });
     eq.run();
     ASSERT_EQ(served.size(), 2u);
     EXPECT_EQ(served[0], std::make_pair(2, std::uint64_t(200)));

@@ -10,6 +10,9 @@
 #include "sim/coro.hh"
 #include "sim/event_queue.hh"
 
+// nectar-lint-file: capture-ok test frames drive eq.run() to
+// completion before any captured locals leave scope
+
 using namespace nectar::sim;
 
 namespace {
@@ -120,7 +123,7 @@ TEST(Coro, ChannelBlocksUntilPush)
         co_await ch.pop();
         when = eq.now();
     }(eq, ch, when));
-    eq.schedule(500, [&] { ch.push(7); });
+    eq.schedule(500 * ticks::ns, [&] { ch.push(7); });
     eq.run();
     EXPECT_EQ(when, 500);
 }
@@ -150,8 +153,8 @@ TEST(Coro, ChannelMultipleWaitersServedInOrder)
     };
     spawn(waiter(ch, got, 1));
     spawn(waiter(ch, got, 2));
-    eq.schedule(10, [&] { ch.push(100); });
-    eq.schedule(20, [&] { ch.push(200); });
+    eq.schedule(10 * ticks::ns, [&] { ch.push(100); });
+    eq.schedule(20 * ticks::ns, [&] { ch.push(200); });
     eq.run();
     ASSERT_EQ(got.size(), 2u);
     EXPECT_EQ(got[0], std::make_pair(1, 100));

@@ -12,6 +12,9 @@
 #include "nectarine/system.hh"
 #include "sim/coro.hh"
 
+// nectar-lint-file: capture-ok test frames drive eq.run() to
+// completion before any captured locals leave scope
+
 using namespace nectar;
 using namespace nectar::datalink;
 using nectarine::NectarSystem;

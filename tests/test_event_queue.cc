@@ -11,6 +11,9 @@
 #include "sim/event_queue.hh"
 #include "sim/logging.hh"
 
+// nectar-lint-file: capture-ok test frames drive eq.run() to
+// completion before any captured locals leave scope
+
 using namespace nectar::sim;
 
 TEST(EventQueue, StartsAtTickZero)
@@ -24,9 +27,9 @@ TEST(EventQueue, ExecutesInTimeOrder)
 {
     EventQueue eq;
     std::vector<int> order;
-    eq.schedule(30, [&] { order.push_back(3); });
-    eq.schedule(10, [&] { order.push_back(1); });
-    eq.schedule(20, [&] { order.push_back(2); });
+    eq.schedule(30 * ticks::ns, [&] { order.push_back(3); });
+    eq.schedule(10 * ticks::ns, [&] { order.push_back(1); });
+    eq.schedule(20 * ticks::ns, [&] { order.push_back(2); });
     eq.run();
     EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
     EXPECT_EQ(eq.now(), 30);
@@ -36,9 +39,9 @@ TEST(EventQueue, SameTickOrderedByPriorityThenSequence)
 {
     EventQueue eq;
     std::vector<int> order;
-    eq.schedule(5, [&] { order.push_back(2); }, EventPriority::software);
-    eq.schedule(5, [&] { order.push_back(1); }, EventPriority::hardware);
-    eq.schedule(5, [&] { order.push_back(3); }, EventPriority::software);
+    eq.schedule(5 * ticks::ns, [&] { order.push_back(2); }, EventPriority::software);
+    eq.schedule(5 * ticks::ns, [&] { order.push_back(1); }, EventPriority::hardware);
+    eq.schedule(5 * ticks::ns, [&] { order.push_back(3); }, EventPriority::software);
     eq.run();
     EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
 }
@@ -47,7 +50,7 @@ TEST(EventQueue, NowAdvancesOnlyWhenEventsFire)
 {
     EventQueue eq;
     Tick seen = -1;
-    eq.schedule(100, [&] { seen = eq.now(); });
+    eq.schedule(100 * ticks::ns, [&] { seen = eq.now(); });
     eq.run();
     EXPECT_EQ(seen, 100);
 }
@@ -55,22 +58,22 @@ TEST(EventQueue, NowAdvancesOnlyWhenEventsFire)
 TEST(EventQueue, SchedulingInPastPanics)
 {
     EventQueue eq;
-    eq.schedule(50, [] {});
+    eq.schedule(50 * ticks::ns, [] {});
     eq.run();
-    EXPECT_THROW(eq.schedule(10, [] {}), PanicError);
+    EXPECT_THROW(eq.schedule(10 * ticks::ns, [] {}), PanicError);
 }
 
 TEST(EventQueue, EmptyCallbackPanics)
 {
     EventQueue eq;
-    EXPECT_THROW(eq.schedule(1, std::function<void()>()), PanicError);
+    EXPECT_THROW(eq.schedule(1 * ticks::ns, std::function<void()>()), PanicError);
 }
 
 TEST(EventQueue, CancelPreventsExecution)
 {
     EventQueue eq;
     bool fired = false;
-    EventId id = eq.schedule(10, [&] { fired = true; });
+    EventId id = eq.schedule(10 * ticks::ns, [&] { fired = true; });
     EXPECT_TRUE(eq.pending(id));
     EXPECT_TRUE(eq.cancel(id));
     EXPECT_FALSE(eq.pending(id));
@@ -81,7 +84,7 @@ TEST(EventQueue, CancelPreventsExecution)
 TEST(EventQueue, CancelTwiceReturnsFalse)
 {
     EventQueue eq;
-    EventId id = eq.schedule(10, [] {});
+    EventId id = eq.schedule(10 * ticks::ns, [] {});
     EXPECT_TRUE(eq.cancel(id));
     EXPECT_FALSE(eq.cancel(id));
 }
@@ -89,7 +92,7 @@ TEST(EventQueue, CancelTwiceReturnsFalse)
 TEST(EventQueue, CancelAfterFireReturnsFalse)
 {
     EventQueue eq;
-    EventId id = eq.schedule(10, [] {});
+    EventId id = eq.schedule(10 * ticks::ns, [] {});
     eq.run();
     EXPECT_FALSE(eq.cancel(id));
     EXPECT_FALSE(eq.pending(id));
@@ -108,9 +111,9 @@ TEST(EventQueue, EventsCanScheduleMoreEvents)
     int count = 0;
     std::function<void()> chain = [&] {
         if (++count < 5)
-            eq.scheduleIn(10, chain);
+            eq.scheduleIn(10 * ticks::ns, chain);
     };
-    eq.schedule(0, chain);
+    eq.schedule(ticks::immediate, chain);
     eq.run();
     EXPECT_EQ(count, 5);
     EXPECT_EQ(eq.now(), 40);
@@ -140,8 +143,8 @@ TEST(EventQueue, RunUntilAdvancesNowWhenQueueEmpty)
 TEST(EventQueue, PendingCountTracksLiveEvents)
 {
     EventQueue eq;
-    EventId a = eq.schedule(10, [] {});
-    eq.schedule(20, [] {});
+    EventId a = eq.schedule(10 * ticks::ns, [] {});
+    eq.schedule(20 * ticks::ns, [] {});
     EXPECT_EQ(eq.pendingCount(), 2u);
     eq.cancel(a);
     EXPECT_EQ(eq.pendingCount(), 1u);
@@ -155,9 +158,9 @@ TEST(EventQueue, RunRespectsEventLimit)
     int count = 0;
     std::function<void()> forever = [&] {
         ++count;
-        eq.scheduleIn(1, forever);
+        eq.scheduleIn(1 * ticks::ns, forever);
     };
-    eq.schedule(0, forever);
+    eq.schedule(ticks::immediate, forever);
     std::uint64_t n = eq.run(1000);
     EXPECT_EQ(n, 1000u);
     EXPECT_EQ(count, 1000);
@@ -166,8 +169,8 @@ TEST(EventQueue, RunRespectsEventLimit)
 TEST(EventQueue, ExecutedCountAccumulates)
 {
     EventQueue eq;
-    eq.schedule(1, [] {});
-    eq.schedule(2, [] {});
+    eq.schedule(1 * ticks::ns, [] {});
+    eq.schedule(2 * ticks::ns, [] {});
     eq.run();
     EXPECT_EQ(eq.executedCount(), 2u);
 }

@@ -17,6 +17,9 @@
 #include "nectarine/system.hh"
 #include "sim/coro.hh"
 
+// nectar-lint-file: capture-ok test frames drive eq.run() to
+// completion before any captured locals leave scope
+
 using namespace nectar;
 using namespace nectar::fault;
 using nectarine::NectarSystem;

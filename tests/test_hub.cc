@@ -16,6 +16,9 @@
 #include "hub/hub.hh"
 #include "topo/topology.hh"
 
+// nectar-lint-file: capture-ok test frames drive eq.run() to
+// completion before any captured locals leave scope
+
 using namespace nectar;
 using namespace nectar::hub;
 using nectar::test::TestEndpoint;
@@ -103,7 +106,7 @@ TEST_F(HubTest, DataFlowsThroughOpenConnection)
     eq.run();
 
     auto payload = iotaBytes(64);
-    eq.schedule(1000, [&] { a.sendPacket(payload); });
+    eq.schedule(1000 * sim::ticks::ns, [&] { a.sendPacket(payload); });
     eq.run();
 
     EXPECT_EQ(b.countKind(ItemKind::startOfPacket), 1u);
@@ -121,7 +124,7 @@ TEST_F(HubTest, CutThroughTimingMatchesPrototype)
     a.sendCommand(Op::open, 0, 1);
     eq.run();
 
-    eq.schedule(1000, [&] { a.sendPacket(iotaBytes(16)); });
+    eq.schedule(1000 * sim::ticks::ns, [&] { a.sendPacket(iotaBytes(16)); });
     eq.run();
 
     // SOP: serialized to the HUB (80 ns), forwarded 350 ns after its
@@ -230,7 +233,7 @@ TEST_F(HubTest, MulticastSingleHub)
     EXPECT_EQ(a.replies().size(), 2u);
 
     auto payload = iotaBytes(100);
-    eq.schedule(5000, [&] { a.sendPacket(payload, true); });
+    eq.schedule(5000 * sim::ticks::ns, [&] { a.sendPacket(payload, true); });
     eq.run();
     EXPECT_EQ(b.collectData(), payload);
     EXPECT_EQ(c.collectData(), payload);

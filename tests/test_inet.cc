@@ -13,6 +13,9 @@
 #include "inet/tcp.hh"
 #include "nectarine/system.hh"
 
+// nectar-lint-file: capture-ok test frames drive eq.run() to
+// completion before any captured locals leave scope
+
 using namespace nectar;
 using namespace nectar::inet;
 using nectarine::NectarSystem;

@@ -1,0 +1,215 @@
+/**
+ * @file
+ * Tests for the nectar-lint static-analysis pass.
+ *
+ * Two layers: the corpus tests lint the one-rule-per-file fixtures in
+ * tests/lint_corpus/ and assert the exact (rule, line) findings — if
+ * any of D1–D5 or A1 stops firing, the corresponding test fails.  The
+ * inline tests feed lintSource() small snippets to pin down the edge
+ * cases (literals in comments/strings, annotation coverage, the
+ * packet-path filter).
+ */
+
+#include <algorithm>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "lint.hh"
+
+using nectar::lint::Finding;
+using nectar::lint::lintFile;
+using nectar::lint::lintSource;
+using nectar::lint::Options;
+
+namespace {
+
+std::vector<std::pair<std::string, int>>
+ruleLines(const std::vector<Finding> &findings)
+{
+    std::vector<std::pair<std::string, int>> out;
+    for (const auto &f : findings)
+        out.emplace_back(f.rule, f.line);
+    return out;
+}
+
+std::vector<std::pair<std::string, int>>
+lintCorpus(const std::string &relative)
+{
+    std::string path =
+        std::string(NECTAR_LINT_CORPUS_DIR) + "/" + relative;
+    return ruleLines(lintFile(path));
+}
+
+using Expected = std::vector<std::pair<std::string, int>>;
+
+} // namespace
+
+// --------------------------------------------------------------------
+// Corpus: each fixture violates exactly one rule, and the findings
+// must match rule ids and line numbers exactly.
+// --------------------------------------------------------------------
+
+TEST(LintCorpus, D1WallClockSourcesAllFire)
+{
+    EXPECT_EQ(lintCorpus("d1_wallclock.cc"),
+              (Expected{{"D1", 10}, {"D1", 11}, {"D1", 12}, {"D1", 13}}));
+}
+
+TEST(LintCorpus, D2UnorderedIterationFires)
+{
+    EXPECT_EQ(lintCorpus("d2_unordered_iter.cc"),
+              (Expected{{"D2", 11}, {"D2", 13}}));
+}
+
+TEST(LintCorpus, D3PacketPathCopiesFire)
+{
+    // The fixture lives under lint_corpus/hub/, so the packet-path
+    // directory filter matches and all three copy forms fire.
+    EXPECT_EQ(lintCorpus("hub/d3_copies.cc"),
+              (Expected{{"D3", 11}, {"D3", 12}, {"D3", 13}}));
+}
+
+TEST(LintCorpus, D4ReferenceCapturesFire)
+{
+    // Findings anchor at the schedule-call line, not the lambda line.
+    EXPECT_EQ(lintCorpus("d4_ref_capture.cc"),
+              (Expected{{"D4", 9}, {"D4", 11}}));
+}
+
+TEST(LintCorpus, D5BareTickLiteralsFire)
+{
+    // Digit separators, hex and suffixed literals all count as bare.
+    EXPECT_EQ(lintCorpus("d5_bare_ticks.cc"),
+              (Expected{{"D5", 8}, {"D5", 9}, {"D5", 10}}));
+}
+
+TEST(LintCorpus, A1BadAnnotationsFire)
+{
+    EXPECT_EQ(lintCorpus("a1_bad_annotation.cc"),
+              (Expected{{"A1", 2}, {"A1", 3}}));
+}
+
+TEST(LintCorpus, CleanCounterExamplesStaySilent)
+{
+    EXPECT_EQ(lintCorpus("clean.cc"), Expected{});
+}
+
+TEST(LintCorpus, JustifiedAnnotationsSuppress)
+{
+    EXPECT_EQ(lintCorpus("annotated.cc"), Expected{});
+}
+
+// --------------------------------------------------------------------
+// Inline edge cases.
+// --------------------------------------------------------------------
+
+TEST(LintSource, LiteralsInCommentsAndStringsAreIgnored)
+{
+    std::string src = "// rand() memcpy schedule(5, x)\n"
+                      "const char *s = \"std::random_device\";\n"
+                      "const char *r = R\"(system_clock)\";\n";
+    EXPECT_TRUE(lintSource("x.cc", src).empty());
+}
+
+TEST(LintSource, VariableDelayAndUnitExpressionsPassD5)
+{
+    std::string src = "void f(EQ &eq, Tick d) {\n"
+                      "    eq.scheduleIn(d, [] {});\n"
+                      "    eq.scheduleIn(3 * ticks::us, [] {});\n"
+                      "    eq.schedule(ticks::immediate, [] {});\n"
+                      "}\n";
+    EXPECT_TRUE(lintSource("x.cc", src).empty());
+}
+
+TEST(LintSource, IndexingIsNotALambdaIntro)
+{
+    // arr[&x - p] after an identifier is indexing, not a capture.
+    std::string src = "void f(EQ &eq, Tick d, int *arr, int *p) {\n"
+                      "    int x = 0;\n"
+                      "    eq.scheduleIn(d, cb[&x - p]);\n"
+                      "}\n";
+    EXPECT_TRUE(lintSource("x.cc", src).empty());
+}
+
+TEST(LintSource, MultiLineScheduleAnchorsAtCallLine)
+{
+    std::string src = "void f(EQ &eq, Tick d) {\n"
+                      "    int n = 0;\n"
+                      "    eq.scheduleIn(\n"
+                      "        d,\n"
+                      "        [&n] { ++n; });\n"
+                      "}\n";
+    auto found = ruleLines(lintSource("x.cc", src));
+    EXPECT_EQ(found, (Expected{{"D4", 3}}));
+}
+
+TEST(LintSource, AnnotationCoversNextCodeLine)
+{
+    std::string src = "void f(EQ &eq, Tick d) {\n"
+                      "    int n = 0;\n"
+                      "    // nectar-lint: capture-ok queue drained\n"
+                      "    // before n goes out of scope\n"
+                      "    eq.scheduleIn(\n"
+                      "        d, [&n] { ++n; });\n"
+                      "}\n";
+    EXPECT_TRUE(lintSource("x.cc", src).empty());
+}
+
+TEST(LintSource, PacketPathFilterGatesD3)
+{
+    std::string src = "std::vector<std::uint8_t> held(64, 0);\n";
+    EXPECT_TRUE(lintSource("src/workload/w.cc", src).empty());
+    auto found = ruleLines(lintSource("src/transport/t.cc", src));
+    EXPECT_EQ(found, (Expected{{"D3", 1}}));
+}
+
+TEST(LintSource, NonOwningVectorUsesPassD3)
+{
+    std::string src =
+        "void g(const std::vector<std::uint8_t> &in,\n"
+        "       std::vector<std::uint8_t> *out);\n"
+        "std::map<int, std::vector<std::uint8_t>> table;\n";
+    EXPECT_TRUE(lintSource("src/transport/t.cc", src).empty());
+}
+
+TEST(LintSource, CustomPacketPathOption)
+{
+    Options opts;
+    opts.packetPathDirs = {"/fastpath/"};
+    std::string src = "std::memcpy(a, b, n);\n";
+    EXPECT_TRUE(lintSource("src/hub/h.cc", src, opts).empty());
+    EXPECT_EQ(ruleLines(lintSource("src/fastpath/h.cc", src, opts)),
+              (Expected{{"D3", 1}}));
+}
+
+TEST(LintSource, FileWideAnnotationDoesNotCrossRules)
+{
+    std::string src = "// nectar-lint-file: raw-ticks-ok demo ticks\n"
+                      "void f(EQ &eq) {\n"
+                      "    int n = 0;\n"
+                      "    eq.schedule(5, [&n] { ++n; });\n"
+                      "}\n";
+    // D5 is waived file-wide; the D4 capture still fires.
+    EXPECT_EQ(ruleLines(lintSource("x.cc", src)),
+              (Expected{{"D4", 4}}));
+}
+
+TEST(LintSource, A1IsNeverSuppressed)
+{
+    std::string src = "// nectar-lint-file: wallclock-ok everything\n"
+                      "// nectar-lint: bogus-tag whatever\n"
+                      "int x = 0;\n";
+    EXPECT_EQ(ruleLines(lintSource("x.cc", src)),
+              (Expected{{"A1", 2}}));
+}
+
+TEST(LintSource, RuleDescriptionsExist)
+{
+    for (const char *rule : {"D1", "D2", "D3", "D4", "D5", "A1"}) {
+        ASSERT_NE(nectar::lint::ruleDescription(rule), nullptr);
+        EXPECT_NE(std::string(nectar::lint::ruleDescription(rule)), "");
+    }
+}

@@ -12,6 +12,9 @@
 #include "node/node_process.hh"
 #include "sim/trace.hh"
 
+// nectar-lint-file: capture-ok test frames drive eq.run() to
+// completion before any captured locals leave scope
+
 using namespace nectar;
 using namespace nectar::node;
 using nectarine::Nectarine;
@@ -48,7 +51,7 @@ TEST(Trace, StreamSinkFormatsLines)
     sim::StreamTraceSink sink(os);
     sim::Tracer trace(eq, "hub0");
     trace.attach(sink);
-    eq.schedule(42, [&] { trace("open", "p3"); });
+    eq.schedule(42 * sim::ticks::ns, [&] { trace("open", "p3"); });
     eq.run();
     EXPECT_EQ(os.str(), "[42] hub0 open: p3\n");
 }

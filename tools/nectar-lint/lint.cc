@@ -1,0 +1,667 @@
+#include "lint.hh"
+
+#include <algorithm>
+#include <cctype>
+#include <fstream>
+#include <map>
+#include <regex>
+#include <set>
+#include <sstream>
+#include <stdexcept>
+
+namespace nectar::lint {
+
+namespace {
+
+// --------------------------------------------------------------------
+// Source preparation: blank comments and string/char literals so the
+// rule scanners only ever see code, and collect comment text per line
+// for the annotation grammar.
+// --------------------------------------------------------------------
+
+struct Prepared
+{
+    /** Source with comments and literal contents replaced by spaces;
+     *  newlines preserved so positions map to the original lines. */
+    std::string code;
+    /** Comment text concatenated per 1-based line. */
+    std::vector<std::string> comments; // [0] unused
+    /** True when the line holds any non-comment, non-space code. */
+    std::vector<bool> hasCode; // [0] unused
+};
+
+bool
+identChar(char c)
+{
+    return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+Prepared
+prepare(const std::string &text)
+{
+    Prepared p;
+    p.code.reserve(text.size());
+    p.comments.emplace_back();
+    p.comments.emplace_back();
+    p.hasCode.push_back(false);
+    p.hasCode.push_back(false);
+
+    enum class St { code, lineComment, blockComment, str, chr, rawStr };
+    St st = St::code;
+    std::string rawDelim; // for R"delim( ... )delim"
+    std::size_t line = 1;
+
+    auto newline = [&] {
+        p.code.push_back('\n');
+        ++line;
+        p.comments.emplace_back();
+        p.hasCode.push_back(false);
+    };
+
+    for (std::size_t i = 0; i < text.size(); ++i) {
+        char c = text[i];
+        char next = i + 1 < text.size() ? text[i + 1] : '\0';
+        switch (st) {
+        case St::code:
+            if (c == '/' && next == '/') {
+                st = St::lineComment;
+                p.code += "  ";
+                ++i;
+            } else if (c == '/' && next == '*') {
+                st = St::blockComment;
+                p.code += "  ";
+                ++i;
+            } else if (c == '"' && i >= 1 && text[i - 1] == 'R') {
+                // Raw string literal: find the delimiter up to '('.
+                std::size_t paren = text.find('(', i + 1);
+                rawDelim = paren == std::string::npos
+                               ? std::string()
+                               : text.substr(i + 1, paren - i - 1);
+                st = St::rawStr;
+                p.code.push_back(' ');
+            } else if (c == '"') {
+                st = St::str;
+                p.code.push_back(' ');
+            } else if (c == '\'' && !(i >= 1 && identChar(text[i - 1]))) {
+                // A char literal, not a digit separator (1'000'000).
+                st = St::chr;
+                p.code.push_back(' ');
+            } else if (c == '\n') {
+                newline();
+            } else {
+                if (!std::isspace(static_cast<unsigned char>(c)))
+                    p.hasCode[line] = true;
+                p.code.push_back(c);
+            }
+            break;
+        case St::lineComment:
+            if (c == '\n') {
+                st = St::code;
+                newline();
+            } else {
+                p.comments[line].push_back(c);
+                p.code.push_back(' ');
+            }
+            break;
+        case St::blockComment:
+            if (c == '*' && next == '/') {
+                st = St::code;
+                p.code += "  ";
+                ++i;
+            } else if (c == '\n') {
+                newline();
+            } else {
+                p.comments[line].push_back(c);
+                p.code.push_back(' ');
+            }
+            break;
+        case St::str:
+            if (c == '\\' && next != '\0') {
+                p.code += "  ";
+                ++i;
+                if (next == '\n')
+                    newline();
+            } else if (c == '"') {
+                st = St::code;
+                p.code.push_back(' ');
+            } else if (c == '\n') {
+                newline(); // unterminated; recover per line
+                st = St::code;
+            } else {
+                p.code.push_back(' ');
+            }
+            break;
+        case St::chr:
+            if (c == '\\' && next != '\0') {
+                p.code += "  ";
+                ++i;
+            } else if (c == '\'') {
+                st = St::code;
+                p.code.push_back(' ');
+            } else if (c == '\n') {
+                newline();
+                st = St::code;
+            } else {
+                p.code.push_back(' ');
+            }
+            break;
+        case St::rawStr: {
+            std::string close = ")" + rawDelim + "\"";
+            if (text.compare(i, close.size(), close) == 0) {
+                for (std::size_t k = 0; k < close.size(); ++k)
+                    p.code.push_back(' ');
+                i += close.size() - 1;
+                st = St::code;
+            } else if (c == '\n') {
+                newline();
+            } else {
+                p.code.push_back(' ');
+            }
+            break;
+        }
+        }
+    }
+    return p;
+}
+
+/** 1-based line number of position @p pos in @p code. */
+int
+lineOf(const std::string &code, std::size_t pos)
+{
+    return 1 + static_cast<int>(
+                   std::count(code.begin(), code.begin() +
+                              static_cast<std::ptrdiff_t>(pos), '\n'));
+}
+
+/** Skip whitespace (including newlines) forward from @p i. */
+std::size_t
+skipWs(const std::string &s, std::size_t i)
+{
+    while (i < s.size() &&
+           std::isspace(static_cast<unsigned char>(s[i])))
+        ++i;
+    return i;
+}
+
+/** Previous non-whitespace position before @p i, or npos. */
+std::size_t
+prevNonWs(const std::string &s, std::size_t i)
+{
+    while (i > 0) {
+        --i;
+        if (!std::isspace(static_cast<unsigned char>(s[i])))
+            return i;
+    }
+    return std::string::npos;
+}
+
+/**
+ * Position one past the bracket that closes the one at @p open
+ * (code[open] must be '(', '[', '{' or '<'), or npos when unmatched.
+ * Operates on blanked code, so literals cannot confuse the count.
+ */
+std::size_t
+matchBracket(const std::string &code, std::size_t open)
+{
+    char o = code[open];
+    char c = o == '(' ? ')' : o == '[' ? ']' : o == '{' ? '}' : '>';
+    int depth = 0;
+    for (std::size_t i = open; i < code.size(); ++i) {
+        if (code[i] == o) {
+            ++depth;
+        } else if (code[i] == c) {
+            if (--depth == 0)
+                return i + 1;
+        }
+    }
+    return std::string::npos;
+}
+
+// --------------------------------------------------------------------
+// Annotations.
+// --------------------------------------------------------------------
+
+const std::map<std::string, std::string> &
+tagToRule()
+{
+    static const std::map<std::string, std::string> m = {
+        {"wallclock-ok", "D1"}, {"ordered-ok", "D2"},
+        {"copy-ok", "D3"},      {"capture-ok", "D4"},
+        {"raw-ticks-ok", "D5"},
+    };
+    return m;
+}
+
+struct Suppressions
+{
+    /** rule -> exact lines waived. */
+    std::map<std::string, std::set<int>> lines;
+    /** rules waived for the whole file. */
+    std::set<std::string> wholeFile;
+
+    bool
+    covers(const std::string &rule, int line) const
+    {
+        if (wholeFile.count(rule))
+            return true;
+        auto it = lines.find(rule);
+        return it != lines.end() && it->second.count(line) > 0;
+    }
+};
+
+Suppressions
+parseAnnotations(const Prepared &p, const std::string &file,
+                 std::vector<Finding> &out)
+{
+    Suppressions sup;
+    static const std::regex ann(
+        R"(nectar-lint(-file)?\s*:\s*([A-Za-z0-9-]+)\s*(.*))");
+    for (std::size_t ln = 1; ln < p.comments.size(); ++ln) {
+        const std::string &comment = p.comments[ln];
+        auto begin = std::sregex_iterator(comment.begin(),
+                                          comment.end(), ann);
+        for (auto it = begin; it != std::sregex_iterator(); ++it) {
+            bool fileWide = (*it)[1].matched;
+            std::string tag = (*it)[2].str();
+            std::string why = (*it)[3].str();
+            auto rule = tagToRule().find(tag);
+            if (rule == tagToRule().end()) {
+                out.push_back({"A1", file, static_cast<int>(ln),
+                               "unknown nectar-lint tag '" + tag +
+                                   "'"});
+                continue;
+            }
+            // Trim separators; a waiver must say *why*.
+            while (!why.empty() &&
+                   (std::isspace(static_cast<unsigned char>(
+                        why.front())) ||
+                    why.front() == '-' || why.front() == ':'))
+                why.erase(why.begin());
+            if (why.empty()) {
+                out.push_back({"A1", file, static_cast<int>(ln),
+                               "nectar-lint annotation '" + tag +
+                                   "' needs a justification"});
+                continue;
+            }
+            if (fileWide) {
+                sup.wholeFile.insert(rule->second);
+            } else {
+                auto &s = sup.lines[rule->second];
+                s.insert(static_cast<int>(ln));
+                // A standalone annotation (possibly continued over
+                // further comment lines) covers the next code line.
+                std::size_t k = ln;
+                while (k < p.hasCode.size() && !p.hasCode[k])
+                    s.insert(static_cast<int>(++k));
+            }
+        }
+    }
+    return sup;
+}
+
+// --------------------------------------------------------------------
+// D1 — wall-clock time and unseeded randomness.
+// --------------------------------------------------------------------
+
+void
+scanWallClock(const Prepared &p, const std::string &file,
+              std::vector<Finding> &out)
+{
+    static const std::regex pat(
+        R"(\brand\s*\(|\bsrand\s*\(|\brandom_device\b|\bsystem_clock\b)"
+        R"(|\bsteady_clock\b|\bhigh_resolution_clock\b)"
+        R"(|\bgettimeofday\b|\bclock_gettime\b)"
+        R"(|\btime\s*\(\s*(nullptr|NULL|0)\s*\))");
+    auto begin = std::sregex_iterator(p.code.begin(), p.code.end(),
+                                      pat);
+    for (auto it = begin; it != std::sregex_iterator(); ++it) {
+        std::size_t pos = static_cast<std::size_t>(it->position());
+        out.push_back(
+            {"D1", file, lineOf(p.code, pos),
+             "wall-clock or unseeded randomness '" +
+                 it->str().substr(0, it->str().find('(')) +
+                 "'; draw from a seeded sim::Random instead"});
+    }
+}
+
+// --------------------------------------------------------------------
+// D2 — iteration over unordered containers.
+// --------------------------------------------------------------------
+
+void
+scanUnorderedIteration(const Prepared &p, const std::string &file,
+                       std::vector<Finding> &out)
+{
+    const std::string &code = p.code;
+
+    // Pass 1: names declared with an unordered container type.
+    std::set<std::string> names;
+    static const std::regex decl(R"(\bunordered_(map|set)\s*<)");
+    for (auto it = std::sregex_iterator(code.begin(), code.end(),
+                                        decl);
+         it != std::sregex_iterator(); ++it) {
+        std::size_t open =
+            static_cast<std::size_t>(it->position()) +
+            it->str().size() - 1;
+        std::size_t after = matchBracket(code, open);
+        if (after == std::string::npos)
+            continue;
+        std::size_t i = skipWs(code, after);
+        if (i >= code.size() || !identChar(code[i]) ||
+            std::isdigit(static_cast<unsigned char>(code[i])))
+            continue;
+        std::size_t j = i;
+        while (j < code.size() && identChar(code[j]))
+            ++j;
+        std::size_t k = skipWs(code, j);
+        if (k < code.size() && code[k] == '(')
+            continue; // a function returning the container
+        names.insert(code.substr(i, j - i));
+    }
+
+    auto report = [&](std::size_t pos, const std::string &what) {
+        out.push_back(
+            {"D2", file, lineOf(code, pos),
+             "iteration over unordered container " + what +
+                 ": hash order is unspecified and diverges runs; "
+                 "use an ordered container, sort first, or annotate "
+                 "'nectar-lint: ordered-ok <why>'"});
+    };
+
+    // Pass 2: range-for whose range names one of them (or is itself
+    // an unordered container expression).
+    static const std::regex rfor(R"(\bfor\s*\()");
+    for (auto it = std::sregex_iterator(code.begin(), code.end(),
+                                        rfor);
+         it != std::sregex_iterator(); ++it) {
+        std::size_t open =
+            static_cast<std::size_t>(it->position()) +
+            it->str().size() - 1;
+        std::size_t close = matchBracket(code, open);
+        if (close == std::string::npos)
+            continue;
+        std::string head = code.substr(open + 1, close - open - 2);
+        // Top-level ':' that is not part of '::'.
+        std::size_t colon = std::string::npos;
+        int depth = 0;
+        for (std::size_t i = 0; i < head.size(); ++i) {
+            char c = head[i];
+            if (c == '(' || c == '[' || c == '{')
+                ++depth;
+            else if (c == ')' || c == ']' || c == '}')
+                --depth;
+            else if (c == ':' && depth == 0) {
+                if ((i + 1 < head.size() && head[i + 1] == ':') ||
+                    (i > 0 && head[i - 1] == ':')) {
+                    continue;
+                }
+                colon = i;
+                break;
+            }
+        }
+        if (colon == std::string::npos)
+            continue;
+        std::string range = head.substr(colon + 1);
+        bool hit = range.find("unordered_") != std::string::npos;
+        for (const auto &n : names) {
+            if (hit)
+                break;
+            std::regex word("\\b" + n + "\\b");
+            if (std::regex_search(range, word))
+                hit = true;
+        }
+        if (hit)
+            report(open + 1 + colon, "in range-for");
+    }
+
+    // Pass 3: explicit iterator walks: name.begin() / name->begin().
+    for (const auto &n : names) {
+        std::regex iter("\\b" + n +
+                        R"(\s*(\.|->)\s*c?(begin|end)\s*\()");
+        for (auto it = std::sregex_iterator(code.begin(), code.end(),
+                                            iter);
+             it != std::sregex_iterator(); ++it) {
+            report(static_cast<std::size_t>(it->position()),
+                   "'" + n + "' via begin()/end()");
+        }
+    }
+}
+
+// --------------------------------------------------------------------
+// D3 — raw payload copies on the packet path.
+// --------------------------------------------------------------------
+
+void
+scanPacketCopies(const Prepared &p, const std::string &file,
+                 std::vector<Finding> &out)
+{
+    const std::string &code = p.code;
+
+    static const std::regex cp(R"(\bmemcpy\s*\(|\bnew\b[^;(){}=]*\[)");
+    for (auto it = std::sregex_iterator(code.begin(), code.end(), cp);
+         it != std::sregex_iterator(); ++it) {
+        std::size_t pos = static_cast<std::size_t>(it->position());
+        bool isNew = code.compare(pos, 3, "new") == 0;
+        out.push_back(
+            {"D3", file, lineOf(code, pos),
+             std::string(isNew ? "array new" : "memcpy") +
+                 " on the packet path; payload bytes must flow "
+                 "through sim::Buffer/PacketView (copies are counted "
+                 "via sim::copyStats), or annotate "
+                 "'nectar-lint: copy-ok <why>'"});
+    }
+
+    // Owning std::vector<uint8_t> objects (declarations, temporaries,
+    // return types).  References, pointers and nested template
+    // arguments are fine: they do not own a payload copy.
+    static const std::regex vec(R"(\bvector\s*<)");
+    for (auto it = std::sregex_iterator(code.begin(), code.end(), vec);
+         it != std::sregex_iterator(); ++it) {
+        std::size_t open =
+            static_cast<std::size_t>(it->position()) +
+            it->str().size() - 1;
+        std::size_t after = matchBracket(code, open);
+        if (after == std::string::npos)
+            continue;
+        std::string inner =
+            code.substr(open + 1, after - open - 2);
+        inner.erase(std::remove_if(inner.begin(), inner.end(),
+                                   [](char c) {
+                                       return std::isspace(
+                                           static_cast<unsigned char>(
+                                               c));
+                                   }),
+                    inner.end());
+        if (inner != "std::uint8_t" && inner != "uint8_t")
+            continue;
+        std::size_t i = skipWs(code, after);
+        if (i >= code.size())
+            continue;
+        char c = code[i];
+        if (c == '&' || c == '*' || c == '>' || c == ',' ||
+            c == ')' || c == ';')
+            continue;
+        out.push_back(
+            {"D3", file,
+             lineOf(code, static_cast<std::size_t>(it->position())),
+             "owning std::vector<uint8_t> on the packet path; hold a "
+             "sim::Buffer/PacketView instead, or annotate "
+             "'nectar-lint: copy-ok <why>'"});
+    }
+}
+
+// --------------------------------------------------------------------
+// D4 / D5 — schedule() call-site rules.
+// --------------------------------------------------------------------
+
+bool
+lambdaIntroAt(const std::string &code, std::size_t pos,
+              std::size_t extentBegin)
+{
+    std::size_t prev = prevNonWs(code, pos);
+    if (prev == std::string::npos || prev < extentBegin)
+        return true;
+    char c = code[prev];
+    // After an identifier, ')' or ']', a '[' is indexing.
+    return !(identChar(c) || c == ')' || c == ']');
+}
+
+void
+scanScheduleSites(const Prepared &p, const std::string &file,
+                  std::vector<Finding> &out)
+{
+    const std::string &code = p.code;
+    static const std::regex call(R"(\b(schedule|scheduleIn)\s*\()");
+    static const std::regex bareInt(
+        R"(^(0[xX][0-9a-fA-F']+|[0-9][0-9']*)([uUlL]*)$)");
+
+    for (auto it = std::sregex_iterator(code.begin(), code.end(),
+                                        call);
+         it != std::sregex_iterator(); ++it) {
+        std::size_t open =
+            static_cast<std::size_t>(it->position()) +
+            it->str().size() - 1;
+        std::size_t close = matchBracket(code, open);
+        if (close == std::string::npos)
+            continue;
+
+        // D5: first top-level argument is a bare integer literal.
+        int depth = 0;
+        std::size_t argEnd = close - 1;
+        for (std::size_t i = open + 1; i < close - 1; ++i) {
+            char c = code[i];
+            if (c == '(' || c == '[' || c == '{' || c == '<')
+                ++depth;
+            else if (c == ')' || c == ']' || c == '}' || c == '>')
+                --depth;
+            else if (c == ',' && depth == 0) {
+                argEnd = i;
+                break;
+            }
+        }
+        std::string arg = code.substr(open + 1, argEnd - open - 1);
+        std::string trimmed;
+        for (char c : arg)
+            if (!std::isspace(static_cast<unsigned char>(c)))
+                trimmed.push_back(c);
+        if (std::regex_match(trimmed, bareInt)) {
+            out.push_back(
+                {"D5", file, lineOf(code, skipWs(code, open + 1)),
+                 "bare integer time literal '" + trimmed +
+                     "' at a schedule site; use named sim::ticks "
+                     "constants (e.g. 5 * ticks::us, "
+                     "ticks::immediate)"});
+        }
+
+        // D4: by-reference capture in a lambda literal inside the
+        // argument list.
+        for (std::size_t i = open + 1; i < close - 1; ++i) {
+            if (code[i] != '[')
+                continue;
+            std::size_t end = matchBracket(code, i);
+            if (end == std::string::npos || end > close)
+                break;
+            if (!lambdaIntroAt(code, i, open + 1)) {
+                i = end - 1;
+                continue;
+            }
+            // A lambda intro is followed by '(' or '{' (or
+            // specifiers); require one within a few tokens.
+            std::size_t k = skipWs(code, end);
+            bool isLambda =
+                k < code.size() &&
+                (code[k] == '(' || code[k] == '{' ||
+                 code.compare(k, 7, "mutable") == 0 ||
+                 code.compare(k, 9, "noexcept") == 0 ||
+                 code.compare(k, 2, "->") == 0);
+            std::string captures = code.substr(i + 1, end - i - 2);
+            if (isLambda &&
+                captures.find('&') != std::string::npos) {
+                // Anchor at the call, not the lambda: multi-line
+                // calls put the lambda lines below the site the
+                // annotation naturally precedes.
+                out.push_back(
+                    {"D4", file,
+                     lineOf(code,
+                            static_cast<std::size_t>(it->position())),
+                     "by-reference lambda capture passed to "
+                     "schedule(): the deferred event may outlive the "
+                     "captured frame; capture by value or annotate "
+                     "'nectar-lint: capture-ok <why>'"});
+            }
+            i = end - 1;
+        }
+    }
+}
+
+} // namespace
+
+// --------------------------------------------------------------------
+// Public interface.
+// --------------------------------------------------------------------
+
+const char *
+ruleDescription(const std::string &rule)
+{
+    if (rule == "D1")
+        return "no wall-clock time or unseeded randomness";
+    if (rule == "D2")
+        return "no iteration over unordered containers in sim code";
+    if (rule == "D3")
+        return "no raw payload copies on the packet path";
+    if (rule == "D4")
+        return "no by-reference lambda captures into schedule()";
+    if (rule == "D5")
+        return "no bare integer time literals at schedule sites";
+    if (rule == "A1")
+        return "annotations need a known tag and a justification";
+    return "unknown rule";
+}
+
+std::vector<Finding>
+lintSource(const std::string &path, const std::string &text,
+           const Options &opts)
+{
+    Prepared p = prepare(text);
+
+    std::vector<Finding> raw;
+    Suppressions sup = parseAnnotations(p, path, raw);
+
+    scanWallClock(p, path, raw);
+    scanUnorderedIteration(p, path, raw);
+    bool onPacketPath = false;
+    for (const auto &dir : opts.packetPathDirs)
+        if (path.find(dir) != std::string::npos)
+            onPacketPath = true;
+    if (onPacketPath)
+        scanPacketCopies(p, path, raw);
+    scanScheduleSites(p, path, raw);
+
+    std::vector<Finding> out;
+    std::set<std::pair<std::string, int>> seen;
+    std::stable_sort(raw.begin(), raw.end(),
+                     [](const Finding &a, const Finding &b) {
+                         return a.line < b.line;
+                     });
+    for (auto &f : raw) {
+        if (f.rule != "A1" && sup.covers(f.rule, f.line))
+            continue;
+        if (!seen.insert({f.rule, f.line}).second)
+            continue;
+        out.push_back(std::move(f));
+    }
+    return out;
+}
+
+std::vector<Finding>
+lintFile(const std::string &path, const Options &opts)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        throw std::runtime_error("nectar-lint: cannot read " + path);
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    return lintSource(path, ss.str(), opts);
+}
+
+} // namespace nectar::lint

@@ -1,0 +1,57 @@
+#!/usr/bin/env bash
+# Full static-analysis and dynamic-checking sweep:
+#
+#   1. nectar-lint over src/ tests/ bench/ (rules D1-D5, A1);
+#   2. clang-tidy with the repo .clang-tidy config, if installed
+#      (the CI container only ships g++, so this step is skipped
+#      there — run it locally where LLVM is available);
+#   3. a NECTAR_CHECKED build (SIM_INVARIANT enabled) running the
+#      tier-1 suite;
+#   4. an address+undefined sanitizer build running the tier-1 suite.
+#
+# Any failure fails the script.  Usage: tools/run_static_analysis.sh
+# [--fast] (skip the two rebuild-and-test steps).
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+fast=0
+[[ "${1:-}" == "--fast" ]] && fast=1
+
+echo "== nectar-lint =="
+cmake -B build -S . >/dev/null
+cmake --build build --target nectar-lint -j >/dev/null
+./build/tools/nectar-lint/nectar-lint src tests bench
+
+echo "== clang-tidy =="
+if command -v clang-tidy >/dev/null 2>&1; then
+    cmake -B build -S . -DCMAKE_EXPORT_COMPILE_COMMANDS=ON >/dev/null
+    mapfile -t sources < <(git ls-files 'src/*.cc')
+    clang-tidy -p build --quiet "${sources[@]}"
+else
+    echo "clang-tidy not installed; skipping (config in .clang-tidy)"
+fi
+
+if [[ $fast -eq 1 ]]; then
+    echo "== --fast: skipping checked + sanitizer builds =="
+    exit 0
+fi
+
+echo "== NECTAR_CHECKED build (runtime invariants) =="
+cmake -B build-checked -S . -DNECTAR_CHECKED=ON >/dev/null
+cmake --build build-checked -j >/dev/null
+ctest --test-dir build-checked -L tier1 -j "$(nproc)" \
+      --output-on-failure >/dev/null
+echo "tier1 green under NECTAR_CHECKED"
+
+echo "== address+undefined sanitizer build =="
+cmake -B build-asan -S . -DNECTAR_SANITIZE=address,undefined >/dev/null
+cmake --build build-asan -j >/dev/null
+# Fatal-path tests abandon suspended detached coroutines by design;
+# see tools/lsan.supp.
+LSAN_OPTIONS="suppressions=$PWD/tools/lsan.supp" \
+    ctest --test-dir build-asan -L tier1 -j "$(nproc)" \
+          --output-on-failure >/dev/null
+echo "tier1 green under ASan+UBSan"
+
+echo "== all analysis passes clean =="
