@@ -49,7 +49,7 @@ Cab::framePacket(phys::Payload payload)
 }
 
 void
-Cab::dmaSend(std::vector<WireItem> items, std::function<void()> onDone)
+Cab::dmaSend(std::vector<WireItem> items, sim::EventFn onDone)
 {
     if (!tx)
         sim::panic(name() + ": dmaSend with no fiber attached");

@@ -101,7 +101,7 @@ class Cab : public sim::Component, public phys::FiberSink
      * @p onDone fires when the last byte has been serialized.
      */
     void dmaSend(std::vector<phys::WireItem> items,
-                 std::function<void()> onDone = {});
+                 sim::EventFn onDone = {});
 
     /** Convenience: split @p payload into chunks between SOP/EOP. */
     std::vector<phys::WireItem> framePacket(phys::Payload payload);

@@ -11,6 +11,8 @@
 
 #pragma once
 
+#include <functional>
+
 #include "sim/component.hh"
 #include "sim/coro.hh"
 #include "sim/stats.hh"
@@ -62,7 +64,7 @@ class CpuResource : public sim::Component
      * interrupt handlers).
      */
     void
-    chargeThen(sim::Tick cost, std::function<void()> fn)
+    chargeThen(sim::Tick cost, sim::EventFn fn)
     {
         sim::Tick done = charge(cost);
         eventq().schedule(done, std::move(fn),

@@ -10,8 +10,6 @@
 
 #pragma once
 
-#include <functional>
-
 #include "sim/component.hh"
 #include "sim/stats.hh"
 
@@ -36,11 +34,37 @@ class HwTimers : public sim::Component
      * @return Id usable with cancel().
      */
     TimerId
-    set(sim::Tick delay, std::function<void()> fn)
+    set(sim::Tick delay, sim::EventFn fn)
     {
         _set.add();
         return eventq().scheduleIn(delay, std::move(fn),
                                    sim::EventPriority::software);
+    }
+
+    /**
+     * Push an armed timer's expiry out to @p delay from now, keeping
+     * its callback — the Jacobson/Karn RTO pattern, where the timer is
+     * re-armed on every ack and only rarely expires.  When @p id is no
+     * longer armed (it just fired, or was never set), falls back to
+     * arming a fresh timer with @p fallback.
+     *
+     * Counts as a set (and, when re-arming, a cancel): externally the
+     * operation is indistinguishable from the cancel+set it replaces,
+     * but the engine takes a lazy no-refile fast path for the common
+     * re-arm-to-later case.
+     *
+     * @return The timer's new id (the old one is dead).
+     */
+    TimerId
+    rearm(TimerId id, sim::Tick delay, sim::EventFn fallback)
+    {
+        TimerId fresh = eventq().rearmIn(id, delay);
+        if (fresh != sim::invalidEventId) {
+            _cancelled.add();
+            _set.add();
+            return fresh;
+        }
+        return set(delay, std::move(fallback));
     }
 
     /** Disarm; returns false if already fired or cancelled. */

@@ -120,6 +120,8 @@ SocketInterface::send(transport::CabAddress dst,
     // The CAB runs the transport protocol and interrupts the node on
     // completion; the blocked process pays a context switch to wake.
     sim::Channel<bool> done(eventq());
+    // nectar-lint: capture-ok done lives in this coroutine frame,
+    // which stays suspended at done.pop() until the interrupt fires
     sim::spawn([](transport::Transport &tp, transport::CabAddress dst,
                   std::uint16_t mb, std::vector<std::uint8_t> data,
                   bool reliable, Node &host,

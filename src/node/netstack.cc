@@ -71,8 +71,14 @@ void
 NodeNetStack::armTimer(std::uint16_t peer, std::uint16_t port,
                        SenderFlow &flow)
 {
-    if (eventq().pending(flow.timer))
-        eventq().cancel(flow.timer);
+    // Slide the deadline in place when the timer is still armed (the
+    // engine's lazy re-arm fast path); fall back to a fresh event.
+    sim::EventId fresh =
+        eventq().rearmIn(flow.timer, cfg.retransmitTimeout);
+    if (fresh != sim::invalidEventId) {
+        flow.timer = fresh;
+        return;
+    }
     flow.timer = eventq().scheduleIn(
         cfg.retransmitTimeout,
         [this, peer, port] { onTimeout(peer, port); },

@@ -14,6 +14,7 @@
 
 #pragma once
 
+#include <functional>
 #include <string>
 
 #include "cab/cpu.hh"

@@ -48,7 +48,7 @@ class Component
   protected:
     /** Schedule a member callback @p delay ticks from now. */
     EventId
-    scheduleIn(Tick delay, std::function<void()> fn,
+    scheduleIn(Tick delay, EventFn fn,
                EventPriority prio = EventPriority::normal)
     {
         return _eventq.scheduleIn(delay, std::move(fn), prio);

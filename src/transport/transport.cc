@@ -151,14 +151,15 @@ void
 Transport::armTimer(CabAddress peer, std::uint16_t mb, SenderFlow &flow)
 {
     auto &timers = _kernel.board().timers();
-    if (timers.armed(flow.timer))
-        timers.cancel(flow.timer);
     _kernel.board().cpu().charge(_kernel.costs().timerOp);
     if (flow.rto == 0)
         flow.rto = cfg.retransmitTimeout;
     Tick rto = cfg.adaptiveRto ? flow.rto : cfg.retransmitTimeout;
-    flow.timer = timers.set(rto,
-                            [this, peer, mb] { onTimeout(peer, mb); });
+    // Re-arm in place: on the ack-advances-window path the engine
+    // just slides the deadline (no unlink/refile) instead of the
+    // cancel+set churn this code used to do.
+    flow.timer = timers.rearm(flow.timer, rto,
+                              [this, peer, mb] { onTimeout(peer, mb); });
 }
 
 void

@@ -1,0 +1,147 @@
+/**
+ * @file
+ * The seed discrete-event queue, frozen as a reference model.
+ *
+ * This is the pre-overhaul `sim::EventQueue` representation —
+ * `std::priority_queue<Entry>` of owning `std::function` entries plus
+ * an `unordered_set` of live ids — kept verbatim (modulo the name) so
+ * that:
+ *
+ *  - `test_golden_fingerprint.cc` can drive the production engine and
+ *    this model with an identical schedule/cancel workload and assert
+ *    the two event-trace fingerprints match bit-for-bit, and
+ *  - `bench_engine` can report the production engine's throughput as
+ *    a ratio over the seed representation on the same machine.
+ *
+ * Do not "improve" this file: its value is that it stays the seed.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+#include "sim/event_queue.hh" // sim::EventPriority
+#include "sim/logging.hh"
+#include "sim/types.hh"
+
+namespace nectar::testutil {
+
+/** The seed engine's (tick, priority, sequence) scheduler. */
+class LegacyEventQueue
+{
+  public:
+    using EventId = std::uint64_t;
+
+    LegacyEventQueue() = default;
+
+    LegacyEventQueue(const LegacyEventQueue &) = delete;
+    LegacyEventQueue &operator=(const LegacyEventQueue &) = delete;
+
+    sim::Tick now() const { return _now; }
+
+    EventId
+    schedule(sim::Tick when, std::function<void()> fn,
+             sim::EventPriority prio = sim::EventPriority::normal)
+    {
+        if (when < _now)
+            sim::panic("LegacyEventQueue::schedule: scheduling in "
+                       "the past");
+        if (!fn)
+            sim::panic("LegacyEventQueue::schedule: empty callback");
+
+        EventId id = nextId++;
+        heap.push(Entry{when, static_cast<int>(prio), id,
+                        std::move(fn)});
+        live.insert(id);
+        return id;
+    }
+
+    EventId
+    scheduleIn(sim::Tick delay, std::function<void()> fn,
+               sim::EventPriority prio = sim::EventPriority::normal)
+    {
+        return schedule(_now + delay, std::move(fn), prio);
+    }
+
+    bool cancel(EventId id) { return live.erase(id) > 0; }
+
+    bool pending(EventId id) const { return live.count(id) > 0; }
+
+    std::size_t pendingCount() const { return live.size(); }
+
+    bool empty() const { return pendingCount() == 0; }
+
+    std::uint64_t
+    run(std::uint64_t limit = 500'000'000)
+    {
+        std::uint64_t n = 0;
+        while (n < limit && step())
+            ++n;
+        return n;
+    }
+
+    std::uint64_t executedCount() const { return _executed; }
+
+    std::uint64_t fingerprint() const { return _fingerprint; }
+
+  private:
+    struct Entry {
+        sim::Tick when;
+        int prio;
+        EventId id;
+        std::function<void()> fn;
+    };
+
+    struct Later {
+        bool
+        operator()(const Entry &a, const Entry &b) const
+        {
+            if (a.when != b.when)
+                return a.when > b.when;
+            if (a.prio != b.prio)
+                return a.prio > b.prio;
+            return a.id > b.id;
+        }
+    };
+
+    bool
+    step()
+    {
+        while (!heap.empty()) {
+            Entry e = heap.top();
+            heap.pop();
+            if (!live.erase(e.id))
+                continue; // cancelled
+            _now = e.when;
+            ++_executed;
+            mixFingerprint(static_cast<std::uint64_t>(e.when));
+            mixFingerprint(static_cast<std::uint64_t>(e.prio));
+            mixFingerprint(e.id);
+            e.fn();
+            return true;
+        }
+        return false;
+    }
+
+    void
+    mixFingerprint(std::uint64_t v)
+    {
+        for (int i = 0; i < 8; ++i) {
+            _fingerprint ^= (v >> (8 * i)) & 0xffU;
+            _fingerprint *= 0x100000001b3ULL;
+        }
+    }
+
+    sim::Tick _now = 0;
+    EventId nextId = 1;
+    std::uint64_t _executed = 0;
+    std::uint64_t _fingerprint = 0xcbf29ce484222325ULL; // FNV offset
+    std::priority_queue<Entry, std::vector<Entry>, Later> heap;
+    std::unordered_set<EventId> live;
+};
+
+} // namespace nectar::testutil

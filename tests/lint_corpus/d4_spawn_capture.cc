@@ -1,0 +1,17 @@
+// D4 corpus: by-reference capture handed to sim::spawn().  The
+// coroutine frame suspends across ticks exactly like a scheduled
+// event, so the same capture rule applies.  A task argument built
+// from a bare integer must NOT trip D5: spawn's first argument is a
+// Task, not a tick.
+// Not compiled; linted by test_nectar_lint only.
+#include "sim/task.hh"
+
+void
+launch(nectar::sim::EventQueue &eq)
+{
+    int hits = 0;
+    nectar::sim::spawn(wrap([&hits] { ++hits; }));
+    nectar::sim::spawn(
+        count(7, [&] { ++hits; }));
+    nectar::sim::spawn(plainTask(42)); // bare int arg: no D5
+}

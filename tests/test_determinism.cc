@@ -2,158 +2,27 @@
  * @file
  * Determinism harness: same seed, same event trace.
  *
- * Each scenario below is a compact replica of a tier-1 benchmark
- * workload (the E9 packet pipeline and the C1/C2 collectives from
- * bench/).  A scenario is run twice from scratch and must produce an
- * identical event-trace fingerprint — the rolling FNV-1a hash the
- * EventQueue folds over (when, priority, id) of every executed event.
- * Any wall-clock leak, unseeded randomness, or hash-order-dependent
- * iteration shows up here as a fingerprint mismatch long before it
- * would surface as a flaky benchmark number.
+ * Each scenario (tests/helpers/determinism_scenarios.hh) is a compact
+ * replica of a tier-1 benchmark workload.  A scenario is run twice
+ * from scratch and must produce an identical event-trace fingerprint —
+ * the rolling FNV-1a hash the EventQueue folds over (when, priority,
+ * sequence) of every executed event.  Any wall-clock leak, unseeded
+ * randomness, or hash-order-dependent iteration shows up here as a
+ * fingerprint mismatch long before it would surface as a flaky
+ * benchmark number.
+ *
+ * The companion golden test (test_golden_fingerprint.cc) pins the
+ * *absolute* fingerprints of the same scenarios, so a change that is
+ * self-consistent but reorders events relative to the seed engine is
+ * also caught.
  */
-
-#include <memory>
-#include <vector>
 
 #include <gtest/gtest.h>
 
-#include "collectives/communicator.hh"
-#include "collectives/group.hh"
-#include "nectarine/nectarine.hh"
-#include "node/node.hh"
-#include "sim/coro.hh"
-#include "workload/allreduce.hh"
-
-// nectar-lint-file: capture-ok test frames drive eq.run() to
-// completion before any captured locals leave scope
+#include "helpers/determinism_scenarios.hh"
 
 using namespace nectar;
-using nectarine::NectarSystem;
-using nectarine::TaskContext;
-using sim::Task;
-using sim::Tick;
-
-namespace {
-
-/** What one scenario run looked like, trace-wise. */
-struct Trace
-{
-    std::uint64_t fingerprint = 0;
-    std::uint64_t executed = 0;
-    Tick end = 0;
-
-    bool
-    operator==(const Trace &o) const
-    {
-        return fingerprint == o.fingerprint && executed == o.executed &&
-               end == o.end;
-    }
-};
-
-/** E9 replica: pipelined node-to-node transfer over one HUB. */
-Trace
-packetPipelineOnce(std::uint32_t totalBytes)
-{
-    sim::copyStats().reset();
-    sim::BufferArena::instance().resetStats();
-    sim::EventQueue eq;
-    auto sys = NectarSystem::singleHub(eq, 2);
-    node::Node src(eq, "src"), dst(eq, "dst");
-    auto &mb = sys->site(1).kernel->createMailbox("in", 2 << 20, 10);
-
-    const std::uint32_t chunk = 896;
-    sim::spawn([](cabos::Mailbox &mb, node::Node &dst,
-                  std::uint32_t total) -> Task<void> {
-        std::uint32_t got = 0;
-        while (got < total) {
-            auto m = co_await mb.get();
-            got += static_cast<std::uint32_t>(m.size());
-            co_await dst.vme().transferAwait(
-                static_cast<std::uint32_t>(m.size()));
-        }
-    }(mb, dst, totalBytes));
-
-    sim::spawn([](sim::EventQueue &eq, node::Node &src,
-                  transport::Transport &tp, std::uint32_t total,
-                  std::uint32_t chunk) -> Task<void> {
-        std::uint32_t sent = 0;
-        sim::Channel<bool> window(eq);
-        int inflight = 0;
-        while (sent < total) {
-            std::uint32_t n = std::min(chunk, total - sent);
-            sent += n;
-            co_await src.vme().transferAwait(n);
-            ++inflight;
-            sim::spawn([](transport::Transport &tp, std::uint32_t n,
-                          sim::Channel<bool> &window,
-                          int &inflight) -> Task<void> {
-                co_await tp.sendReliable(
-                    2, 10, std::vector<std::uint8_t>(n, 1));
-                --inflight;
-                window.push(true);
-            }(tp, n, window, inflight));
-            while (inflight >= 4)
-                co_await window.pop();
-        }
-        while (inflight > 0)
-            co_await window.pop();
-    }(eq, src, *sys->site(0).transport, totalBytes, chunk));
-
-    eq.run();
-    return Trace{eq.fingerprint(), eq.executedCount(), eq.now()};
-}
-
-/** C1 replica: broadcast to a group over hardware multicast. */
-Trace
-broadcastOnce(int members, std::uint32_t bytes)
-{
-    sim::EventQueue eq;
-    auto sys = NectarSystem::singleHub(eq, members);
-    nectarine::Nectarine api(*sys);
-    collective::GroupDirectory groups;
-    auto gid = std::make_shared<collective::GroupId>(0);
-    auto *groupsp = &groups;
-    std::vector<nectarine::TaskId> ids;
-    for (int r = 0; r < members; ++r) {
-        ids.push_back(api.createTask(
-            static_cast<std::size_t>(r), "bc" + std::to_string(r),
-            [gid, groupsp, bytes](TaskContext &ctx) -> Task<void> {
-                collective::Communicator comm(ctx, *groupsp, *gid,
-                                              {});
-                std::vector<std::uint8_t> data;
-                if (comm.rank() == 0)
-                    data.assign(bytes, 0xAB);
-                co_await comm.broadcast(0, data);
-            }));
-    }
-    *gid = groups.create("bcast", ids);
-    eq.run();
-    return Trace{eq.fingerprint(), eq.executedCount(), eq.now()};
-}
-
-/** C2 replica: a short allreduce over the collectives subsystem. */
-Trace
-allreduceOnce(int members, std::uint32_t bytes, int rounds)
-{
-    sim::EventQueue eq;
-    auto sys = NectarSystem::singleHub(eq, members);
-    nectarine::Nectarine api(*sys);
-    collective::GroupDirectory groups;
-    workload::AllreduceConfig cfg;
-    cfg.members = members;
-    cfg.bytes = bytes;
-    cfg.rounds = rounds;
-    std::vector<std::size_t> sites(static_cast<std::size_t>(members));
-    for (int i = 0; i < members; ++i)
-        sites[static_cast<std::size_t>(i)] =
-            static_cast<std::size_t>(i);
-    workload::AllreduceWorkload w(api, groups, sites, cfg);
-    eq.run();
-    EXPECT_EQ(w.report().okMembers, members);
-    return Trace{eq.fingerprint(), eq.executedCount(), eq.now()};
-}
-
-} // namespace
+using nectar::testutil::Trace;
 
 TEST(Determinism, FingerprintAdvancesAndIsOrderSensitive)
 {
@@ -175,8 +44,8 @@ TEST(Determinism, FingerprintAdvancesAndIsOrderSensitive)
 
 TEST(Determinism, PacketPipelineTraceIsReproducible)
 {
-    Trace a = packetPipelineOnce(32 * 1024);
-    Trace b = packetPipelineOnce(32 * 1024);
+    Trace a = testutil::packetPipelineOnce(32 * 1024);
+    Trace b = testutil::packetPipelineOnce(32 * 1024);
     EXPECT_GT(a.executed, 0u);
     EXPECT_GT(a.end, 0);
     EXPECT_EQ(a, b);
@@ -184,16 +53,16 @@ TEST(Determinism, PacketPipelineTraceIsReproducible)
 
 TEST(Determinism, BroadcastTraceIsReproducible)
 {
-    Trace a = broadcastOnce(4, 512);
-    Trace b = broadcastOnce(4, 512);
+    Trace a = testutil::broadcastOnce(4, 512);
+    Trace b = testutil::broadcastOnce(4, 512);
     EXPECT_GT(a.executed, 0u);
     EXPECT_EQ(a, b);
 }
 
 TEST(Determinism, AllreduceTraceIsReproducible)
 {
-    Trace a = allreduceOnce(4, 256, 2);
-    Trace b = allreduceOnce(4, 256, 2);
+    Trace a = testutil::allreduceOnce(4, 256, 2);
+    Trace b = testutil::allreduceOnce(4, 256, 2);
     EXPECT_GT(a.executed, 0u);
     EXPECT_EQ(a, b);
 }

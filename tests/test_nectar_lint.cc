@@ -79,6 +79,14 @@ TEST(LintCorpus, D4ReferenceCapturesFire)
               (Expected{{"D4", 9}, {"D4", 11}}));
 }
 
+TEST(LintCorpus, D4SpawnReferenceCapturesFire)
+{
+    // spawn() sites obey the same capture rule as schedule(); the
+    // bare-int task argument on the last line must not trip D5.
+    EXPECT_EQ(lintCorpus("d4_spawn_capture.cc"),
+              (Expected{{"D4", 13}, {"D4", 14}}));
+}
+
 TEST(LintCorpus, D5BareTickLiteralsFire)
 {
     // Digit separators, hex and suffixed literals all count as bare.

@@ -511,13 +511,20 @@ scanScheduleSites(const Prepared &p, const std::string &file,
                   std::vector<Finding> &out)
 {
     const std::string &code = p.code;
-    static const std::regex call(R"(\b(schedule|scheduleIn)\s*\()");
+    static const std::regex call(
+        R"(\b(schedule|scheduleIn|spawn)\s*\()");
     static const std::regex bareInt(
         R"(^(0[xX][0-9a-fA-F']+|[0-9][0-9']*)([uUlL]*)$)");
 
     for (auto it = std::sregex_iterator(code.begin(), code.end(),
                                         call);
          it != std::sregex_iterator(); ++it) {
+        const std::string callee = (*it)[1].str();
+        // spawn() defers its argument like schedule() does (the
+        // coroutine frame runs across later ticks), so D4's capture
+        // rule applies — but its argument is a Task, not a tick, so
+        // D5's bare-integer rule does not.
+        const bool isSpawn = callee == "spawn";
         std::size_t open =
             static_cast<std::size_t>(it->position()) +
             it->str().size() - 1;
@@ -544,7 +551,7 @@ scanScheduleSites(const Prepared &p, const std::string &file,
         for (char c : arg)
             if (!std::isspace(static_cast<unsigned char>(c)))
                 trimmed.push_back(c);
-        if (std::regex_match(trimmed, bareInt)) {
+        if (!isSpawn && std::regex_match(trimmed, bareInt)) {
             out.push_back(
                 {"D5", file, lineOf(code, skipWs(code, open + 1)),
                  "bare integer time literal '" + trimmed +
@@ -584,10 +591,13 @@ scanScheduleSites(const Prepared &p, const std::string &file,
                     {"D4", file,
                      lineOf(code,
                             static_cast<std::size_t>(it->position())),
-                     "by-reference lambda capture passed to "
-                     "schedule(): the deferred event may outlive the "
-                     "captured frame; capture by value or annotate "
-                     "'nectar-lint: capture-ok <why>'"});
+                     "by-reference lambda capture passed to " +
+                         callee +
+                         "(): the deferred " +
+                         (isSpawn ? "coroutine" : "event") +
+                         " may outlive the captured frame; capture "
+                         "by value or annotate "
+                         "'nectar-lint: capture-ok <why>'"});
             }
             i = end - 1;
         }
@@ -610,7 +620,8 @@ ruleDescription(const std::string &rule)
     if (rule == "D3")
         return "no raw payload copies on the packet path";
     if (rule == "D4")
-        return "no by-reference lambda captures into schedule()";
+        return "no by-reference lambda captures into "
+               "schedule()/spawn()";
     if (rule == "D5")
         return "no bare integer time literals at schedule sites";
     if (rule == "A1")
