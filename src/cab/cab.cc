@@ -1,5 +1,7 @@
 #include "cab.hh"
 
+#include <algorithm>
+
 #include "sim/logging.hh"
 #include "sim/stats.hh"
 
@@ -72,8 +74,10 @@ Cab::dmaSend(std::vector<WireItem> items, sim::EventFn onDone)
         _stats.txPackets.add();
 
     // The DMA controller raises completion when the last byte leaves
-    // the board: the link knows when that is.
-    Tick done = tx->busyUntil();
+    // the board: the link knows when that is.  A dark fiber consumes
+    // no wire time (send() drops without advancing the busy horizon),
+    // so completion may be due immediately rather than in the past.
+    Tick done = std::max(now(), tx->busyUntil());
     if (onDone) {
         eventq().schedule(done, std::move(onDone),
                           sim::EventPriority::hardware);

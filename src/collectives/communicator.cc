@@ -311,7 +311,59 @@ Communicator::okResult() const
 // ----- Operations ----------------------------------------------------
 
 sim::Task<Result>
+Communicator::traced(sim::Task<Result> inner)
+{
+    std::uint32_t startEpoch = groups.epoch(gid);
+    if (auto *p = groups.probe())
+        p->onCollectiveStart(gid, _rank);
+    Result r = co_await inner;
+    if (auto *p = groups.probe())
+        p->onCollectiveEnd(gid, _rank, r.ok,
+                           static_cast<std::uint8_t>(r.error),
+                           startEpoch, r.epoch);
+    co_return r;
+}
+
+sim::Task<Result>
 Communicator::broadcastView(int root, sim::PacketView &io)
+{
+    return traced(broadcastViewInner(root, io));
+}
+
+sim::Task<Result>
+Communicator::broadcast(int root, std::vector<std::uint8_t> &data)
+{
+    return traced(broadcastInner(root, data));
+}
+
+sim::Task<Result>
+Communicator::reduce(int root, ReduceOp op,
+                     std::vector<std::uint8_t> &data)
+{
+    return traced(reduceInner(root, op, data));
+}
+
+sim::Task<Result>
+Communicator::allreduce(ReduceOp op, std::vector<std::uint8_t> &data)
+{
+    return traced(allreduceInner(op, data));
+}
+
+sim::Task<Result>
+Communicator::gather(int root, const std::vector<std::uint8_t> &mine,
+                     std::vector<std::vector<std::uint8_t>> *out)
+{
+    return traced(gatherInner(root, mine, out));
+}
+
+sim::Task<Result>
+Communicator::barrier()
+{
+    return traced(barrierInner());
+}
+
+sim::Task<Result>
+Communicator::broadcastViewInner(int root, sim::PacketView &io)
 {
     std::uint32_t opSeq = nextOpSeq++;
     if (!groups.info(gid).alive)
@@ -345,22 +397,22 @@ Communicator::broadcastView(int root, sim::PacketView &io)
 }
 
 sim::Task<Result>
-Communicator::broadcast(int root, std::vector<std::uint8_t> &data)
+Communicator::broadcastInner(int root, std::vector<std::uint8_t> &data)
 {
     if (_rank == root) {
         sim::PacketView v{std::vector<std::uint8_t>(data)};
-        co_return co_await broadcastView(root, v);
+        co_return co_await broadcastViewInner(root, v);
     }
     sim::PacketView v;
-    Result r = co_await broadcastView(root, v);
+    Result r = co_await broadcastViewInner(root, v);
     if (r.ok)
         data = v.toVector(); // the one application-boundary copy
     co_return r;
 }
 
 sim::Task<Result>
-Communicator::reduce(int root, ReduceOp op,
-                     std::vector<std::uint8_t> &data)
+Communicator::reduceInner(int root, ReduceOp op,
+                          std::vector<std::uint8_t> &data)
 {
     std::uint32_t opSeq = nextOpSeq++;
     if (!groups.info(gid).alive)
@@ -393,7 +445,8 @@ Communicator::reduce(int root, ReduceOp op,
 }
 
 sim::Task<Result>
-Communicator::allreduce(ReduceOp op, std::vector<std::uint8_t> &data)
+Communicator::allreduceInner(ReduceOp op,
+                             std::vector<std::uint8_t> &data)
 {
     if (!groups.info(gid).alive)
         co_return Result{false, CollectiveError::destroyed,
@@ -421,10 +474,10 @@ Communicator::allreduce(ReduceOp op, std::vector<std::uint8_t> &data)
                                                   epoch);
     }
     // Fallback: binomial reduce to rank 0, hardware broadcast back.
-    Result r = co_await reduce(0, op, data);
+    Result r = co_await reduceInner(0, op, data);
     if (!r.ok)
         co_return r;
-    co_return co_await broadcast(0, data);
+    co_return co_await broadcastInner(0, data);
 }
 
 sim::Task<Result>
@@ -575,8 +628,9 @@ Communicator::allreduceReduceScatter(ReduceOp op,
 }
 
 sim::Task<Result>
-Communicator::gather(int root, const std::vector<std::uint8_t> &mine,
-                     std::vector<std::vector<std::uint8_t>> *out)
+Communicator::gatherInner(int root,
+                          const std::vector<std::uint8_t> &mine,
+                          std::vector<std::vector<std::uint8_t>> *out)
 {
     std::uint32_t opSeq = nextOpSeq++;
     if (!groups.info(gid).alive)
@@ -612,7 +666,7 @@ Communicator::gather(int root, const std::vector<std::uint8_t> &mine,
 }
 
 sim::Task<Result>
-Communicator::barrier()
+Communicator::barrierInner()
 {
     std::uint32_t opSeq = nextOpSeq++;
     if (!groups.info(gid).alive)

@@ -207,6 +207,26 @@ class Communicator
 
     Result okResult() const;
 
+    /**
+     * Run @p inner bracketed by CollectiveProbe start/end hooks
+     * (exactly one pair per application-visible operation; internal
+     * delegation — broadcast→broadcastView, the allreduce fallback —
+     * uses the Inner variants directly).
+     */
+    sim::Task<Result> traced(sim::Task<Result> inner);
+
+    sim::Task<Result> broadcastInner(int root,
+                                     std::vector<std::uint8_t> &data);
+    sim::Task<Result> broadcastViewInner(int root, sim::PacketView &io);
+    sim::Task<Result> reduceInner(int root, ReduceOp op,
+                                  std::vector<std::uint8_t> &data);
+    sim::Task<Result> allreduceInner(ReduceOp op,
+                                     std::vector<std::uint8_t> &data);
+    sim::Task<Result>
+    gatherInner(int root, const std::vector<std::uint8_t> &mine,
+                std::vector<std::vector<std::uint8_t>> *out);
+    sim::Task<Result> barrierInner();
+
     sim::Task<Result> allreduceRecursiveDoubling(
         ReduceOp op, std::vector<std::uint8_t> &data,
         std::uint32_t opSeq, std::uint16_t epoch);

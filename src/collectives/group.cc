@@ -100,6 +100,8 @@ GroupDirectory::reportFailure(GroupId gid, std::uint32_t fromEpoch,
         return false; // another survivor already bumped it
     ++g.epoch;
     _epochBumps.add();
+    if (_probe)
+        _probe->onEpochBump(gid, g.epoch);
     if (suspect &&
         std::find(g.suspects.begin(), g.suspects.end(), *suspect) ==
             g.suspects.end())

@@ -34,6 +34,35 @@ namespace nectar::collective {
 /** Deterministic group identity (creation order, starting at 1). */
 using GroupId = std::uint32_t;
 
+/**
+ * Observation hooks for collective-operation accounting.  The chaos
+ * oracle implements this to assert that every collective a member
+ * starts terminates (completes, or fails with an error and a clean
+ * epoch), and that epoch bumps are monotonic.  Hooks fire on the
+ * deterministic event order; a null probe costs one pointer test.
+ */
+class CollectiveProbe
+{
+  public:
+    virtual ~CollectiveProbe() = default;
+
+    /** Rank @p rank entered a collective operation on @p gid. */
+    virtual void onCollectiveStart(GroupId gid, int rank) = 0;
+
+    /**
+     * ... and left it.  @p error is the CollectiveError as uint8 (0
+     * = none); @p startEpoch / @p endEpoch bracket the group epoch
+     * over the operation.
+     */
+    virtual void onCollectiveEnd(GroupId gid, int rank, bool ok,
+                                 std::uint8_t error,
+                                 std::uint32_t startEpoch,
+                                 std::uint32_t endEpoch) = 0;
+
+    /** The directory bumped @p gid's epoch to @p newEpoch. */
+    virtual void onEpochBump(GroupId gid, std::uint32_t newEpoch) = 0;
+};
+
 /** One group's membership and failure-detection state. */
 struct GroupInfo
 {
@@ -96,6 +125,13 @@ class GroupDirectory
     std::uint64_t epochBumps() const { return _epochBumps.value(); }
 
     /**
+     * Attach an observation probe (nullptr detaches).  Shared by
+     * every Communicator using this directory.
+     */
+    void setProbe(CollectiveProbe *p) { _probe = p; }
+    CollectiveProbe *probe() const { return _probe; }
+
+    /**
      * The per-CAB mailbox id a group's member listens on.  One id
      * per group, identical on every member CAB (mailbox namespaces
      * are per CAB) and disjoint from Nectarine task inboxes.
@@ -115,6 +151,7 @@ class GroupDirectory
     std::map<GroupId, GroupInfo> groups;
     GroupId nextId = 1;
     sim::Counter _epochBumps;
+    CollectiveProbe *_probe = nullptr;
 };
 
 } // namespace nectar::collective

@@ -1,6 +1,10 @@
 #include "chaos.hh"
 
+#include <algorithm>
+#include <array>
+#include <map>
 #include <sstream>
+#include <utility>
 
 #include "sim/logging.hh"
 
@@ -66,17 +70,160 @@ describe(const FaultEvent &e)
 } // namespace
 
 ChaosController::ChaosController(nectarine::NectarSystem &system,
-                                 const FaultPlan &faultPlan)
+                                 const FaultPlan &faultPlan,
+                                 PlanPolicy policy)
     : sys(system), plan(faultPlan),
       tracer(system.eventq(), "chaos." + plan.name)
 {
+    for (const auto &e : plan.events)
+        validate(e);
+    checkStateMachines(policy);
     for (std::size_t i = 0; i < plan.events.size(); ++i) {
-        validate(plan.events[i]);
         sys.eventq().schedule(
             plan.events[i].at,
             [this, i] { execute(plan.events[i], i); },
             sim::EventPriority::first);
     }
+}
+
+void
+ChaosController::checkStateMachines(PlanPolicy policy)
+{
+    // Walk events in execution order — by time, plan order breaking
+    // ties (the event queue is FIFO within one tick and priority) —
+    // and track each target's state.  An event that contradicts the
+    // state (down-while-down, overlapping burst windows on one fiber,
+    // restore-without-fault, ...) is fatal under strict, dropped
+    // under normalize.
+    std::vector<std::size_t> order(plan.events.size());
+    for (std::size_t i = 0; i < order.size(); ++i)
+        order[i] = i;
+    std::stable_sort(order.begin(), order.end(),
+                     [this](std::size_t a, std::size_t b) {
+                         return plan.events[a].at < plan.events[b].at;
+                     });
+
+    std::map<std::pair<int, int>, bool> hubLinkDown, portStuck;
+    std::map<int, bool> cabDown, cabCrashed;
+    // Per-site burst state, one flag per attachment fiber.
+    std::map<int, std::array<bool, 2>> bursting; // [toHub, fromHub]
+
+    std::vector<char> drop(plan.events.size(), 0);
+    for (std::size_t i : order) {
+        const FaultEvent &e = plan.events[i];
+        const char *why = nullptr;
+        switch (e.action) {
+          case Action::hubLinkDown: {
+            bool &down = hubLinkDown[{e.hub, e.port}];
+            if (down)
+                why = "link already down";
+            else
+                down = true;
+            break;
+          }
+          case Action::hubLinkUp: {
+            bool &down = hubLinkDown[{e.hub, e.port}];
+            if (!down)
+                why = "link not down";
+            else
+                down = false;
+            break;
+          }
+          case Action::cabLinkDown: {
+            bool &down = cabDown[e.site];
+            if (down)
+                why = "attachment already down";
+            else
+                down = true;
+            break;
+          }
+          case Action::cabLinkUp: {
+            bool &down = cabDown[e.site];
+            if (!down)
+                why = "attachment not down";
+            else
+                down = false;
+            break;
+          }
+          case Action::burstStart: {
+            auto &b = bursting[e.site];
+            bool toHub = e.dir != Direction::fromHub;
+            bool fromHub = e.dir != Direction::toHub;
+            if ((toHub && b[0]) || (fromHub && b[1])) {
+                why = "overlapping burst window";
+            } else {
+                if (toHub)
+                    b[0] = true;
+                if (fromHub)
+                    b[1] = true;
+            }
+            break;
+          }
+          case Action::burstEnd: {
+            auto &b = bursting[e.site];
+            bool toHub = e.dir != Direction::fromHub;
+            bool fromHub = e.dir != Direction::toHub;
+            if ((toHub && !b[0]) || (fromHub && !b[1])) {
+                why = "no burst window open";
+            } else {
+                if (toHub)
+                    b[0] = false;
+                if (fromHub)
+                    b[1] = false;
+            }
+            break;
+          }
+          case Action::hubPortStuck: {
+            bool &stuck = portStuck[{e.hub, e.port}];
+            if (stuck)
+                why = "port already stuck";
+            else
+                stuck = true;
+            break;
+          }
+          case Action::hubPortRestore: {
+            bool &stuck = portStuck[{e.hub, e.port}];
+            if (!stuck)
+                why = "port not stuck";
+            else
+                stuck = false;
+            break;
+          }
+          case Action::cabCrash: {
+            bool &crashed = cabCrashed[e.site];
+            if (crashed)
+                why = "CAB already crashed";
+            else
+                crashed = true;
+            break;
+          }
+          case Action::cabRestart: {
+            bool &crashed = cabCrashed[e.site];
+            if (!crashed)
+                why = "CAB not crashed";
+            else
+                crashed = false;
+            break;
+          }
+        }
+        if (!why)
+            continue;
+        if (policy == PlanPolicy::strict)
+            sim::fatal("FaultPlan '" + plan.name + "': " + why +
+                       " at [" + std::to_string(e.at) + "] " +
+                       describe(e));
+        drop[i] = 1;
+    }
+
+    std::vector<FaultEvent> kept;
+    kept.reserve(plan.events.size());
+    for (std::size_t i = 0; i < plan.events.size(); ++i) {
+        if (drop[i])
+            ++dropped;
+        else
+            kept.push_back(plan.events[i]);
+    }
+    plan.events = std::move(kept);
 }
 
 void
@@ -207,6 +354,7 @@ ChaosController::report() const
     r.name = plan.name;
     r.seed = plan.seed;
     r.log = log;
+    r.planEventsDropped = dropped;
 
     sim::Histogram recovery;
     for (std::size_t i = 0; i < sys.siteCount(); ++i) {
@@ -220,6 +368,8 @@ ChaosController::report() const
         r.karnSuppressed += st.karnSuppressed.value();
         r.flowResyncs += st.flowResyncs.value();
         r.staleAcks += st.staleAcks.value();
+        r.flowEpochBumps += st.flowEpochBumps.value();
+        r.mcastMemberFailures += st.mcastMemberFailures.value();
         r.unroutable += st.unroutable.value();
         r.crashDrops += st.crashDrops.value();
         for (double s : st.recoveryNs.rawSamples())

@@ -20,22 +20,39 @@
 
 namespace nectar::fault {
 
+/**
+ * How the controller treats a plan whose events contradict the
+ * per-target state machines (down-while-already-down, overlapping
+ * burst windows on one fiber, restore-without-fault, ...).
+ */
+enum class PlanPolicy
+{
+    strict,    ///< Fatal error naming the offending event.
+    normalize, ///< Drop the offending events (counted in the report).
+};
+
 /** Executes one FaultPlan against one NectarSystem. */
 class ChaosController
 {
   public:
     /**
      * Validates the plan's targets against the system (fatal on a
-     * nonexistent hub, port, or site) and schedules every event.
+     * nonexistent hub, port, or site), checks its event sequence
+     * against each target's state machine under @p policy, and
+     * schedules every surviving event.
      */
     ChaosController(nectarine::NectarSystem &system,
-                    const FaultPlan &plan);
+                    const FaultPlan &plan,
+                    PlanPolicy policy = PlanPolicy::strict);
 
     /** Attach a trace sink for per-event records. */
     void attachTracer(sim::TraceSink &sink) { tracer.attach(sink); }
 
     /** Fault events executed so far. */
     std::size_t eventsExecuted() const { return executed; }
+
+    /** Events removed under PlanPolicy::normalize. */
+    std::size_t planEventsDropped() const { return dropped; }
 
     /**
      * Aggregate a report over the whole system (callable at any
@@ -45,6 +62,7 @@ class ChaosController
 
   private:
     void validate(const FaultEvent &e) const;
+    void checkStateMachines(PlanPolicy policy);
     void execute(const FaultEvent &e, std::size_t index);
 
     /** Fibers a site-directed fiber fault applies to. */
@@ -58,6 +76,7 @@ class ChaosController
     FaultPlan plan;
     sim::Tracer tracer;
     std::size_t executed = 0;
+    std::size_t dropped = 0;
     std::vector<CampaignReport::Entry> log;
 };
 

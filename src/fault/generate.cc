@@ -1,0 +1,185 @@
+#include "fault/generate.hh"
+
+#include <algorithm>
+#include <map>
+#include <string>
+
+#include "nectarine/system.hh"
+#include "sim/logging.hh"
+#include "sim/random.hh"
+
+namespace nectar::fault {
+
+SystemShape
+SystemShape::of(nectarine::NectarSystem &sys)
+{
+    SystemShape s;
+    s.numHubs = sys.topo().numHubs();
+    for (const auto &link : sys.topo().hubLinks())
+        s.hubLinks.emplace_back(link.a, link.pa);
+    for (std::size_t i = 0; i < sys.siteCount(); ++i) {
+        const auto &at = sys.site(i).at;
+        s.cabPorts.emplace_back(at.hubIndex, at.port);
+    }
+    return s;
+}
+
+namespace {
+
+/** Episode kinds; each expands to a fault/heal event pair. */
+enum class Episode
+{
+    hubLinkFlap,  // hubLinkDown + hubLinkUp
+    cabLinkFlap,  // cabLinkDown + cabLinkUp
+    burstWindow,  // burstStart + burstEnd
+    stuckPort,    // hubPortStuck + hubPortRestore
+    crashRestart, // cabCrash + cabRestart
+};
+
+/** Per-target key for the non-overlap bookkeeping. */
+std::string
+targetKey(Episode kind, int a, int b)
+{
+    return std::to_string(static_cast<int>(kind)) + ":" +
+           std::to_string(a) + ":" + std::to_string(b);
+}
+
+} // namespace
+
+PlanGenerator::PlanGenerator(const SystemShape &shape_,
+                             const GeneratorConfig &config)
+    : shape(shape_), cfg(config)
+{
+    if (shape.cabPorts.empty())
+        sim::fatal("PlanGenerator: shape has no sites");
+    if (cfg.minEpisode <= 0 || cfg.maxEpisode < cfg.minEpisode)
+        sim::fatal("PlanGenerator: bad episode bounds");
+    if (cfg.horizon <= 0)
+        sim::fatal("PlanGenerator: bad horizon");
+}
+
+FaultPlan
+PlanGenerator::generate(std::uint64_t seed) const
+{
+    sim::Random rng(seed, 0x6e656374 /* decorrelate from workloads */);
+
+    FaultPlan plan;
+    plan.name = "fuzz-" + std::to_string(seed);
+    plan.seed = seed;
+
+    // Episode kinds available on this shape, in a fixed order so the
+    // kind distribution is a pure function of the shape.
+    std::vector<Episode> kinds = {Episode::cabLinkFlap,
+                                  Episode::burstWindow,
+                                  Episode::stuckPort,
+                                  Episode::crashRestart};
+    if (!shape.hubLinks.empty())
+        kinds.insert(kinds.begin(), Episode::hubLinkFlap);
+
+    int episodes = std::max(
+        1, static_cast<int>(cfg.episodesMean * cfg.intensity + 0.5));
+
+    // Per-target busy horizon: an episode on a target must start
+    // after the previous one on the same target healed (plus a gap),
+    // keeping every generated plan strict-valid.  Different targets
+    // overlap freely.
+    std::map<std::string, sim::Tick> busyUntil;
+    const sim::Tick gap = 10 * sim::ticks::us;
+
+    for (int n = 0; n < episodes; ++n) {
+        Episode kind =
+            kinds[rng.below(static_cast<std::uint32_t>(kinds.size()))];
+        sim::Tick start = static_cast<sim::Tick>(
+            rng.below(static_cast<std::uint32_t>(
+                std::min<sim::Tick>(cfg.horizon, 1ll << 31))));
+        sim::Tick len =
+            cfg.minEpisode +
+            static_cast<sim::Tick>(rng.below(static_cast<std::uint32_t>(
+                std::min<sim::Tick>(cfg.maxEpisode - cfg.minEpisode + 1,
+                                    1ll << 31))));
+
+        switch (kind) {
+          case Episode::hubLinkFlap: {
+            auto [h, p] = shape.hubLinks[rng.below(
+                static_cast<std::uint32_t>(shape.hubLinks.size()))];
+            auto &busy = busyUntil[targetKey(kind, h, p)];
+            start = std::max(start, busy);
+            plan.hubLinkDown(start, h, p);
+            plan.hubLinkUp(start + len, h, p);
+            busy = start + len + gap;
+            break;
+          }
+          case Episode::cabLinkFlap: {
+            int s = static_cast<int>(rng.below(
+                static_cast<std::uint32_t>(shape.cabPorts.size())));
+            auto &busy = busyUntil[targetKey(kind, s, 0)];
+            start = std::max(start, busy);
+            plan.cabLinkDown(start, s);
+            plan.cabLinkUp(start + len, s);
+            busy = start + len + gap;
+            break;
+          }
+          case Episode::burstWindow: {
+            int s = static_cast<int>(rng.below(
+                static_cast<std::uint32_t>(shape.cabPorts.size())));
+            // Track per fiber: a "both" window conflicts with either.
+            Direction dir = static_cast<Direction>(rng.below(3));
+            auto &toHub = busyUntil[targetKey(kind, s, 0)];
+            auto &fromHub = busyUntil[targetKey(kind, s, 1)];
+            if (dir != Direction::fromHub)
+                start = std::max(start, toHub);
+            if (dir != Direction::toHub)
+                start = std::max(start, fromHub);
+            double loss = cfg.minBurstLoss +
+                          rng.uniform() *
+                              (cfg.maxBurstLoss - cfg.minBurstLoss);
+            plan.burstWindow(start, start + len, s, dir,
+                             phys::GilbertElliott::forLossRate(
+                                 loss, cfg.meanBurstBytes));
+            if (dir != Direction::fromHub)
+                toHub = start + len + gap;
+            if (dir != Direction::toHub)
+                fromHub = start + len + gap;
+            break;
+          }
+          case Episode::stuckPort: {
+            // Stick a CAB attachment port: inter-HUB outages are
+            // already covered by hubLinkFlap, and CAB ports are where
+            // the blocked-head watchdog earns its keep.
+            int s = static_cast<int>(rng.below(
+                static_cast<std::uint32_t>(shape.cabPorts.size())));
+            auto [h, p] = shape.cabPorts[static_cast<std::size_t>(s)];
+            auto &busy = busyUntil[targetKey(kind, h, p)];
+            start = std::max(start, busy);
+            plan.hubPortStuck(start, h, p);
+            plan.hubPortRestore(start + len, h, p);
+            busy = start + len + gap;
+            break;
+          }
+          case Episode::crashRestart: {
+            std::uint32_t lo = cfg.spareSiteZero ? 1 : 0;
+            std::uint32_t nSites =
+                static_cast<std::uint32_t>(shape.cabPorts.size());
+            if (lo >= nSites)
+                lo = 0;
+            int s = static_cast<int>(lo + rng.below(nSites - lo));
+            auto &busy = busyUntil[targetKey(kind, s, 0)];
+            start = std::max(start, busy);
+            plan.cabCrash(start, s);
+            plan.cabRestart(start + len, s);
+            busy = start + len + gap;
+            break;
+          }
+        }
+    }
+
+    // Sort by time for readability; the controller schedules by time
+    // anyway, and stable order keeps same-tick events in emit order.
+    std::stable_sort(plan.events.begin(), plan.events.end(),
+                     [](const FaultEvent &a, const FaultEvent &b) {
+                         return a.at < b.at;
+                     });
+    return plan;
+}
+
+} // namespace nectar::fault

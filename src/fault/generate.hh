@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Randomized fault-plan generation for chaos fuzzing.
+ *
+ * A PlanGenerator synthesizes seeded FaultPlans against a system
+ * *shape* (how many hubs, which inter-HUB links, which sites) at a
+ * tunable intensity.  Every fault is an *episode*: a fault event
+ * paired with its healing event (link flap, burst window, stuck-port
+ * window, crash+restart), so a generated plan always returns the
+ * system to full health before the campaign's horizon — what makes
+ * the oracle's drain-to-quiescence check meaningful.  Episodes on one
+ * target never overlap (the controller's plan state machines accept
+ * every generated plan under PlanPolicy::strict); episodes on
+ * different targets overlap freely, which is where the interesting
+ * schedules live.
+ *
+ * The same shape + config + seed always yields the same plan.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "fault/plan.hh"
+
+namespace nectar::nectarine {
+class NectarSystem;
+}
+
+namespace nectar::fault {
+
+/** The fault-relevant structure of a system. */
+struct SystemShape
+{
+    int numHubs = 0;
+    /** One (hub, port) handle per inter-HUB link (the A side). */
+    std::vector<std::pair<int, hub::PortId>> hubLinks;
+    /** Per site: the (hub, port) its CAB attaches to. */
+    std::vector<std::pair<int, hub::PortId>> cabPorts;
+
+    /** Extract the shape of a live system. */
+    static SystemShape of(nectarine::NectarSystem &sys);
+};
+
+/** Tuning knobs for generated plans. */
+struct GeneratorConfig
+{
+    /** Fault episodes start in [0, horizon); heals may land later
+     *  but never past horizon + maxEpisode. */
+    sim::Tick horizon = 6 * sim::ticks::ms;
+
+    /** Episode duration bounds (fault to heal). */
+    sim::Tick minEpisode = 100 * sim::ticks::us;
+    sim::Tick maxEpisode = 2 * sim::ticks::ms;
+
+    /** Mean episodes per plan; scaled by intensity, >= 1 enforced. */
+    double episodesMean = 4.0;
+
+    /** Linear scale on episodesMean (the campaign "temperature"). */
+    double intensity = 1.0;
+
+    /** Burst-window loss-rate bounds (Gilbert-Elliott). */
+    double minBurstLoss = 0.02;
+    double maxBurstLoss = 0.5;
+    double meanBurstBytes = 16.0;
+
+    /** Disallow crashing site 0 (keeps a designated coordinator
+     *  alive; off by default). */
+    bool spareSiteZero = false;
+};
+
+/**
+ * Seeded generator: generate(seed) is a pure function of (shape,
+ * config, seed).
+ */
+class PlanGenerator
+{
+  public:
+    PlanGenerator(const SystemShape &shape,
+                  const GeneratorConfig &config = {});
+
+    /** Synthesize one plan.  Covers every Action kind the shape
+     *  supports (hub-link faults need inter-HUB links). */
+    FaultPlan generate(std::uint64_t seed) const;
+
+  private:
+    SystemShape shape;
+    GeneratorConfig cfg;
+};
+
+} // namespace nectar::fault

@@ -1,0 +1,42 @@
+/**
+ * @file
+ * FaultPlan text (de)serialization: campaigns as repro files.
+ *
+ * Every generated or shrunk plan can be written to a small
+ * line-oriented text file and read back bit-exactly, so a failing
+ * chaos campaign is a saveable, replayable artifact.  The format is
+ * versioned and deliberately diff-friendly:
+ *
+ *     nectar-fault-plan v1
+ *     name <rest of line>
+ *     seed <u64>
+ *     event at=<tick> action=<name> hub=<int> port=<int> site=<int>
+ *           dir=<toHub|fromHub|both> burst=<pGB>,<pBG>,<lG>,<lB>
+ *     end
+ *
+ * (each `event` on one line; doubles print with %.17g so they
+ * round-trip exactly).  Malformed input is a sim::FatalError naming
+ * the offending line.
+ */
+
+#pragma once
+
+#include <string>
+
+#include "fault/plan.hh"
+
+namespace nectar::fault {
+
+/** Render @p plan as the v1 text format (round-trip stable). */
+std::string serializePlan(const FaultPlan &plan);
+
+/** Parse the v1 text format.  Fatal on malformed input. */
+FaultPlan parsePlan(const std::string &text);
+
+/** serializePlan to @p path.  Fatal on I/O failure. */
+void savePlan(const FaultPlan &plan, const std::string &path);
+
+/** parsePlan from @p path.  Fatal on I/O or parse failure. */
+FaultPlan loadPlan(const std::string &path);
+
+} // namespace nectar::fault

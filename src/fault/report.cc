@@ -24,6 +24,8 @@ CampaignReport::format() const
        << "karn suppressed    " << karnSuppressed << "\n"
        << "flow resyncs       " << flowResyncs << "\n"
        << "stale acks         " << staleAcks << "\n"
+       << "flow epoch bumps   " << flowEpochBumps << "\n"
+       << "mcast member fails " << mcastMemberFailures << "\n"
        << "reroutes           " << reroutes << "\n"
        << "unroutable sends   " << unroutable << "\n"
        << "burst drops        " << burstDrops << "\n"
@@ -32,6 +34,7 @@ CampaignReport::format() const
        << "ready timeouts     " << readyTimeouts << "\n"
        << "stuck drops        " << stuckDrops << "\n"
        << "ready re-arms      " << readyRearms << "\n"
+       << "plan events dropped " << planEventsDropped << "\n"
        << "recoveries         " << recoveries << "\n"
        << "recovery p50 ns    "
        << static_cast<std::uint64_t>(recoveryP50) << "\n"

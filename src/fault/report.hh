@@ -42,6 +42,8 @@ struct CampaignReport
     std::uint64_t karnSuppressed = 0;
     std::uint64_t flowResyncs = 0;
     std::uint64_t staleAcks = 0;
+    std::uint64_t flowEpochBumps = 0;      ///< Sender flow epochs reset.
+    std::uint64_t mcastMemberFailures = 0; ///< Multicast member fail-outs.
 
     // Routing.
     std::uint64_t reroutes = 0;   ///< Route changes after link events.
@@ -56,6 +58,9 @@ struct CampaignReport
     std::uint64_t readyTimeouts = 0; ///< Datalink presumed-lost readies.
     std::uint64_t stuckDrops = 0;    ///< HUB blocked-head watchdog drops.
     std::uint64_t readyRearms = 0;   ///< HUB ready bits re-armed.
+
+    /** Plan events removed by PlanPolicy::normalize (see chaos.hh). */
+    std::uint64_t planEventsDropped = 0;
 
     // Time-to-recover distribution (first timeout to renewed ack
     // progress, ticks).

@@ -1,0 +1,182 @@
+#include "fault/shrink.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+
+namespace nectar::fault {
+
+namespace {
+
+struct Budget
+{
+    int remaining;
+    int spent = 0;
+
+    bool
+    charge()
+    {
+        if (remaining <= 0)
+            return false;
+        --remaining;
+        ++spent;
+        return true;
+    }
+};
+
+FaultPlan
+withEvents(const FaultPlan &base, std::vector<FaultEvent> events)
+{
+    FaultPlan p = base;
+    p.events = std::move(events);
+    return p;
+}
+
+/**
+ * Classic ddmin on the event list: try removing chunks (and keeping
+ * only chunks) at doubling granularity until single-event removals
+ * no longer stick or the budget runs out.
+ */
+std::vector<FaultEvent>
+ddmin(const FaultPlan &base, std::vector<FaultEvent> events,
+      const std::function<bool(const FaultPlan &)> &fails,
+      Budget &budget, bool &oneMinimal)
+{
+    oneMinimal = false;
+    std::size_t granularity = 2;
+    while (events.size() >= 2) {
+        granularity = std::min(granularity, events.size());
+        std::size_t chunk =
+            (events.size() + granularity - 1) / granularity;
+        bool reduced = false;
+
+        for (std::size_t start = 0;
+             start < events.size() && !reduced; start += chunk) {
+            // Complement: everything but [start, start+chunk).
+            std::vector<FaultEvent> candidate;
+            candidate.reserve(events.size());
+            for (std::size_t i = 0; i < events.size(); ++i)
+                if (i < start || i >= start + chunk)
+                    candidate.push_back(events[i]);
+            if (candidate.size() == events.size())
+                continue;
+            if (!budget.charge())
+                return events;
+            if (fails(withEvents(base, candidate))) {
+                events = std::move(candidate);
+                granularity = std::max<std::size_t>(2, granularity - 1);
+                reduced = true;
+            }
+        }
+        if (reduced)
+            continue;
+        if (granularity >= events.size()) {
+            // Single-event removals all passed: 1-minimal.
+            oneMinimal = true;
+            break;
+        }
+        granularity = std::min(events.size(), granularity * 2);
+    }
+    return events;
+}
+
+/**
+ * Binary-search each event's time toward zero: the latest heals
+ * close in on their faults (window shortening) and onsets move to
+ * the earliest tick that still fails (time tightening).
+ */
+void
+tightenTimes(const FaultPlan &base, std::vector<FaultEvent> &events,
+             const std::function<bool(const FaultPlan &)> &fails,
+             Budget &budget, sim::Tick granularity)
+{
+    for (std::size_t i = 0; i < events.size(); ++i) {
+        sim::Tick hi = events[i].at; // known-failing
+        if (hi == 0)
+            continue;
+        sim::Tick lo = 0; // candidate floor (maybe passing)
+
+        auto failsAt = [&](sim::Tick t) {
+            std::vector<FaultEvent> candidate = events;
+            candidate[i].at = t;
+            return fails(withEvents(base, candidate));
+        };
+
+        if (!budget.charge())
+            return;
+        if (failsAt(0)) {
+            events[i].at = 0;
+            continue;
+        }
+        while (hi - lo > granularity) {
+            sim::Tick mid = lo + (hi - lo) / 2;
+            if (!budget.charge()) {
+                events[i].at = hi;
+                return;
+            }
+            if (failsAt(mid))
+                hi = mid;
+            else
+                lo = mid;
+        }
+        events[i].at = hi;
+    }
+}
+
+} // namespace
+
+ShrinkResult
+shrinkPlan(const FaultPlan &failing,
+           const std::function<bool(const FaultPlan &)> &fails,
+           const ShrinkConfig &cfg)
+{
+    if (!fails(failing))
+        sim::fatal("shrinkPlan: input plan does not fail the "
+                   "predicate");
+
+    Budget budget{cfg.maxRuns};
+    ShrinkResult res;
+    res.plan = failing;
+
+    bool oneMinimal = false;
+    auto events =
+        ddmin(failing, failing.events, fails, budget, oneMinimal);
+
+    tightenTimes(failing, events, fails, budget, cfg.timeGranularity);
+
+    // Tightening can strand events the failure no longer needs; one
+    // more elimination sweep keeps the result 1-minimal.
+    if (events.size() >= 2) {
+        bool swept;
+        do {
+            swept = false;
+            for (std::size_t i = 0; i < events.size(); ++i) {
+                std::vector<FaultEvent> candidate;
+                candidate.reserve(events.size() - 1);
+                for (std::size_t j = 0; j < events.size(); ++j)
+                    if (j != i)
+                        candidate.push_back(events[j]);
+                if (!budget.charge()) {
+                    swept = false;
+                    break;
+                }
+                if (fails(withEvents(failing, candidate))) {
+                    events = std::move(candidate);
+                    swept = true;
+                    oneMinimal = false;
+                    break;
+                }
+            }
+            if (!swept && events.size() >= 1)
+                oneMinimal = true;
+        } while (swept && events.size() >= 2);
+    }
+
+    res.plan = withEvents(failing, std::move(events));
+    res.plan.name = failing.name + "-min";
+    res.runs = budget.spent;
+    res.oneMinimal = oneMinimal;
+    return res;
+}
+
+} // namespace nectar::fault

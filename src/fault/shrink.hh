@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Automatic fault-plan minimization (delta debugging).
+ *
+ * Given a plan that fails some deterministic predicate (typically
+ * "the DeliveryOracle rejects the run"), the shrinker searches for a
+ * smaller plan that still fails, in three phases:
+ *
+ *  1. **ddmin over events** (Zeller & Hildebrandt): remove chunks of
+ *     events, halving granularity until single-event removal sticks.
+ *  2. **Window shortening / time tightening**: for every surviving
+ *     event, binary-search its time toward zero — which both pulls
+ *     fault onsets earlier and closes fault→heal windows down to
+ *     their essential width.
+ *  3. A final single-event elimination sweep (phase 2 can make
+ *     previously load-bearing events redundant).
+ *
+ * The predicate re-runs the full deterministic simulation, so "still
+ * fails" is exact, not statistical.  Intermediate candidates may
+ * violate the plan state machines (a dropped heal leaves a window
+ * open); the harness runs them under PlanPolicy::normalize, which
+ * keeps every candidate executable.
+ */
+
+#pragma once
+
+#include <functional>
+
+#include "fault/plan.hh"
+
+namespace nectar::fault {
+
+/** Shrink budget and knobs. */
+struct ShrinkConfig
+{
+    /** Hard cap on predicate evaluations across all phases. */
+    int maxRuns = 300;
+
+    /** Time-tightening stops refining below this granularity. */
+    sim::Tick timeGranularity = 50 * sim::ticks::us;
+};
+
+/** What the shrinker found. */
+struct ShrinkResult
+{
+    FaultPlan plan;    ///< Smallest failing plan found.
+    int runs = 0;      ///< Predicate evaluations spent.
+    bool oneMinimal = false; ///< No single event can be removed.
+};
+
+/**
+ * Minimize @p failing against @p fails (true = still fails).
+ *
+ * @pre fails(failing) — the input must actually fail; fatal if not.
+ * @return a plan with fails(plan) true and, budget permitting, that
+ *         is 1-minimal (removing any one event makes it pass).
+ */
+ShrinkResult
+shrinkPlan(const FaultPlan &failing,
+           const std::function<bool(const FaultPlan &)> &fails,
+           const ShrinkConfig &cfg = {});
+
+} // namespace nectar::fault

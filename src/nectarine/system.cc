@@ -37,8 +37,17 @@ NectarSystem::addCab(int hubIndex, hub::PortId port,
         config.transport);
 
     dir.registerCab(site->address, site->at);
+    site->transport->setProbe(deliveryProbe);
     sites.push_back(std::move(site));
     return *sites.back();
+}
+
+void
+NectarSystem::attachDeliveryProbe(transport::DeliveryProbe *probe)
+{
+    deliveryProbe = probe;
+    for (auto &s : sites)
+        s->transport->setProbe(probe);
 }
 
 CabSite &

@@ -83,6 +83,13 @@ class NectarSystem
     transport::NetworkDirectory &directory() { return dir; }
     sim::EventQueue &eventq() { return eq; }
 
+    /**
+     * Attach @p probe to every existing site's transport and to
+     * every site added later (nullptr detaches).  The probe must
+     * outlive the system or be detached first.
+     */
+    void attachDeliveryProbe(transport::DeliveryProbe *probe);
+
     // ----- Convenience builders -------------------------------------
 
     /**
@@ -114,6 +121,7 @@ class NectarSystem
     std::unique_ptr<topo::Topology> topology;
     transport::NetworkDirectory dir;
     std::vector<std::unique_ptr<CabSite>> sites;
+    transport::DeliveryProbe *deliveryProbe = nullptr;
 };
 
 } // namespace nectar::nectarine

@@ -28,6 +28,7 @@
 #include <exception>
 #include <optional>
 #include <utility>
+#include <vector>
 
 #include "event_queue.hh"
 #include "logging.hh"
@@ -230,6 +231,12 @@ struct Detached
 {
     struct promise_type
     {
+        /** Position in the live-frame registry (swap-erased). */
+        std::size_t regIndex = 0;
+
+        promise_type();
+        ~promise_type();
+
         Detached get_return_object() { return {}; }
         std::suspend_never initial_suspend() noexcept { return {}; }
         std::suspend_never final_suspend() noexcept { return {}; }
@@ -250,6 +257,60 @@ struct Detached
     };
 };
 
+/**
+ * Registry of live detached (root) coroutine frames.  A frame removes
+ * itself when it completes; frames still suspended when the
+ * simulation ends — server loops parked on a Channel, senders blocked
+ * on a mailbox that will never drain — used to leak.  They are now
+ * destroyed by reapDetachedFrames(), triggered by the last
+ * EventQueue's destructor (and again at exit as a backstop, when the
+ * registry's own destructor runs).  Destroying a root Detached frame
+ * destroys its whole awaited Task chain: each frame owns its children
+ * through the Task objects held in its locals.
+ */
+struct DetachedFrameSet
+{
+    std::vector<std::coroutine_handle<Detached::promise_type>> frames;
+
+    ~DetachedFrameSet()
+    {
+        while (!frames.empty())
+            frames.back().destroy();
+    }
+};
+
+inline DetachedFrameSet &
+detachedFrames()
+{
+    static DetachedFrameSet set;
+    return set;
+}
+
+inline void
+reapDetachedFrames()
+{
+    auto &v = detachedFrames().frames;
+    while (!v.empty())
+        v.back().destroy();
+}
+
+inline Detached::promise_type::promise_type()
+{
+    detachedReaper = &reapDetachedFrames;
+    auto &v = detachedFrames().frames;
+    regIndex = v.size();
+    v.push_back(
+        std::coroutine_handle<promise_type>::from_promise(*this));
+}
+
+inline Detached::promise_type::~promise_type()
+{
+    auto &v = detachedFrames().frames;
+    v[regIndex] = v.back();
+    v[regIndex].promise().regIndex = regIndex;
+    v.pop_back();
+}
+
 inline Detached
 runDetached(Task<void> t)
 {
@@ -257,6 +318,13 @@ runDetached(Task<void> t)
 }
 
 } // namespace detail
+
+/** Number of detached coroutine frames currently alive (tests). */
+inline std::size_t
+liveDetachedFrames()
+{
+    return detail::detachedFrames().frames.size();
+}
 
 /**
  * Start a task "in the background".  The coroutine frame frees itself

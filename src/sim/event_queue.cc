@@ -27,7 +27,11 @@ constexpr auto fnvPow = [] {
 
 } // namespace
 
-EventQueue::~EventQueue() = default;
+EventQueue::~EventQueue()
+{
+    if (--detail::liveEventQueues == 0 && detail::detachedReaper)
+        detail::detachedReaper();
+}
 
 void
 EventQueue::mixFingerprint(std::uint64_t v)

@@ -47,6 +47,17 @@
 
 namespace nectar::sim {
 
+namespace detail {
+/**
+ * Installed by coro.hh the first time a detached coroutine frame is
+ * created: destroys detached frames still suspended once the last
+ * live EventQueue is destroyed, so server loops parked on a Channel
+ * (and the messages they own) are reclaimed instead of leaking.
+ */
+inline void (*detachedReaper)() = nullptr;
+inline int liveEventQueues = 0;
+} // namespace detail
+
 /**
  * Opaque handle identifying a scheduled event, usable for cancel(),
  * pending() and rearm().  Internally (generation << 32 | pool index);
@@ -84,7 +95,7 @@ class EventQueue
     /** Member alias so generic drivers can name the handle type. */
     using EventId = sim::EventId;
 
-    EventQueue() = default;
+    EventQueue() { ++detail::liveEventQueues; }
     ~EventQueue();
 
     EventQueue(const EventQueue &) = delete;

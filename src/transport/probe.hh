@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Delivery probe: transport-layer observation hooks.
+ *
+ * A DeliveryProbe sees every end-to-end transport event the
+ * correctness argument rests on: reliable (byte-stream and multicast
+ * member) sends and their final outcomes, datagram sends, completed
+ * message deliveries into mailboxes, and CAB crash/restart boundaries.
+ * The chaos-fuzzing oracle (fault::DeliveryOracle) implements this
+ * interface to maintain a global send/deliver ledger and check the
+ * exactly-once / no-silent-loss properties under fault campaigns.
+ *
+ * Hooks fire synchronously on the simulation's deterministic event
+ * order, so a probe sees the same sequence on every run of a seeded
+ * campaign.  A null probe costs one pointer test per hook site.
+ */
+
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "transport/header.hh"
+
+namespace nectar::transport {
+
+/** Observation hooks for end-to-end delivery accounting. */
+class DeliveryProbe
+{
+  public:
+    virtual ~DeliveryProbe() = default;
+
+    /**
+     * A reliable (byte-stream) message entered the send path.  Fired
+     * once per unicast send and once per member of a reliable
+     * multicast; (src, msgId) identifies the message, (src, msgId,
+     * dst) the expected delivery.
+     */
+    virtual void onReliableSend(CabAddress src, CabAddress dst,
+                                std::uint16_t dstMailbox,
+                                std::uint32_t msgId,
+                                std::size_t bytes) = 0;
+
+    /**
+     * A reliable send completed: @p ok mirrors what the application
+     * was told.  Every onReliableSend is eventually paired with
+     * exactly one outcome (liveness; the oracle's wedge check).
+     */
+    virtual void onReliableOutcome(CabAddress src, CabAddress dst,
+                                   std::uint16_t dstMailbox,
+                                   std::uint32_t msgId, bool ok) = 0;
+
+    /** A best-effort datagram entered the send path. */
+    virtual void onDatagramSend(CabAddress src, CabAddress dst,
+                                std::uint16_t dstMailbox,
+                                std::uint32_t msgId) = 0;
+
+    /**
+     * A complete message was placed in a destination mailbox.
+     * @p reliable distinguishes byte-stream from datagram traffic.
+     * RPC traffic is not reported: request retry is at-least-once by
+     * design, so delivery counts carry no invariant.
+     */
+    virtual void onDeliver(CabAddress src, CabAddress dst,
+                           std::uint16_t dstMailbox,
+                           std::uint32_t msgId, bool reliable,
+                           std::size_t bytes) = 0;
+
+    /**
+     * The CAB at @p addr crashed: its board memory — mailboxes,
+     * protocol state, everything — is gone.  Deliveries made into it
+     * before the crash no longer exist for duplicate accounting.
+     */
+    virtual void onCrash(CabAddress addr) = 0;
+
+    /** ... and booted fresh. */
+    virtual void onRestart(CabAddress addr) = 0;
+};
+
+} // namespace nectar::transport

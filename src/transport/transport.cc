@@ -75,6 +75,8 @@ Transport::sendDatagram(CabAddress dst, std::uint16_t dstMailbox,
 {
     _stats.messagesSent.add();
     std::uint32_t msg_id = nextMsgId++;
+    if (probe)
+        probe->onDatagramSend(self, dst, dstMailbox, msg_id);
     auto frag_count = static_cast<std::uint16_t>(
         std::max<std::size_t>(1, (data.size() + cfg.mtu - 1) / cfg.mtu));
 
@@ -196,6 +198,7 @@ Transport::resetFlow(SenderFlow &flow)
     flow.haveSrtt = false;
     flow.srtt = flow.rttvar = 0;
     flow.rto = cfg.retransmitTimeout;
+    _stats.flowEpochBumps.add();
     wakeFlow(flow);
 }
 
@@ -261,6 +264,9 @@ Transport::sendReliable(CabAddress dst, std::uint16_t dstMailbox,
 
     std::uint32_t msg_id = nextMsgId++;
     flow.currentMsgId = msg_id;
+    if (probe)
+        probe->onReliableSend(self, dst, dstMailbox, msg_id,
+                              data.size());
     auto frag_count = static_cast<std::uint16_t>(
         std::max<std::size_t>(1, (data.size() + cfg.mtu - 1) / cfg.mtu));
 
@@ -303,6 +309,8 @@ Transport::sendReliable(CabAddress dst, std::uint16_t dstMailbox,
     bool ok = !flow.failed;
     if (ok && flow.hadTimeout)
         _stats.messagesRecovered.add();
+    if (probe)
+        probe->onReliableOutcome(self, dst, dstMailbox, msg_id, ok);
     flow.mutex.unlock();
     co_return ok;
 }
@@ -441,6 +449,11 @@ Transport::sendReliableMulticast(std::vector<CabAddress> dsts,
         f->hadTimeout = false;
         f->currentMsgId = msg_id;
     }
+    if (probe) {
+        for (CabAddress d : dsts)
+            probe->onReliableSend(self, d, dstMailbox, msg_id,
+                                  data.size());
+    }
 
     auto anyActive = [&flows] {
         for (auto *f : flows)
@@ -525,6 +538,11 @@ Transport::sendReliableMulticast(std::vector<CabAddress> dsts,
     result.ok = result.failed.empty();
     if (recovered)
         _stats.messagesRecovered.add();
+    if (probe) {
+        for (std::size_t j = 0; j < flows.size(); ++j)
+            probe->onReliableOutcome(self, dsts[j], dstMailbox, msg_id,
+                                     !flows[j]->failed);
+    }
     for (auto *f : flows)
         f->mutex.unlock();
     co_return result;
@@ -728,11 +746,15 @@ Transport::handleStreamData(const Header &h, sim::PacketView &&payload)
         // copied (delivery stalls keep the chain for the retry).
         sim::PacketView whole =
             sim::PacketView::concat(flow.assembly, payload);
+        std::size_t bytes = whole.size();
         if (!deliver(h.dstMailbox, std::move(whole), h.msgId)) {
             _stats.deliveryStalls.add();
             sendAck(h, flow.expected, flow.highestMsgId);
             return;
         }
+        if (probe)
+            probe->onDeliver(h.srcCab, self, h.dstMailbox, h.msgId,
+                             true, bytes);
         flow.assembling = false;
         flow.assembly = sim::PacketView{};
     } else {
@@ -747,8 +769,13 @@ void
 Transport::handleDatagram(const Header &h, sim::PacketView &&payload)
 {
     if (h.fragCount <= 1) {
-        if (!deliver(h.dstMailbox, std::move(payload), h.msgId))
+        std::size_t bytes = payload.size();
+        if (!deliver(h.dstMailbox, std::move(payload), h.msgId)) {
             _stats.datagramsDropped.add();
+        } else if (probe) {
+            probe->onDeliver(h.srcCab, self, h.dstMailbox, h.msgId,
+                             false, bytes);
+        }
         return;
     }
 
@@ -767,8 +794,13 @@ Transport::handleDatagram(const Header &h, sim::PacketView &&payload)
     for (auto &[idx, frag] : as.frags)
         whole.append(frag);
     datagramAsm.erase(key);
-    if (!deliver(h.dstMailbox, std::move(whole), h.msgId))
+    std::size_t bytes = whole.size();
+    if (!deliver(h.dstMailbox, std::move(whole), h.msgId)) {
         _stats.datagramsDropped.add();
+    } else if (probe) {
+        probe->onDeliver(h.srcCab, self, h.dstMailbox, h.msgId, false,
+                         bytes);
+    }
 
     // Opportunistically discard stale partial datagrams (a fragment
     // was lost and will never arrive).
@@ -940,6 +972,9 @@ Transport::crash()
     // dead board and gives up after maxRequestAttempts.
     for (auto &[seq, chan] : pendingRequests)
         chan->push(std::nullopt);
+
+    if (probe)
+        probe->onCrash(self);
 }
 
 void
@@ -953,6 +988,8 @@ Transport::restart()
     // post-restart messages as fresh epochs and stale pre-crash
     // retransmits as duplicates.
     nextMsgId += msgIdRestartJump;
+    if (probe)
+        probe->onRestart(self);
 }
 
 } // namespace nectar::transport

@@ -37,6 +37,7 @@
 #include "sim/coro.hh"
 #include "transport/directory.hh"
 #include "transport/header.hh"
+#include "transport/probe.hh"
 
 namespace nectar::transport {
 
@@ -113,6 +114,8 @@ struct TransportStats
     sim::Counter flowResyncs;     ///< Receiver flows resynchronized
                                   ///< after a peer reset its epoch.
     sim::Counter staleAcks;       ///< Acks from a previous flow epoch.
+    sim::Counter flowEpochBumps;  ///< Sender flows reset to a fresh
+                                  ///< epoch (send failure or crash).
 
     // Reliable-multicast instrumentation.
     sim::Counter mcastSends;        ///< sendReliableMulticast calls.
@@ -155,6 +158,13 @@ class Transport : public sim::Component
     TransportStats &stats() { return _stats; }
     const TransportConfig &config() const { return cfg; }
     cabos::Kernel &kernel() { return _kernel; }
+
+    /**
+     * Attach a delivery probe (send/deliver ledger hooks; see
+     * transport/probe.hh).  Pass nullptr to detach.  The probe must
+     * outlive the transport or be detached first.
+     */
+    void setProbe(DeliveryProbe *p) { probe = p; }
 
     // ----- Datagram protocol ----------------------------------------
 
@@ -408,6 +418,7 @@ class Transport : public sim::Component
     CabAddress self;
     TransportConfig cfg;
     TransportStats _stats;
+    DeliveryProbe *probe = nullptr;
 
     std::map<std::uint64_t, std::unique_ptr<SenderFlow>> senders;
     std::map<std::uint64_t, ReceiverFlow> receivers;

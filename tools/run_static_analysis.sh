@@ -47,11 +47,8 @@ echo "tier1 green under NECTAR_CHECKED"
 echo "== address+undefined sanitizer build =="
 cmake -B build-asan -S . -DNECTAR_SANITIZE=address,undefined >/dev/null
 cmake --build build-asan -j >/dev/null
-# Fatal-path tests abandon suspended detached coroutines by design;
-# see tools/lsan.supp.
-LSAN_OPTIONS="suppressions=$PWD/tools/lsan.supp" \
-    ctest --test-dir build-asan -L tier1 -j "$(nproc)" \
-          --output-on-failure >/dev/null
+ctest --test-dir build-asan -L tier1 -j "$(nproc)" \
+      --output-on-failure >/dev/null
 echo "tier1 green under ASan+UBSan"
 
 echo "== all analysis passes clean =="
