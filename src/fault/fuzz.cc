@@ -11,7 +11,9 @@
 #include "nectarine/nectarine.hh"
 #include "nectarine/system.hh"
 #include "sim/coro.hh"
+#include "sim/logging.hh"
 #include "sim/random.hh"
+#include "topo/topofile.hh"
 
 namespace nectar::fault {
 
@@ -156,13 +158,30 @@ class BurstDoubleReporter : public transport::DeliveryProbe
 
 } // namespace
 
+topo::TopologyDescription
+harnessDescription(const FuzzConfig &cfg)
+{
+    switch (cfg.fabric) {
+    case FuzzFabric::mesh:
+        return topo::describeMesh2D(cfg.rows, cfg.cols,
+                                    cfg.cabsPerHub);
+    case FuzzFabric::torus:
+        return topo::describeTorus2D(cfg.rows, cfg.cols,
+                                     cfg.cabsPerHub);
+    case FuzzFabric::fattree:
+        return topo::describeFatTree(cfg.rows, cfg.cols,
+                                     cfg.cabsPerHub);
+    case FuzzFabric::file:
+        return topo::loadTopologyFile(cfg.topoFile);
+    }
+    sim::panic("harnessDescription: bad fabric kind");
+}
+
 SystemShape
 harnessShape(const FuzzConfig &cfg)
 {
-    sim::EventQueue eq;
-    auto sys = nectarine::NectarSystem::mesh2D(eq, cfg.rows, cfg.cols,
-                                               cfg.cabsPerHub);
-    return SystemShape::of(*sys);
+    // No live system needed: the description carries the shape.
+    return SystemShape::ofDescription(harnessDescription(cfg));
 }
 
 FuzzResult
@@ -175,8 +194,8 @@ runCase(const FaultPlan &plan, const FuzzConfig &cfg)
     site.transport.maxRetransmits = 5;
     site.transport.maxRto = 2 * ms;
 
-    auto sys = nectarine::NectarSystem::mesh2D(eq, cfg.rows, cfg.cols,
-                                               cfg.cabsPerHub, site);
+    auto sys = nectarine::NectarSystem::fromDescription(
+        eq, harnessDescription(cfg), site);
     const auto n = sys->siteCount();
 
     DeliveryOracle oracle;

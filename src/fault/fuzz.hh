@@ -23,13 +23,31 @@
 #include "fault/generate.hh"
 #include "fault/plan.hh"
 #include "fault/report.hh"
+#include "topo/description.hh"
 
 namespace nectar::fault {
+
+/** Which fabric runCase builds (all via TopologyDescription). */
+enum class FuzzFabric
+{
+    mesh,    ///< rows x cols 2-D mesh (the historical default).
+    torus,   ///< rows x cols 2-D torus.
+    fattree, ///< rows spines x cols leaves.
+    file,    ///< Load FuzzConfig::topoFile.
+};
 
 /** Harness tuning (the fuzz "standard candle"). */
 struct FuzzConfig
 {
-    // System shape: rows x cols HUB mesh, cabsPerHub CABs each.
+    /** Fabric kind; mesh with the defaults below reproduces the
+     *  historical 2x2x2 harness bit-for-bit. */
+    FuzzFabric fabric = FuzzFabric::mesh;
+
+    /** .topo path for FuzzFabric::file. */
+    std::string topoFile;
+
+    // System shape: rows x cols HUB mesh (or spines x leaves for
+    // fattree), cabsPerHub CABs each.  Ignored for file fabrics.
     int rows = 2;
     int cols = 2;
     int cabsPerHub = 2;
@@ -74,6 +92,10 @@ struct FuzzResult
 
 /** Run one plan through the standard harness. */
 FuzzResult runCase(const FaultPlan &plan, const FuzzConfig &cfg = {});
+
+/** The fabric description runCase will build for @p cfg. */
+topo::TopologyDescription
+harnessDescription(const FuzzConfig &cfg = {});
 
 /** The SystemShape runCase's system will have (for PlanGenerator). */
 SystemShape harnessShape(const FuzzConfig &cfg = {});

@@ -5,6 +5,7 @@
 #include <string>
 
 #include "nectarine/system.hh"
+#include "topo/description.hh"
 #include "sim/logging.hh"
 #include "sim/random.hh"
 
@@ -21,6 +22,18 @@ SystemShape::of(nectarine::NectarSystem &sys)
         const auto &at = sys.site(i).at;
         s.cabPorts.emplace_back(at.hubIndex, at.port);
     }
+    return s;
+}
+
+SystemShape
+SystemShape::ofDescription(const topo::TopologyDescription &d)
+{
+    SystemShape s;
+    s.numHubs = d.numHubs();
+    for (const topo::TrunkDecl &t : d.trunks)
+        s.hubLinks.emplace_back(t.a, t.pa);
+    for (const topo::CabDecl &c : d.cabs)
+        s.cabPorts.emplace_back(c.hub, c.port);
     return s;
 }
 

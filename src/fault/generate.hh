@@ -28,6 +28,10 @@ namespace nectar::nectarine {
 class NectarSystem;
 }
 
+namespace nectar::topo {
+struct TopologyDescription;
+}
+
 namespace nectar::fault {
 
 /** The fault-relevant structure of a system. */
@@ -41,6 +45,14 @@ struct SystemShape
 
     /** Extract the shape of a live system. */
     static SystemShape of(nectarine::NectarSystem &sys);
+
+    /**
+     * The shape a description-built system will have, without
+     * building it: trunks and CABs in declared order, exactly as
+     * NectarSystem::fromDescription wires them.
+     */
+    static SystemShape
+    ofDescription(const topo::TopologyDescription &d);
 };
 
 /** Tuning knobs for generated plans. */

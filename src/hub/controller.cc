@@ -29,6 +29,18 @@ CentralController::submit(const phys::CommandWord &cmd, PortId arrival)
 }
 
 void
+CentralController::abandonFrom(PortId arrival)
+{
+    q.erase(std::remove_if(q.begin(), q.end(),
+                           [arrival](const Pending &p) {
+                               return p.arrival == arrival;
+                           }),
+            q.end());
+    // `running` is left alone: any scheduled tick finds the queue
+    // empty and stands down on its own.
+}
+
+void
 CentralController::tick()
 {
     if (q.empty()) {
@@ -63,6 +75,7 @@ CentralController::tick()
     ++_cyclesUsed;
 
     bool ok = hub.executeSerialized(p.cmd, p.arrival);
+    bool settled = true;
     if (!ok && hasRetry(static_cast<Op>(p.cmd.op))) {
         ++_retries;
         ++p.attempts;
@@ -80,10 +93,17 @@ CentralController::tick()
                     p.attempts, 16));
             p.notBefore = now() + static_cast<Tick>(backoff) * cycle;
             q.push_back(p);
+            settled = false;
         }
     } else {
         hub.monitorRecord(HubEvent::commandExecuted, p.arrival, noPort);
     }
+
+    // The command reached a final disposition (executed or given up);
+    // let the submitting port's stream advance past it.  Requeued
+    // retries are not settled: the port keeps holding its head.
+    if (settled)
+        hub.commandSettled(p.arrival);
 
     if (q.empty()) {
         running = false;

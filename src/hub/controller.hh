@@ -60,6 +60,14 @@ class CentralController : public sim::Component
      */
     void setRetryLimit(std::uint64_t limit) { retryLimit = limit; }
 
+    /**
+     * Withdraw every pending command submitted from @p arrival (the
+     * port gave up waiting).  A withdrawn open can never execute
+     * after its frame's close all has passed, which is what keeps
+     * abandoned routes from leaving orphaned connections behind.
+     */
+    void abandonFrom(PortId arrival);
+
     /** Drop all pending commands (supervisor reset). */
     void clear() { q.clear(); }
 

@@ -64,6 +64,13 @@ Hub::dispatchCommand(const CommandWord &cmd, PortId arrival)
         executeLocal(cmd, arrival);
 }
 
+void
+Hub::commandSettled(PortId arrival)
+{
+    if (xbar.valid(arrival))
+        ports[arrival]->commandSettled();
+}
+
 bool
 Hub::doOpen(const CommandWord &cmd, PortId arrival)
 {
@@ -258,6 +265,7 @@ Hub::executeSerialized(const CommandWord &cmd, PortId arrival)
         xbar.releaseLocksOf(p);
         xbar.releaseLock(p, xbar.lockHolder(p));
         noteCircuitClosed();
+        ctrl.abandonFrom(p); // a late open must not survive the reset
         ports[p]->flushQueue();
         ports[p]->setReady(true);
         return true;

@@ -55,6 +55,9 @@ struct HubStats
                                  ///< restoring signal was presumed lost.
     sim::Counter idleCloses;     ///< Connections reaped by the
                                  ///< idle-circuit watchdog.
+    sim::Counter cmdAbandons;    ///< Pending controller commands
+                                 ///< withdrawn by the submitting
+                                 ///< port's settle watchdog.
 };
 
 /** Configuration for a Hub instance. */
@@ -154,6 +157,13 @@ class Hub : public sim::Component
      *         be attempted again.
      */
     bool executeSerialized(const phys::CommandWord &cmd, PortId arrival);
+
+    /**
+     * The controller reached a final disposition (execution or retry
+     * give-up) for a command submitted from @p arrival; unblocks that
+     * port's input stream.
+     */
+    void commandSettled(PortId arrival);
 
     /** Execute a localized command at the arrival port. */
     void executeLocal(const phys::CommandWord &cmd, PortId arrival);

@@ -36,6 +36,7 @@ IoPort::flushQueue()
     q.clear();
     qBytes = 0;
     headBlockedSince = 0;
+    cmdPending = false;
 }
 
 void
@@ -93,6 +94,13 @@ IoPort::fiberDeliver(WireItem item, Tick firstByte, Tick lastByte)
 void
 IoPort::connectionOpened()
 {
+    scheduleProcess(now());
+}
+
+void
+IoPort::commandSettled()
+{
+    cmdPending = false;
     scheduleProcess(now());
 }
 
@@ -183,6 +191,30 @@ IoPort::dropHead()
 Tick
 IoPort::tryDisposeHead()
 {
+    // In-order command semantics: a command consumed from this stream
+    // and handed to the central controller must settle before any
+    // later item moves.  Without this, a frame's data or close all
+    // can overtake its own backed-off open; the open then executes
+    // after the close all has passed and leaves an orphaned crossbar
+    // connection that no close all will ever reach — the held output
+    // fails every later open and duplicates passing traffic onto a
+    // stale branch.  If the controller cannot settle the command
+    // within the stuck-head limit, withdraw it (so it can never
+    // execute late) and move on; reliability above retransmits
+    // whatever the abandoned branch loses.
+    if (cmdPending) {
+        const Tick limit = hub.configuration().stuckTimeout;
+        if (limit <= 0)
+            return sim::maxTick; // woken by commandSettled()
+        if (now() - cmdPendingSince < limit)
+            return cmdPendingSince + limit;
+        hub.controller().abandonFrom(_id);
+        cmdPending = false;
+        hub.stats().cmdAbandons.add();
+        hub.countError();
+        hub.monitorRecord(HubEvent::stuckDrop, _id, noPort);
+    }
+
     const Queued &head = q.front();
     const WireItem &item = head.item;
     const Tick cycle = hub.configuration().cycle;
@@ -202,6 +234,10 @@ IoPort::tryDisposeHead()
         phys::CommandWord cmd = item.cmd;
         qBytes -= item.byteLength();
         q.pop_front();
+        if (needsController(static_cast<Op>(cmd.op))) {
+            cmdPending = true;
+            cmdPendingSince = now();
+        }
         hub.dispatchCommand(cmd, _id);
         return 0;
     }

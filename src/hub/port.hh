@@ -85,6 +85,12 @@ class IoPort : public sim::Component, public phys::FiberSink
      */
     void connectionOpened();
 
+    /**
+     * The central controller reached a final disposition for the
+     * command this port submitted; the stream may advance past it.
+     */
+    void commandSettled();
+
     // FiberSink interface: the incoming fiber delivers here.
     void fiberDeliver(phys::WireItem item, Tick firstByte,
                       Tick lastByte) override;
@@ -141,6 +147,10 @@ class IoPort : public sim::Component, public phys::FiberSink
     Tick wakeupAt = 0;
     /** When the current head first blocked with no known wakeup. */
     Tick headBlockedSince = 0;
+    /** A consumed command is still pending in the controller. */
+    bool cmdPending = false;
+    /** When that command was submitted (settle-watchdog anchor). */
+    Tick cmdPendingSince = 0;
     /** Pending ready-bit watchdog, cancelled when the signal arrives. */
     sim::EventId readyWatchdog = sim::invalidEventId;
 };

@@ -1,6 +1,7 @@
 #include "system.hh"
 
 #include "sim/logging.hh"
+#include "topo/topofile.hh"
 
 namespace nectar::nectarine {
 
@@ -14,7 +15,8 @@ NectarSystem::NectarSystem(sim::EventQueue &eq,
 
 CabSite &
 NectarSystem::addCab(int hubIndex, hub::PortId port,
-                     const std::string &name, const SiteConfig &config)
+                     const std::string &name, const SiteConfig &config,
+                     sim::Tick fiberDelay)
 {
     auto site = std::make_unique<CabSite>();
     site->address =
@@ -26,7 +28,7 @@ NectarSystem::addCab(int hubIndex, hub::PortId port,
 
     site->board = std::make_unique<cab::Cab>(eq, cab_name, config.cab);
     auto &tx = topology->attachEndpoint(*site->board, hubIndex, port,
-                                        cab_name);
+                                        cab_name, fiberDelay);
     site->board->attachTx(tx);
 
     site->kernel = std::make_unique<cabos::Kernel>(*site->board);
@@ -67,17 +69,38 @@ NectarSystem::defaultHubConfig()
 }
 
 std::unique_ptr<NectarSystem>
+NectarSystem::fromDescription(sim::EventQueue &eq,
+                              const topo::TopologyDescription &desc,
+                              const SiteConfig &config,
+                              const hub::HubConfig &hubConfig)
+{
+    auto sys = std::make_unique<NectarSystem>(
+        eq, topo::buildTopology(eq, desc, hubConfig));
+    for (const topo::CabDecl &c : desc.cabs)
+        sys->addCab(c.hub, c.port, c.name, config, c.latency);
+    return sys;
+}
+
+std::unique_ptr<NectarSystem>
+NectarSystem::fromTopoFile(sim::EventQueue &eq,
+                           const std::string &path,
+                           const SiteConfig &config,
+                           const hub::HubConfig &hubConfig)
+{
+    return fromDescription(eq, topo::loadTopologyFile(path), config,
+                           hubConfig);
+}
+
+std::unique_ptr<NectarSystem>
 NectarSystem::singleHub(sim::EventQueue &eq, int cabs,
                         const SiteConfig &config,
                         const hub::HubConfig &hubConfig)
 {
     if (cabs > hubConfig.numPorts)
         sim::fatal("NectarSystem::singleHub: more CABs than ports");
-    auto sys = std::make_unique<NectarSystem>(
-        eq, topo::makeSingleHub(eq, hubConfig));
-    for (int i = 0; i < cabs; ++i)
-        sys->addCab(0, i, "", config);
-    return sys;
+    return fromDescription(
+        eq, topo::describeSingleHub(cabs, hubConfig.numPorts), config,
+        hubConfig);
 }
 
 std::unique_ptr<NectarSystem>
@@ -88,13 +111,11 @@ NectarSystem::mesh2D(sim::EventQueue &eq, int rows, int cols,
     if (cabsPerHub > hubConfig.numPorts - 4)
         sim::fatal("NectarSystem::mesh2D: mesh links need 4 ports "
                    "per HUB");
-    auto sys = std::make_unique<NectarSystem>(
-        eq, topo::makeMesh2D(eq, rows, cols, hubConfig));
-    for (int h = 0; h < rows * cols; ++h) {
-        for (int c = 0; c < cabsPerHub; ++c)
-            sys->addCab(h, c, "", config);
-    }
-    return sys;
+    return fromDescription(
+        eq,
+        topo::describeMesh2D(rows, cols, cabsPerHub, 0,
+                             hubConfig.numPorts),
+        config, hubConfig);
 }
 
 } // namespace nectar::nectarine

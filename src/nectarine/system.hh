@@ -62,11 +62,13 @@ class NectarSystem
      *
      * @param name Instance name ("" derives cab<N>).
      * @param config Per-site tuning.
+     * @param fiberDelay Propagation delay of the attachment fibers.
      * @return The new site.
      */
     CabSite &addCab(int hubIndex, hub::PortId port,
                     const std::string &name = "",
-                    const SiteConfig &config = {});
+                    const SiteConfig &config = {},
+                    sim::Tick fiberDelay = 0);
 
     /** Attach a CAB on the first free port of @p hubIndex. */
     CabSite &
@@ -100,6 +102,26 @@ class NectarSystem
      * builders turn it on.
      */
     static hub::HubConfig defaultHubConfig();
+
+    /**
+     * Build a whole system from a declarative fabric: HUBs and
+     * trunks via topo::buildTopology, then one CAB site per CabDecl
+     * in declared order (so addresses follow the description).  The
+     * generator-based builders below are thin wrappers over this.
+     */
+    static std::unique_ptr<NectarSystem>
+    fromDescription(sim::EventQueue &eq,
+                    const topo::TopologyDescription &desc,
+                    const SiteConfig &config = {},
+                    const hub::HubConfig &hubConfig =
+                        defaultHubConfig());
+
+    /** fromDescription() of a .topo file (topo::loadTopologyFile). */
+    static std::unique_ptr<NectarSystem>
+    fromTopoFile(sim::EventQueue &eq, const std::string &path,
+                 const SiteConfig &config = {},
+                 const hub::HubConfig &hubConfig =
+                     defaultHubConfig());
 
     /** A single-HUB star with @p cabs CABs (Figure 2). */
     static std::unique_ptr<NectarSystem>

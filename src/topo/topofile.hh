@@ -1,0 +1,58 @@
+/**
+ * @file
+ * The versioned `.topo` fabric description text format.
+ *
+ * A fabric is declared line by line; `#` starts a comment and blank
+ * lines are ignored:
+ *
+ *     nectar-topo v1
+ *     fabric mesh4x4
+ *     ports 20
+ *     hub hub_r0c0
+ *     hub hub_r0c1
+ *     trunk hub_r0c0.16 hub_r0c1.17 latency=500 width=2
+ *     cab cab1 hub_r0c0.0
+ *     cab - hub_r0c1.0 latency=80
+ *     end
+ *
+ * Rules: the version line comes first and `end` last (a truncation
+ * tripwire, like the fault-plan repro format); HUBs must be declared
+ * before trunks or cabs reference them; `<hub>.<port>` names an
+ * attachment point; `latency=` is in ticks (ns) and `width=` in
+ * bonded fiber lanes, both optional; a cab named `-` derives cab<N>
+ * at build time.  Alternatively a single
+ *
+ *     generate mesh2d rows=4 cols=4 cabs=2 [latency=N]
+ *
+ * line (kinds: mesh2d, torus2d, fattree [spines= leaves= cabs=],
+ * random [seed= hubs= degree= cabs=]) replaces the hub/trunk/cab
+ * body, expanding through the generators of description.hh — the
+ * same fabric either spelled out or generated.
+ *
+ * Malformed input is fatal (sim::FatalError) with the line number,
+ * mirroring fault/planio.hh: a repro or checked-in fabric that no
+ * longer parses should fail loudly, not half-build.
+ */
+
+#pragma once
+
+#include <string>
+
+#include "topo/description.hh"
+
+namespace nectar::topo {
+
+/** Parse a description from text.  Fatal on malformed input. */
+TopologyDescription parseTopology(const std::string &text);
+
+/** Canonical text form; parseTopology(formatTopology(d)) == d. */
+std::string formatTopology(const TopologyDescription &d);
+
+/** parseTopology from @p path.  Fatal on I/O or parse failure. */
+TopologyDescription loadTopologyFile(const std::string &path);
+
+/** formatTopology to @p path.  Fatal on I/O failure. */
+void saveTopologyFile(const TopologyDescription &d,
+                      const std::string &path);
+
+} // namespace nectar::topo

@@ -1,7 +1,6 @@
 #include "topology.hh"
 
 #include <algorithm>
-#include <deque>
 #include <functional>
 #include <map>
 
@@ -26,6 +25,7 @@ Topology::addHub(const std::string &name)
         eq, hub_name, static_cast<std::uint8_t>(index), config));
     adjacency.emplace_back();
     portUsed.emplace_back(config.numPorts, false);
+    _table.reset(); // the graph grew: stale table, recompile lazily
     return index;
 }
 
@@ -66,14 +66,17 @@ Topology::firstFreePort(int hubIndex) const
 
 int
 Topology::linkHubs(int a, hub::PortId pa, int b, hub::PortId pb,
-                   sim::Tick propDelay)
+                   sim::Tick propDelay, int width)
 {
     if (!portFree(a, pa) || !portFree(b, pb))
         sim::fatal("Topology::linkHubs: port already wired");
     if (a == b)
         sim::fatal("Topology::linkHubs: self-link");
-    FiberPair fibers =
-        _wiring.connectHubPorts(*hubs[a], pa, *hubs[b], pb, propDelay);
+    if (width < 1)
+        sim::fatal("Topology::linkHubs: width < 1");
+    FiberPair fibers = _wiring.connectHubPorts(
+        *hubs[a], pa, *hubs[b], pb, propDelay,
+        sim::proto::fiberByteTime / width);
     portUsed[a][pa] = true;
     portUsed[b][pb] = true;
     int index = static_cast<int>(_hubLinks.size());
@@ -81,6 +84,7 @@ Topology::linkHubs(int a, hub::PortId pa, int b, hub::PortId pb,
                                 fibers.reverse, true});
     adjacency[a].push_back(Adj{b, pa, index});
     adjacency[b].push_back(Adj{a, pb, index});
+    _table.reset(); // the graph grew: stale table, recompile lazily
     return index;
 }
 
@@ -202,9 +206,7 @@ Topology::reachable(int fromHub, int toHub) const
     if (fromHub < 0 || fromHub >= numHubs() || toHub < 0 ||
         toHub >= numHubs())
         sim::fatal("Topology::reachable: bad hub index");
-    if (fromHub == toHub)
-        return true;
-    return bfs(fromHub)[toHub].first != -1;
+    return routeTable().reachable(fromHub, toHub);
 }
 
 const FiberPair &
@@ -218,28 +220,18 @@ Topology::endpointFibers(int hub, hub::PortId port) const
     return it->second;
 }
 
-std::vector<std::pair<int, hub::PortId>>
-Topology::bfs(int root) const
+const RouteTable &
+Topology::routeTable() const
 {
-    std::vector<std::pair<int, hub::PortId>> prev(
-        numHubs(), {-1, hub::noPort});
-    std::vector<bool> seen(numHubs(), false);
-    std::deque<int> frontier{root};
-    seen[root] = true;
-    while (!frontier.empty()) {
-        int h = frontier.front();
-        frontier.pop_front();
-        for (const Adj &a : adjacency[h]) {
-            if (!_hubLinks[a.linkIndex].up)
-                continue; // failed link: route around it
-            if (!seen[a.neighbor]) {
-                seen[a.neighbor] = true;
-                prev[a.neighbor] = {h, a.myPort};
-                frontier.push_back(a.neighbor);
-            }
-        }
+    if (!_table || _tableVersion != _linkVersion) {
+        FabricGraph g(numHubs());
+        for (const HubLink &l : _hubLinks)
+            g.addLink(l.a, l.pa, l.b, l.pb, l.up);
+        _table = std::make_unique<RouteTable>(RouteTable::compile(g));
+        _tableVersion = _linkVersion;
+        ++_compiles;
     }
-    return prev;
+    return *_table;
 }
 
 Route
@@ -249,28 +241,19 @@ Topology::route(const Endpoint &from, const Endpoint &to) const
         to.hubIndex < 0 || to.hubIndex >= numHubs())
         sim::fatal("Topology::route: bad endpoint");
 
-    // Hub path from source hub to destination hub over surviving
-    // links.  An unreachable destination yields an empty route: link
-    // failures are an operational condition, not a programming error,
-    // and the transport's retransmission machinery turns it into a
-    // retried (and eventually healed) transmission failure.
-    auto prev = bfs(from.hubIndex);
-    if (to.hubIndex != from.hubIndex &&
-        prev[to.hubIndex].first == -1)
+    // Hub path from the compiled table.  An unreachable destination
+    // yields an empty route: link failures are an operational
+    // condition, not a programming error, and the transport's
+    // retransmission machinery turns it into a retried (and
+    // eventually healed) transmission failure.
+    const RouteTable &table = routeTable();
+    std::vector<RouteTable::PathHop> hops;
+    if (!table.path(from.hubIndex, to.hubIndex, hops))
         return {};
 
-    std::vector<int> path; // hub indices, destination first
-    for (int h = to.hubIndex; h != from.hubIndex;
-         h = prev[h].first)
-        path.push_back(h);
-    path.push_back(from.hubIndex);
-    std::reverse(path.begin(), path.end());
-
     Route r;
-    for (std::size_t i = 0; i + 1 < path.size(); ++i) {
-        r.push_back(Hop{hubs[path[i]]->hubId(),
-                        prev[path[i + 1]].second, false});
-    }
+    for (const RouteTable::PathHop &h : hops)
+        r.push_back(Hop{hubs[h.hub]->hubId(), h.outPort, false});
     // Final hop: open the destination CAB's port, with reply.
     r.push_back(Hop{hubs[to.hubIndex]->hubId(), to.port, true});
     return r;
@@ -283,21 +266,17 @@ Topology::multicastRoute(const Endpoint &from,
     if (to.empty())
         sim::fatal("Topology::multicastRoute: no destinations");
 
-    auto prev = bfs(from.hubIndex);
+    const RouteTable &table = routeTable();
 
-    // Union of the per-destination hub paths forms the tree:
-    // child hub -> (parent hub, parent's port toward child).
-    // Terminal opens (CAB ports) are collected per hub.
+    // Terminal opens (CAB ports) are collected per hub; the spanning
+    // tree over transit hubs comes from the compiled table.
     std::map<int, std::vector<hub::PortId>> terminals;
-    std::map<int, std::vector<std::pair<hub::PortId, int>>> children;
-    std::vector<bool> inTree(numHubs(), false);
-    inTree[from.hubIndex] = true;
-
+    std::vector<int> destHubs;
     for (const Endpoint &dst : to) {
         if (dst.hubIndex < 0 || dst.hubIndex >= numHubs())
             sim::fatal("Topology::multicastRoute: bad endpoint");
         if (dst.hubIndex != from.hubIndex &&
-            prev[dst.hubIndex].first == -1) {
+            !table.reachable(from.hubIndex, dst.hubIndex)) {
             // Like route(): an unreachable member is an operational
             // condition (link failures), not a programming error.
             // An empty route tells the caller the tree cannot be
@@ -309,30 +288,26 @@ Topology::multicastRoute(const Endpoint &from,
             opens.end())
             continue; // duplicate destination: open each port once
         opens.push_back(dst.port);
-        for (int h = dst.hubIndex; !inTree[h]; h = prev[h].first) {
-            inTree[h] = true;
-            auto [parent, port] = prev[h];
-            auto &kids = children[parent];
-            if (std::find(kids.begin(), kids.end(),
-                          std::make_pair(port, h)) == kids.end())
-                kids.emplace_back(port, h);
-        }
+        destHubs.push_back(dst.hubIndex);
     }
+
+    RouteTable::McTree tree =
+        table.multicastTree(from.hubIndex, destHubs);
+    if (!tree.ok)
+        return {};
 
     // Depth-first emission, matching the Section 4.2.2 example:
     // at each hub, first open terminal (CAB) ports with reply, then
     // recurse into child hubs.
     Route r;
-    std::vector<int> stack{from.hubIndex};
-    // Iterative DFS preserving child order; emit on first visit.
     std::function<void(int)> visit = [&](int h) {
         auto t = terminals.find(h);
         if (t != terminals.end()) {
             for (hub::PortId p : t->second)
                 r.push_back(Hop{hubs[h]->hubId(), p, true});
         }
-        auto c = children.find(h);
-        if (c != children.end()) {
+        auto c = tree.children.find(h);
+        if (c != tree.children.end()) {
             for (auto [port, child] : c->second) {
                 r.push_back(Hop{hubs[h]->hubId(), port, false});
                 visit(child);
@@ -350,53 +325,40 @@ Topology::hopCount(const Endpoint &from, const Endpoint &to) const
 }
 
 std::unique_ptr<Topology>
+buildTopology(sim::EventQueue &eq, const TopologyDescription &d,
+              const hub::HubConfig &config)
+{
+    d.validate();
+    hub::HubConfig cfg = config;
+    if (d.hubPorts > 0)
+        cfg.numPorts = d.hubPorts;
+
+    // HUBs then trunks, in declared order: the builder performs
+    // exactly the imperative calls a hand-assembled system would, so
+    // event traces are identical.
+    auto t = std::make_unique<Topology>(eq, cfg);
+    for (const HubDecl &h : d.hubs)
+        t->addHub(h.name);
+    for (const TrunkDecl &tr : d.trunks)
+        t->linkHubs(tr.a, tr.pa, tr.b, tr.pb, tr.latency, tr.width);
+    return t;
+}
+
+std::unique_ptr<Topology>
 makeSingleHub(sim::EventQueue &eq, const hub::HubConfig &config)
 {
-    auto t = std::make_unique<Topology>(eq, config);
-    t->addHub();
-    return t;
+    return buildTopology(eq, describeSingleHub(0, config.numPorts),
+                         config);
 }
 
 std::unique_ptr<Topology>
 makeMesh2D(sim::EventQueue &eq, int rows, int cols,
            const hub::HubConfig &config, sim::Tick interHubDelay)
 {
-    if (rows < 1 || cols < 1)
-        sim::fatal("makeMesh2D: dimensions must be positive");
-    if (config.numPorts < 5 && rows * cols > 1)
-        sim::fatal("makeMesh2D: need at least 5 ports per HUB");
-
-    auto t = std::make_unique<Topology>(eq, config);
-    for (int r = 0; r < rows; ++r) {
-        for (int c = 0; c < cols; ++c) {
-            t->addHub("hub_r" + std::to_string(r) + "c" +
-                      std::to_string(c));
-        }
-    }
-
-    // Port convention: east/west/south/north on the four highest
-    // ports, leaving the rest for CABs.
-    const int east = config.numPorts - 4;
-    const int west = config.numPorts - 3;
-    const int south = config.numPorts - 2;
-    const int north = config.numPorts - 1;
-
-    for (int r = 0; r < rows; ++r) {
-        for (int c = 0; c < cols; ++c) {
-            int here = meshHubIndex(r, c, cols);
-            if (c + 1 < cols) {
-                t->linkHubs(here, east,
-                            meshHubIndex(r, c + 1, cols), west,
-                            interHubDelay);
-            }
-            if (r + 1 < rows) {
-                t->linkHubs(here, south,
-                            meshHubIndex(r + 1, c, cols), north,
-                            interHubDelay);
-            }
-        }
-    }
-    return t;
+    return buildTopology(
+        eq, describeMesh2D(rows, cols, 0, interHubDelay,
+                           config.numPorts),
+        config);
 }
 
 } // namespace nectar::topo

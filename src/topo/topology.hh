@@ -22,6 +22,8 @@
 #include <vector>
 
 #include "hub/hub.hh"
+#include "topo/description.hh"
+#include "topo/route_table.hh"
 #include "topo/wiring.hh"
 
 namespace nectar::topo {
@@ -79,10 +81,12 @@ class Topology
      * HUB pair are allowed (and give the mesh redundancy to reroute
      * around a failed link).
      *
+     * @param width Bonded fiber lanes: the trunk serializes bytes
+     *        @p width times faster than a single TAXI pair.
      * @return Index of the new link in hubLinks().
      */
     int linkHubs(int a, hub::PortId pa, int b, hub::PortId pb,
-                 sim::Tick propDelay = 0);
+                 sim::Tick propDelay = 0, int width = 1);
 
     /**
      * Attach an endpoint (CAB or test harness) to a HUB port.
@@ -183,6 +187,18 @@ class Topology
     /** Number of HUB-to-HUB hops on the route between two endpoints. */
     int hopCount(const Endpoint &from, const Endpoint &to) const;
 
+    /**
+     * The compiled route table for the current link state.  Compiled
+     * lazily on first use and recompiled after any linkVersion()
+     * bump; route() and multicastRoute() read it instead of running
+     * a BFS per call.
+     */
+    const RouteTable &routeTable() const;
+
+    /** How many times the table has been (re)compiled (for tests
+     *  and the fabric benchmark). */
+    std::uint64_t tableCompiles() const { return _compiles; }
+
     Wiring &wiring() { return _wiring; }
 
   private:
@@ -193,11 +209,6 @@ class Topology
         hub::PortId myPort;
         int linkIndex; ///< Into _hubLinks, for health lookups.
     };
-
-    /** BFS predecessor tree from @p root: (prevHub, portFromPrev).
-     *  Only traverses links that are up. */
-    std::vector<std::pair<int, hub::PortId>>
-    bfs(int root) const;
 
     /** Index into _hubLinks of the link at (hub, port), or -1. */
     int findHubLink(int hub, hub::PortId port) const;
@@ -213,7 +224,24 @@ class Topology
     std::vector<HubLink> _hubLinks;
     std::map<std::pair<int, int>, FiberPair> endpointLinks;
     std::uint64_t _linkVersion = 0;
+
+    // Lazily compiled route table (see routeTable()).  route() is
+    // const, so the cache is mutable; _tableVersion records the
+    // linkVersion() the table was compiled against.
+    mutable std::unique_ptr<RouteTable> _table;
+    mutable std::uint64_t _tableVersion = 0;
+    mutable std::uint64_t _compiles = 0;
 };
+
+/**
+ * Build the HUBs and trunks of @p d into a live Topology.  CAB
+ * attachment is left to the caller (the CAB layer / nectarine), as
+ * with the historical builders.  A non-zero d.hubPorts overrides
+ * config.numPorts; everything else in @p config applies unchanged.
+ */
+std::unique_ptr<Topology>
+buildTopology(sim::EventQueue &eq, const TopologyDescription &d,
+              const hub::HubConfig &config = {});
 
 /**
  * Build a single-HUB star (Figure 2): one HUB, @p cabs endpoints

@@ -38,13 +38,16 @@ class Wiring
     /**
      * Create one unidirectional link delivering into @p sink.
      * The caller attaches the returned link to its transmitter.
+     * @param byteTime Serialization time per byte; bonded (wide)
+     *        trunks divide the single-TAXI byte time by their width.
      */
     phys::FiberLink &
     makeLink(const std::string &name, phys::FiberSink &sink,
-             sim::Tick propDelay = 0)
+             sim::Tick propDelay = 0,
+             sim::Tick byteTime = sim::proto::fiberByteTime)
     {
-        links.push_back(
-            std::make_unique<phys::FiberLink>(eq, name, propDelay));
+        links.push_back(std::make_unique<phys::FiberLink>(
+            eq, name, propDelay, byteTime));
         links.back()->connectTo(sink);
         return *links.back();
     }
@@ -58,16 +61,17 @@ class Wiring
      */
     FiberPair
     connectHubPorts(hub::Hub &a, hub::PortId pa, hub::Hub &b,
-                    hub::PortId pb, sim::Tick propDelay = 0)
+                    hub::PortId pb, sim::Tick propDelay = 0,
+                    sim::Tick byteTime = sim::proto::fiberByteTime)
     {
         auto &ab = makeLink(a.name() + ".p" + std::to_string(pa) +
                                 "->" + b.name() + ".p" +
                                 std::to_string(pb),
-                            b.port(pb), propDelay);
+                            b.port(pb), propDelay, byteTime);
         auto &ba = makeLink(b.name() + ".p" + std::to_string(pb) +
                                 "->" + a.name() + ".p" +
                                 std::to_string(pa),
-                            a.port(pa), propDelay);
+                            a.port(pa), propDelay, byteTime);
         a.port(pa).attachOutput(ab);
         b.port(pb).attachOutput(ba);
         return FiberPair{&ab, &ba};

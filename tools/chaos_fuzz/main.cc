@@ -11,6 +11,12 @@
  * Usage:
  *   chaos_fuzz [--seeds N] [--seed0 S] [--out DIR]
  *              [--intensity X] [--inject-bug] [--replay FILE]
+ *              [--fabric mesh|torus|fattree|FILE.topo]
+ *
+ * --fabric picks the harness system: the named generator at the
+ * standard 2x2x2 size, or any .topo fabric file (a path ending in
+ * .topo), so the same seed sweep can exercise inter-HUB trunk faults
+ * on irregular multi-HUB fabrics.
  *
  * Exit status: 0 when every seed passed, 1 on any oracle failure,
  * 2 on usage errors.
@@ -40,6 +46,7 @@ struct Options
     double intensity = 1.0;
     bool injectBug = false;
     std::string replayFile;
+    std::string fabric = "mesh";
 };
 
 [[noreturn]] void
@@ -47,7 +54,8 @@ usage(const char *argv0)
 {
     std::fprintf(stderr,
                  "usage: %s [--seeds N] [--seed0 S] [--out DIR] "
-                 "[--intensity X] [--inject-bug] [--replay FILE]\n",
+                 "[--intensity X] [--inject-bug] [--replay FILE] "
+                 "[--fabric mesh|torus|fattree|FILE.topo]\n",
                  argv0);
     std::exit(2);
 }
@@ -75,6 +83,8 @@ parseArgs(int argc, char **argv)
             opt.injectBug = true;
         else if (a == "--replay")
             opt.replayFile = value();
+        else if (a == "--fabric")
+            opt.fabric = value();
         else
             usage(argv[0]);
     }
@@ -99,6 +109,19 @@ main(int argc, char **argv)
 
     fault::FuzzConfig fcfg;
     fcfg.injectDeliveryBug = opt.injectBug;
+    if (opt.fabric == "mesh")
+        fcfg.fabric = fault::FuzzFabric::mesh;
+    else if (opt.fabric == "torus")
+        fcfg.fabric = fault::FuzzFabric::torus;
+    else if (opt.fabric == "fattree")
+        fcfg.fabric = fault::FuzzFabric::fattree;
+    else if (opt.fabric.size() > 5 &&
+             opt.fabric.substr(opt.fabric.size() - 5) == ".topo") {
+        fcfg.fabric = fault::FuzzFabric::file;
+        fcfg.topoFile = opt.fabric;
+    } else {
+        usage(argv[0]);
+    }
 
     if (!opt.replayFile.empty()) {
         // Replay a saved repro file end to end.
