@@ -372,8 +372,7 @@ ChaosController::report() const
         r.mcastMemberFailures += st.mcastMemberFailures.value();
         r.unroutable += st.unroutable.value();
         r.crashDrops += st.crashDrops.value();
-        for (double s : st.recoveryNs.rawSamples())
-            recovery.record(s);
+        recovery.merge(st.recoveryNs);
         r.readyTimeouts +=
             sys.site(i).datalink->stats().readyTimeouts.value();
     }

@@ -10,6 +10,7 @@
 #include "fault/oracle.hh"
 #include "nectarine/nectarine.hh"
 #include "nectarine/system.hh"
+#include "serving/serving.hh"
 #include "sim/coro.hh"
 #include "sim/logging.hh"
 #include "sim/random.hh"
@@ -268,6 +269,25 @@ runCase(const FaultPlan &plan, const FuzzConfig &cfg)
         *gid = groups.create("fuzz", ids);
     }
 
+    // Serving-load scenario: open-loop RPCs ride the same fabric
+    // while the oracle judges the ledgered traffic and the drain.
+    // Arrivals are bounded per host so the case still quiesces.
+    std::unique_ptr<serving::ServingWorkload> serving;
+    if (cfg.servingArrivalsPerSite > 0) {
+        serving::ServingConfig scfg;
+        scfg.flows = cfg.servingFlows;
+        scfg.seed = plan.seed;
+        scfg.maxArrivalsPerHost =
+            static_cast<std::uint64_t>(cfg.servingArrivalsPerSite);
+        scfg.duration = 8 * ms;
+        // Pace arrivals so every host's quota lands well inside the
+        // window even with fault-induced jitter.
+        scfg.offeredRps = static_cast<double>(n) *
+                          cfg.servingArrivalsPerSite / 4e-3;
+        serving = std::make_unique<serving::ServingWorkload>(*sys,
+                                                             scfg);
+    }
+
     ChaosController chaos(*sys, plan, PlanPolicy::normalize);
     eq.run();
 
@@ -283,6 +303,12 @@ runCase(const FaultPlan &plan, const FuzzConfig &cfg)
     res.collectiveOps = oracle.collectiveOps();
     res.collectiveFailures = oracle.collectiveFailures();
     res.groupEpochBumps = oracle.groupEpochBumps();
+    if (serving) {
+        serving::ServingReport sr = serving->report();
+        res.servingIssued = sr.issued;
+        res.servingCompleted = sr.completed;
+        res.servingFailed = sr.failed;
+    }
     if (res.quiescedAt > cfg.drainDeadline)
         res.violations.push_back(
             "wedged: system not quiescent by drain deadline (now=" +

@@ -60,6 +60,20 @@ struct FuzzConfig
     int collectiveMembers = 4; ///< Group size (tasks on sites 0..k-1).
     int collectiveRounds = 2;  ///< allreduce+barrier rounds.
 
+    /**
+     * Serving-load scenario: when positive, each site also drives
+     * this many open-loop RPC arrivals (src/serving) at the fault
+     * plan, seeded from the plan's seed.  RPC traffic is
+     * at-least-once and not ledgered by the oracle; what this buys
+     * is the oracle's no-phantom / no-silent-loss verdict on the
+     * reliable and datagram traffic — and the drain check — while
+     * request/response load is in flight on the same fabric.
+     */
+    int servingArrivalsPerSite = 0;
+
+    /** Logical client flows for the serving scenario. */
+    std::uint64_t servingFlows = 1'000'000;
+
     /** Fail the case if the system is not quiescent by this tick
      *  (the grace period after the last fault heals). */
     sim::Tick drainDeadline = 400 * sim::ticks::ms;
@@ -88,6 +102,11 @@ struct FuzzResult
     std::uint64_t collectiveOps = 0;
     std::uint64_t collectiveFailures = 0;
     std::uint64_t groupEpochBumps = 0;
+
+    // Serving-scenario accounting (FuzzConfig::servingArrivalsPerSite).
+    std::uint64_t servingIssued = 0;
+    std::uint64_t servingCompleted = 0;
+    std::uint64_t servingFailed = 0;
 };
 
 /** Run one plan through the standard harness. */

@@ -1,0 +1,104 @@
+#include "sweep.hh"
+
+#include <fstream>
+
+#include "sim/logging.hh"
+
+namespace nectar::serving {
+
+int
+detectKnee(const std::vector<SweepStep> &steps, double kneeSlope,
+           double minCompletion)
+{
+    for (std::size_t i = 0; i < steps.size(); ++i) {
+        const SweepStep &s = steps[i];
+        if (s.offeredRps > 0 &&
+            s.report.achievedRps / s.offeredRps < minCompletion)
+            return static_cast<int>(i);
+        if (i == 0)
+            continue;
+        const SweepStep &prev = steps[i - 1];
+        if (prev.report.p99Ns <= 0 || prev.offeredRps <= 0)
+            continue;
+        double latGrowth =
+            (s.report.p99Ns - prev.report.p99Ns) / prev.report.p99Ns;
+        double loadGrowth =
+            (s.offeredRps - prev.offeredRps) / prev.offeredRps;
+        if (loadGrowth > 0 && latGrowth > kneeSlope * loadGrowth)
+            return static_cast<int>(i);
+    }
+    return -1;
+}
+
+SweepResult
+runSweep(const SystemBuilder &build, const SweepConfig &cfg)
+{
+    if (cfg.steps < 1)
+        sim::fatal("runSweep: need at least one step");
+    if (cfg.growth <= 1.0)
+        sim::fatal("runSweep: growth must exceed 1");
+
+    SweepResult result;
+    result.fabric = cfg.fabric;
+    result.arrival = cfg.serving.arrival;
+
+    double offered = cfg.startRps;
+    for (int i = 0; i < cfg.steps; ++i, offered *= cfg.growth) {
+        sim::EventQueue eq;
+        auto sys = build(eq);
+        ServingConfig sc = cfg.serving;
+        sc.offeredRps = offered;
+        ServingWorkload w(*sys, sc);
+        eq.run();
+        result.steps.push_back(SweepStep{offered, w.report()});
+    }
+    result.kneeIndex =
+        detectKnee(result.steps, cfg.kneeSlope, cfg.minCompletion);
+    if (result.kneeIndex >= 0)
+        result.kneeRps =
+            result.steps[static_cast<std::size_t>(result.kneeIndex)]
+                .offeredRps;
+    return result;
+}
+
+void
+writeServingJson(const std::string &path,
+                 const std::vector<SweepResult> &results)
+{
+    bool kneeAll = !results.empty();
+    for (const SweepResult &r : results)
+        kneeAll = kneeAll && r.kneeIndex >= 0;
+
+    std::ofstream out(path);
+    out << "{\n  \"bench\": \"serving\",\n";
+    out << "  \"knee_found_all\": " << (kneeAll ? "true" : "false")
+        << ",\n";
+    out << "  \"sweeps\": [\n";
+    for (std::size_t s = 0; s < results.size(); ++s) {
+        const SweepResult &r = results[s];
+        out << "    {\"fabric\": \"" << r.fabric
+            << "\", \"arrival\": \"" << arrivalName(r.arrival)
+            << "\", \"knee_index\": " << r.kneeIndex
+            << ", \"knee_rps\": " << r.kneeRps << ",\n";
+        out << "     \"steps\": [\n";
+        for (std::size_t i = 0; i < r.steps.size(); ++i) {
+            const SweepStep &st = r.steps[i];
+            const ServingReport &rep = st.report;
+            out << "       {\"offered_rps\": " << st.offeredRps
+                << ", \"achieved_rps\": " << rep.achievedRps
+                << ", \"goodput_MBs\": " << rep.goodputMBs
+                << ", \"p50_us\": " << rep.p50Ns / 1e3
+                << ", \"p99_us\": " << rep.p99Ns / 1e3
+                << ", \"p999_us\": " << rep.p999Ns / 1e3
+                << ", \"completed\": " << rep.completed
+                << ", \"failed\": " << rep.failed
+                << ", \"shed\": " << rep.shed << "}"
+                << (i + 1 < r.steps.size() ? "," : "") << "\n";
+        }
+        out << "     ]}" << (s + 1 < results.size() ? "," : "")
+            << "\n";
+    }
+    out << "  ]\n}\n";
+}
+
+} // namespace nectar::serving

@@ -66,34 +66,94 @@ class SampleStats
 };
 
 /**
- * A histogram that keeps every sample (suitable for the sample counts
- * in this simulator) and answers exact percentile queries.
+ * An HDR-style log-bucketed histogram: fixed memory regardless of
+ * sample count, mergeable, with bounded relative quantile error.
+ *
+ * Values below 2^sigBits land in exact unit-width buckets; above
+ * that, each power-of-two range splits into 2^sigBits linear
+ * sub-buckets, so a bucket's width never exceeds 2^-sigBits of its
+ * values and a quantile's midpoint representative is within
+ * relativeError() = 2^-(sigBits+1) of the true sample.  Exact min,
+ * max, and sum are tracked on the side, so mean() is exact and the
+ * 0th/100th percentiles return the true extremes.  Negative samples
+ * count in an underflow bucket, samples beyond maxTrackable in an
+ * overflow bucket; both are represented by the exact min/max in
+ * quantile queries.
+ *
+ * Bucket counts grow lazily toward a hard cap of about
+ * (63 - sigBits) * 2^sigBits entries (~56 KB at the default
+ * resolution) — recording a million samples costs the same memory
+ * as recording ten.
  */
 class Histogram
 {
   public:
-    void record(double x) { samples.push_back(x); sorted = false; }
+    /** @param sigBits Sub-bucket resolution bits, in [0, 16]. */
+    explicit Histogram(int sigBits = 7);
 
-    std::uint64_t count() const { return samples.size(); }
+    /** Record one sample (nearest-integer bucketing). */
+    void record(double x);
+
+    std::uint64_t count() const { return n; }
 
     /**
-     * Exact percentile by nearest-rank.
+     * Quantile by nearest-rank over the bucket counts; the answer is
+     * within relativeError() of the exact nearest-rank sample.
      * @param p In [0, 100].
      */
     double percentile(double p) const;
 
     double median() const { return percentile(50.0); }
 
+    /** Exact mean (sum and count are tracked exactly). */
     double mean() const;
 
-    /** The raw samples, in recording order (for merging). */
-    const std::vector<double> &rawSamples() const { return samples; }
+    double min() const { return n ? _min : 0.0; }
+    double max() const { return n ? _max : 0.0; }
+    double sum() const { return _sum; }
 
-    void reset() { samples.clear(); sorted = true; }
+    /** Samples recorded below zero. */
+    std::uint64_t underflow() const { return nUnder; }
+    /** Samples recorded beyond maxTrackable. */
+    std::uint64_t overflow() const { return nOver; }
+
+    /** Largest value stored in a regular bucket. */
+    static constexpr double maxTrackable =
+        static_cast<double>(std::uint64_t{1} << 62);
+
+    /** Bound on |percentile(p) - exact| / exact for tracked values. */
+    double
+    relativeError() const
+    {
+        return 1.0 / static_cast<double>(std::uint64_t{2} << sig);
+    }
+
+    /**
+     * Fold another histogram's counts into this one.  Bucket-exact:
+     * merging is associative and commutative, and any merge order
+     * reports identical quantiles.  Both sides must share sigBits.
+     */
+    void merge(const Histogram &other);
+
+    int sigBits() const { return sig; }
+
+    /** Buckets allocated so far (memory audit; structurally capped). */
+    std::size_t bucketCount() const { return buckets.size(); }
+
+    void reset();
 
   private:
-    mutable std::vector<double> samples;
-    mutable bool sorted = true;
+    std::size_t indexOf(std::uint64_t v) const;
+    double representative(std::size_t index) const;
+
+    int sig;
+    std::vector<std::uint64_t> buckets; ///< Grown lazily, bounded.
+    std::uint64_t n = 0;
+    std::uint64_t nUnder = 0;
+    std::uint64_t nOver = 0;
+    double _min = 0.0;
+    double _max = 0.0;
+    double _sum = 0.0;
 };
 
 /**

@@ -1,5 +1,7 @@
 #include "traffic.hh"
 
+#include <cstdint>
+
 namespace nectar::workload {
 
 using nectarine::TaskContext;
@@ -8,6 +10,16 @@ using sim::Task;
 namespace {
 
 int trafficCounter = 0;
+
+/** splitmix64, to whiten adjacent per-site seeds apart. */
+std::uint64_t
+mix64(std::uint64_t x)
+{
+    x += 0x9E3779B97F4A7C15ull;
+    x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+    x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+    return x ^ (x >> 31);
+}
 
 void
 putTick(std::vector<std::uint8_t> &v, Tick t)
@@ -56,7 +68,12 @@ RandomTraffic::RandomTraffic(nectarine::Nectarine &api,
         api.createTask(
             i, "ttx" + run + "_" + std::to_string(i),
             [this, i, n, senders_left](TaskContext &ctx) -> Task<void> {
-                sim::Random rng(cfg.seed + i);
+                // An independent stream per site: seed+i alone leaves
+                // PCG states a fixed stride apart (gap draws
+                // correlate across sites); whitening the seed and
+                // picking a distinct stream decorrelates them.
+                sim::Random rng(mix64(cfg.seed ^ (i + 1)),
+                                0x74726166ull + 2 * i + 1);
                 for (int k = 0; k < cfg.messagesPerSite; ++k) {
                     co_await ctx.sleepFor(static_cast<Tick>(
                         rng.exponential(static_cast<double>(

@@ -235,6 +235,49 @@ TEST(ChaosFuzz, DetachedFramesAreReapedAfterRuns)
     EXPECT_EQ(sim::liveDetachedFrames(), 0u);
 }
 
+// ----- serving-load scenario ----------------------------------------
+
+TEST(ChaosFuzzServing, OracleCleanWithRequestsInFlight)
+{
+    // The serving RPCs are at-least-once and deliberately outside
+    // the delivery ledger; the point is that the no-phantom /
+    // no-silent-loss verdict on the ledgered traffic — and the drain
+    // check — hold while open-loop request load shares the fabric
+    // with the fault plan.
+    FuzzConfig fcfg;
+    fcfg.servingArrivalsPerSite = 8;
+    PlanGenerator gen(shape());
+    std::uint64_t issued = 0, completed = 0;
+    for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+        FuzzResult res = runCase(gen.generate(seed), fcfg);
+        EXPECT_TRUE(res.passed)
+            << "seed " << seed << ": " << res.oracleSummary
+            << (res.violations.empty() ? ""
+                                       : "\n  " + res.violations[0]);
+        EXPECT_GT(res.reliableSends, 0u) << "seed " << seed;
+        issued += res.servingIssued;
+        completed += res.servingCompleted;
+    }
+    EXPECT_GT(issued, 0u);
+    EXPECT_GT(completed, 0u);
+}
+
+TEST(ChaosFuzzServing, RunCaseStaysDeterministic)
+{
+    FuzzConfig fcfg;
+    fcfg.servingArrivalsPerSite = 8;
+    PlanGenerator gen(shape());
+    FaultPlan plan = gen.generate(11);
+    FuzzResult a = runCase(plan, fcfg);
+    FuzzResult b = runCase(plan, fcfg);
+    EXPECT_EQ(a.passed, b.passed);
+    EXPECT_EQ(a.quiescedAt, b.quiescedAt);
+    EXPECT_EQ(a.servingIssued, b.servingIssued);
+    EXPECT_EQ(a.servingCompleted, b.servingCompleted);
+    EXPECT_EQ(a.servingFailed, b.servingFailed);
+    EXPECT_EQ(a.report.format(), b.report.format());
+}
+
 // ----- multi-HUB fabrics through the same harness -------------------
 
 TEST(ChaosFuzzFabric, ShapeMatchesTheLiveSystem)

@@ -1,0 +1,298 @@
+/**
+ * @file
+ * Serving-subsystem tests: open-loop load generation over the RPC
+ * transport, bounded-memory flow multiplexing, arrival processes,
+ * knee detection, and bit-determinism of the whole measurement
+ * (DESIGN.md "Serving").
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "nectarine/system.hh"
+#include "serving/serving.hh"
+#include "serving/sweep.hh"
+#include "sim/event_queue.hh"
+
+using namespace nectar;
+using namespace nectar::serving;
+using sim::ticks::ms;
+using sim::ticks::us;
+
+namespace {
+
+/** One full serving run; everything a determinism diff needs. */
+struct RunResult
+{
+    std::uint64_t fingerprint = 0;
+    std::uint64_t executed = 0;
+    sim::Tick end = 0;
+    ServingReport report;
+};
+
+RunResult
+runServing(const ServingConfig &cfg, int cabs = 4)
+{
+    sim::EventQueue eq;
+    auto sys = nectarine::NectarSystem::singleHub(eq, cabs);
+    ServingWorkload w(*sys, cfg);
+    eq.run();
+    return RunResult{eq.fingerprint(), eq.executedCount(), eq.now(),
+               w.report()};
+}
+
+std::string
+slurp(const std::string &path)
+{
+    std::ifstream in(path);
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    return ss.str();
+}
+
+} // namespace
+
+// ----- open-loop basics ---------------------------------------------
+
+TEST(Serving, OpenLoopDeliversOfferedLoad)
+{
+    ServingConfig cfg;
+    cfg.flows = 100'000;
+    cfg.offeredRps = 40'000;
+    cfg.duration = 5 * ms;
+    cfg.serverCompute = 8 * us;
+    cfg.seed = 5;
+    RunResult r = runServing(cfg);
+
+    // ~200 expected arrivals; at this load nothing sheds or fails
+    // and nearly all complete.
+    EXPECT_GT(r.report.arrivals, 100u);
+    EXPECT_EQ(r.report.shed, 0u);
+    EXPECT_EQ(r.report.failed, 0u);
+    EXPECT_EQ(r.report.completed, r.report.issued);
+    EXPECT_GT(r.report.p50Ns, 0.0);
+    EXPECT_GE(r.report.p999Ns, r.report.p99Ns);
+    EXPECT_GE(r.report.p99Ns, r.report.p50Ns);
+    EXPECT_GT(r.report.goodputMBs, 0.0);
+}
+
+TEST(Serving, ReportsLatencyPercentilesFromHistogram)
+{
+    ServingConfig cfg;
+    cfg.offeredRps = 40'000;
+    cfg.duration = 5 * ms;
+    cfg.seed = 6;
+    RunResult r = runServing(cfg);
+    EXPECT_EQ(static_cast<std::uint64_t>(r.report.completed),
+              r.report.completed);
+    // The report's percentiles are the histogram's.
+    EXPECT_GT(r.report.completed, 0u);
+    EXPECT_DOUBLE_EQ(r.report.meanNs,
+                     r.report.meanNs); // not NaN
+}
+
+// ----- determinism ---------------------------------------------------
+
+TEST(Serving, SameSeedIsBitDeterministicTwicePerSeed)
+{
+    for (std::uint64_t seed : {1ull, 9ull}) {
+        ServingConfig cfg;
+        cfg.flows = 1'000'000;
+        cfg.offeredRps = 60'000;
+        cfg.duration = 4 * ms;
+        cfg.seed = seed;
+        RunResult a = runServing(cfg);
+        RunResult b = runServing(cfg);
+        EXPECT_EQ(a.fingerprint, b.fingerprint) << "seed " << seed;
+        EXPECT_EQ(a.executed, b.executed) << "seed " << seed;
+        EXPECT_EQ(a.end, b.end) << "seed " << seed;
+        EXPECT_TRUE(a.report == b.report) << "seed " << seed;
+    }
+}
+
+TEST(Serving, DifferentSeedsDiverge)
+{
+    ServingConfig cfg;
+    cfg.offeredRps = 60'000;
+    cfg.duration = 4 * ms;
+    cfg.seed = 1;
+    RunResult a = runServing(cfg);
+    cfg.seed = 2;
+    RunResult b = runServing(cfg);
+    EXPECT_NE(a.fingerprint, b.fingerprint);
+}
+
+// ----- bounded memory ------------------------------------------------
+
+TEST(Serving, MillionFlowsBoundedFlowTable)
+{
+    ServingConfig cfg;
+    cfg.flows = 1'500'000;
+    cfg.offeredRps = 120'000;
+    cfg.duration = 4 * ms;
+    cfg.seed = 3;
+    RunResult r = runServing(cfg);
+
+    EXPECT_GT(r.report.completed, 100u);
+    // Memory tracks outstanding requests, never population: the
+    // peak per-host flow table stays within the outstanding cap and
+    // nowhere near the 1.5M logical flows.
+    EXPECT_LE(r.report.peakFlowTable, cfg.maxOutstandingPerHost);
+    EXPECT_LT(r.report.peakFlowTable, cfg.flows / 100);
+}
+
+TEST(Serving, OverloadShedsAtTheOutstandingCap)
+{
+    ServingConfig cfg;
+    cfg.offeredRps = 2'000'000; // far past 4 servers' capacity
+    cfg.serverCompute = 50 * us;
+    cfg.maxOutstandingPerHost = 64;
+    cfg.duration = 4 * ms;
+    cfg.seed = 4;
+    RunResult r = runServing(cfg);
+    EXPECT_GT(r.report.shed, 0u);
+    EXPECT_LE(r.report.peakFlowTable, 64u);
+}
+
+// ----- arrival processes ---------------------------------------------
+
+TEST(Serving, HotspotSkewsLoadTowardLowSites)
+{
+    sim::EventQueue eq;
+    auto sys = nectarine::NectarSystem::singleHub(eq, 8);
+    ServingConfig cfg;
+    cfg.arrival = Arrival::hotspot;
+    cfg.zipfSkew = 1.4;
+    cfg.offeredRps = 100'000;
+    cfg.duration = 5 * ms;
+    cfg.seed = 8;
+    ServingWorkload w(*sys, cfg);
+    eq.run();
+
+    std::uint64_t low = w.requestsServedAt(0) + w.requestsServedAt(1);
+    std::uint64_t high =
+        w.requestsServedAt(6) + w.requestsServedAt(7);
+    EXPECT_GT(w.report().completed, 100u);
+    EXPECT_GT(low, 2 * high);
+}
+
+TEST(Serving, BurstyMatchesMeanLoad)
+{
+    ServingConfig cfg;
+    cfg.arrival = Arrival::bursty;
+    cfg.offeredRps = 80'000;
+    cfg.burstOnMean = 1 * ms;
+    cfg.burstOffMean = 1 * ms;
+    cfg.duration = 6 * ms;
+    cfg.seed = 9;
+    RunResult r = runServing(cfg);
+    // The MMPP's ON-rate scaling keeps the long-run mean near the
+    // offered load: ~480 expected arrivals, allow wide CI.
+    EXPECT_GT(r.report.arrivals, 200u);
+    EXPECT_LT(r.report.arrivals, 1000u);
+    EXPECT_GT(r.report.completed, 0u);
+}
+
+TEST(Serving, ClosedLoopRunsAtFixedConcurrency)
+{
+    ServingConfig cfg;
+    cfg.arrival = Arrival::closed;
+    cfg.closedConcurrency = 2;
+    cfg.closedThink = 20 * us;
+    cfg.duration = 3 * ms;
+    cfg.seed = 10;
+    RunResult r = runServing(cfg);
+    // Every worker completes at least one request, nothing sheds.
+    EXPECT_GE(r.report.completed, 8u); // 4 hosts x 2 workers
+    EXPECT_EQ(r.report.shed, 0u);
+    EXPECT_EQ(r.report.completed + r.report.failed, r.report.issued);
+}
+
+// ----- knee detection ------------------------------------------------
+
+namespace {
+
+SweepStep
+step(double offered, double achieved, double p99Us)
+{
+    SweepStep s;
+    s.offeredRps = offered;
+    s.report.achievedRps = achieved;
+    s.report.p99Ns = p99Us * 1e3;
+    s.report.completed = 1;
+    return s;
+}
+
+} // namespace
+
+TEST(DetectKnee, FlatCurveHasNoKnee)
+{
+    std::vector<SweepStep> steps{step(100, 100, 50),
+                                 step(200, 200, 52),
+                                 step(400, 400, 55)};
+    EXPECT_EQ(detectKnee(steps, 3.0, 0.9), -1);
+}
+
+TEST(DetectKnee, LatencySlopeTriggersAtTheJump)
+{
+    // Load doubles each rung (+100% growth); the last rung's p99
+    // inflates 8x (+700%), well past kneeSlope=3 x 100%.
+    std::vector<SweepStep> steps{step(100, 100, 50),
+                                 step(200, 200, 60),
+                                 step(400, 400, 480)};
+    EXPECT_EQ(detectKnee(steps, 3.0, 0.9), 2);
+}
+
+TEST(DetectKnee, CompletionCollapseTriggersEvenWithoutSlope)
+{
+    std::vector<SweepStep> steps{step(100, 99, 50),
+                                 step(200, 120, 55)};
+    EXPECT_EQ(detectKnee(steps, 3.0, 0.9), 1);
+}
+
+// ----- sweep harness -------------------------------------------------
+
+TEST(Sweep, LocatesKneeAndWritesStableJson)
+{
+    SweepConfig cfg;
+    cfg.fabric = "single_hub";
+    cfg.serving.flows = 200'000;
+    cfg.serving.duration = 2 * ms;
+    cfg.serving.serverCompute = 30 * us;
+    cfg.serving.seed = 12;
+    cfg.startRps = 60'000;
+    cfg.growth = 6.0;
+    cfg.steps = 2; // 60k (under 133k capacity), 360k (far past it)
+    auto build = [](sim::EventQueue &eq) {
+        return nectarine::NectarSystem::singleHub(eq, 4);
+    };
+
+    SweepResult a = runSweep(build, cfg);
+    ASSERT_EQ(a.steps.size(), 2u);
+    EXPECT_GE(a.kneeIndex, 0) << "ladder failed to saturate";
+    EXPECT_GT(a.steps[0].report.completed, 0u);
+
+    // Same seed => byte-identical BENCH_serving.json, twice over.
+    SweepResult b = runSweep(build, cfg);
+    std::string fa = "test_serving_sweep_a.json";
+    std::string fb = "test_serving_sweep_b.json";
+    writeServingJson(fa, {a});
+    writeServingJson(fb, {b});
+    std::string ja = slurp(fa), jb = slurp(fb);
+    EXPECT_FALSE(ja.empty());
+    EXPECT_EQ(ja, jb);
+    std::remove(fa.c_str());
+    std::remove(fb.c_str());
+
+    // Schema spot checks.
+    EXPECT_NE(ja.find("\"bench\": \"serving\""), std::string::npos);
+    EXPECT_NE(ja.find("\"knee_found_all\": true"),
+              std::string::npos);
+    EXPECT_NE(ja.find("\"offered_rps\""), std::string::npos);
+    EXPECT_NE(ja.find("\"p999_us\""), std::string::npos);
+    EXPECT_NE(ja.find("\"goodput_MBs\""), std::string::npos);
+}

@@ -12,11 +12,16 @@
  *   chaos_fuzz [--seeds N] [--seed0 S] [--out DIR]
  *              [--intensity X] [--inject-bug] [--replay FILE]
  *              [--fabric mesh|torus|fattree|FILE.topo]
+ *              [--serving N]
  *
  * --fabric picks the harness system: the named generator at the
  * standard 2x2x2 size, or any .topo fabric file (a path ending in
  * .topo), so the same seed sweep can exercise inter-HUB trunk faults
  * on irregular multi-HUB fabrics.
+ *
+ * --serving N adds the serving-load scenario: N open-loop RPC
+ * arrivals per site (src/serving) in flight while the oracle judges
+ * the ledgered traffic and the drain.
  *
  * Exit status: 0 when every seed passed, 1 on any oracle failure,
  * 2 on usage errors.
@@ -47,6 +52,7 @@ struct Options
     bool injectBug = false;
     std::string replayFile;
     std::string fabric = "mesh";
+    int serving = 0;
 };
 
 [[noreturn]] void
@@ -55,7 +61,8 @@ usage(const char *argv0)
     std::fprintf(stderr,
                  "usage: %s [--seeds N] [--seed0 S] [--out DIR] "
                  "[--intensity X] [--inject-bug] [--replay FILE] "
-                 "[--fabric mesh|torus|fattree|FILE.topo]\n",
+                 "[--fabric mesh|torus|fattree|FILE.topo] "
+                 "[--serving N]\n",
                  argv0);
     std::exit(2);
 }
@@ -85,6 +92,8 @@ parseArgs(int argc, char **argv)
             opt.replayFile = value();
         else if (a == "--fabric")
             opt.fabric = value();
+        else if (a == "--serving")
+            opt.serving = std::atoi(value());
         else
             usage(argv[0]);
     }
@@ -109,6 +118,7 @@ main(int argc, char **argv)
 
     fault::FuzzConfig fcfg;
     fcfg.injectDeliveryBug = opt.injectBug;
+    fcfg.servingArrivalsPerSite = opt.serving;
     if (opt.fabric == "mesh")
         fcfg.fabric = fault::FuzzFabric::mesh;
     else if (opt.fabric == "torus")
