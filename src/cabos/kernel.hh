@@ -29,6 +29,7 @@
 #include "cabos/mailbox.hh"
 #include "sim/component.hh"
 #include "sim/coro.hh"
+#include "sim/owner.hh"
 
 namespace nectar::cabos {
 
@@ -67,7 +68,13 @@ class Kernel : public sim::Component
     void noteThreadSwitch() { _switches.add(); }
 
     /** Awaitable: charge CPU compute time to the calling thread. */
-    auto compute(sim::Tick cost) { return _board.cpu().compute(cost); }
+    auto
+    compute(sim::Tick cost)
+    {
+        SIM_OWNER_INVARIANT(*this, _board,
+                            name() + ": kernel off its board's cluster");
+        return _board.cpu().compute(cost);
+    }
 
     /**
      * Awaitable: block the calling thread for @p d of simulated time

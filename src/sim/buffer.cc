@@ -16,6 +16,8 @@ BufferArena::instance()
     // Leaked on purpose: Buffers held by static or thread-local state
     // may be destroyed after any function-local static arena would
     // be, and their destructors recycle into the arena.
+    // nectar-lint: global-ok process-wide recycling arena; becomes
+    // per-thread (thread_local) under the parallel core
     static BufferArena *arena = new BufferArena;
     return *arena;
 }

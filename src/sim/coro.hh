@@ -282,6 +282,8 @@ struct DetachedFrameSet
 inline DetachedFrameSet &
 detachedFrames()
 {
+    // nectar-lint: global-ok detached-frame registry shared with the
+    // reaper hook; same parallel-core plan as detachedReaper
     static DetachedFrameSet set;
     return set;
 }

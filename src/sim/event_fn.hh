@@ -167,6 +167,8 @@ class EventFn
     };
 
     // Single-threaded by design (like the event queue itself).
+    // nectar-lint: global-ok allocation diagnostics counter only;
+    // sharded per thread when the event loop is partitioned
     static inline std::uint64_t heapAllocs = 0;
 
     union {

@@ -54,7 +54,11 @@ namespace detail {
  * live EventQueue is destroyed, so server loops parked on a Channel
  * (and the messages they own) are reclaimed instead of leaking.
  */
+// nectar-lint: global-ok process-wide coroutine-frame reaper hook;
+// a parallel core must make this registration thread-safe, not
+// per-partition (tracked in ROADMAP, parallel core item)
 inline void (*detachedReaper)() = nullptr;
+// nectar-lint: global-ok paired with detachedReaper above
 inline int liveEventQueues = 0;
 } // namespace detail
 

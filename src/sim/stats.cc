@@ -10,6 +10,8 @@ namespace nectar::sim {
 CopyStats &
 copyStats()
 {
+    // nectar-lint: global-ok copy-accounting counters; aggregated
+    // read-only at report time, sharded per thread when partitioned
     static CopyStats stats;
     return stats;
 }

@@ -1,0 +1,19 @@
+// D1 corpus: the time()/localtime() family and kernel entropy
+// sources fire like the chrono clocks do.  Not compiled; linted by
+// test_nectar_lint only.
+#include <cstdlib>
+#include <ctime>
+
+long
+moreEntropy()
+{
+    std::time_t t = std::time(nullptr);
+    std::tm *lt = std::localtime(&t);
+    std::clock_t c = std::clock();
+    long m = std::mktime(lt);
+    char buf[64];
+    (void)arc4random_buf(buf, sizeof buf);
+    srandom(7);
+    long r = random();
+    return static_cast<long>(t) + static_cast<long>(c) + m + r;
+}

@@ -1,0 +1,55 @@
+// Graph corpus: a site-role component committing every cross-role
+// sin (D6 direct mutation, D8 retained foreign internals) alongside
+// the sanctioned forms (read, mediated, co-located, annotated).
+// Not compiled; analyzed by test_nectar_lint.
+#include "datalink/pump.hh"
+#include "hub/widget.hh"
+#include "phys/wire.hh"
+
+namespace fake::cab {
+
+class Board : public fake::sim::Component
+{
+  public:
+    Board(fake::hub::Widget &w, fake::phys::FiberLink &l,
+          fake::datalink::Pump &p)
+        : _w(w), _link(l), _pump(p)
+    {}
+
+    void step();
+    void sample();
+
+  private:
+    fake::hub::Widget &_w;
+    fake::phys::FiberLink &_link;
+    fake::datalink::Pump &_pump;
+    int *hot = nullptr;
+    int *cold = nullptr;
+    int _ticks = 0;
+};
+
+void
+Board::step()
+{
+    _w.poke();                 // D6: site -> hub direct mutation
+    int x = _w.level();        // read: const access, no finding
+    _link.send(x);             // mediated: allowlisted chokepoint
+    _w.gauge().bump();         // D6: mutation through the accessor
+    _link.jiggle();            // D6: wire call off the allowlist
+    _pump.run();               // co-located: same site role
+    ++_ticks;                  // self state: not an edge
+}
+
+void
+Board::sample()
+{
+    // nectar-lint: mediated-ok corpus fixture sanctioned path
+    _w.poke();
+    hot = &_w.gauge().v;       // D8: foreign internals kept in a field
+    // nectar-lint: foreign-ref-ok corpus fixture retained gauge
+    cold = &_w.gauge().v;
+    int *tmp = &_w.gauge().v;  // transient local: not retained
+    (void)tmp;
+}
+
+} // namespace fake::cab

@@ -1,0 +1,19 @@
+// Graph corpus: a second site-role component for the co-located
+// classification.  Not compiled; analyzed by test_nectar_lint.
+#pragma once
+
+#include "sim/component.hh"
+
+namespace fake::datalink {
+
+class Pump : public fake::sim::Component
+{
+  public:
+    void run() { ++_cycles; }
+    int cycles() const { return _cycles; }
+
+  private:
+    int _cycles = 0;
+};
+
+} // namespace fake::datalink

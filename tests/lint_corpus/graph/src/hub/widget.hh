@@ -1,0 +1,28 @@
+// Graph corpus: a hub-role component with mutable internals behind
+// an accessor.  Not compiled; analyzed by test_nectar_lint.
+#pragma once
+
+#include "sim/component.hh"
+
+namespace fake::hub {
+
+struct Gauge
+{
+    int v = 0;
+    void bump() { ++v; }
+    int peek() const { return v; }
+};
+
+class Widget : public fake::sim::Component
+{
+  public:
+    void poke() { ++_lvl; }
+    int level() const { return _lvl; }
+    Gauge &gauge() { return _g; }
+
+  private:
+    Gauge _g;
+    int _lvl = 0;
+};
+
+} // namespace fake::hub

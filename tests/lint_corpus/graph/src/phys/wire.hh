@@ -1,0 +1,21 @@
+// Graph corpus: the wire chokepoint.  FiberLink::send is on the
+// default mediated allowlist; jiggle() is not.  Not compiled;
+// analyzed by test_nectar_lint.
+#pragma once
+
+#include "sim/component.hh"
+
+namespace fake::phys {
+
+class FiberLink : public fake::sim::Component
+{
+  public:
+    void send(int word) { _last = word; }
+    void jiggle() { ++_last; }
+    int last() const { return _last; }
+
+  private:
+    int _last = 0;
+};
+
+} // namespace fake::phys

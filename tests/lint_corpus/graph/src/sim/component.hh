@@ -1,0 +1,17 @@
+// Graph corpus: a miniature component tree exercising the access
+// graph pass (D6/D8).  Not compiled; analyzed by test_nectar_lint.
+#pragma once
+
+namespace fake::sim {
+
+class Component
+{
+  public:
+    Component() = default;
+    const char *name() const { return _name; }
+
+  private:
+    const char *_name = "";
+};
+
+} // namespace fake::sim

@@ -1,0 +1,44 @@
+// D7 corpus: mutable global / static state in simulation code (the
+// src/ path segment puts this file inside the simulation filter).
+// Not compiled; linted by test_nectar_lint only.
+#include <cstdint>
+
+namespace fake {
+
+inline int packetsInFlight = 0;
+static std::uint64_t totalBytes = 0;
+extern int sharedConfig;
+inline void (*hookFn)(int) = nullptr;
+
+inline constexpr int maxRetries = 5;      // constexpr: immutable
+static const char *const tag = "v1";      // const: immutable
+static thread_local int scratch = 0;      // per-thread by definition
+
+// nectar-lint: global-ok corpus fixture justifying a waiver
+static int sanctioned = 0;
+
+struct Counters
+{
+    static inline std::uint64_t grand = 0;
+    static constexpr int width = 8;       // constexpr member: fine
+};
+
+inline int
+nextId()
+{
+    static int id = 0;                    // function-local static
+    static const int base = 100;          // const: fine
+    return base + id++;
+}
+
+int
+consume()
+{
+    if (packetsInFlight > 0) {
+        static bool warned = false;       // static in a block scope
+        (void)warned;
+    }
+    return Counters::grand > totalBytes ? 1 : 0;
+}
+
+} // namespace fake

@@ -4,19 +4,22 @@
  *
  * Two layers: the corpus tests lint the one-rule-per-file fixtures in
  * tests/lint_corpus/ and assert the exact (rule, line) findings — if
- * any of D1–D5 or A1 stops firing, the corresponding test fails.  The
+ * any of D1–D8 or A1 stops firing, the corresponding test fails.  The
  * inline tests feed lintSource() small snippets to pin down the edge
  * cases (literals in comments/strings, annotation coverage, the
  * packet-path filter).
  */
 
 #include <algorithm>
+#include <fstream>
+#include <sstream>
 #include <string>
 #include <utility>
 #include <vector>
 
 #include <gtest/gtest.h>
 
+#include "graph.hh"
 #include "lint.hh"
 
 using nectar::lint::Finding;
@@ -216,8 +219,215 @@ TEST(LintSource, A1IsNeverSuppressed)
 
 TEST(LintSource, RuleDescriptionsExist)
 {
-    for (const char *rule : {"D1", "D2", "D3", "D4", "D5", "A1"}) {
+    for (const char *rule : {"D1", "D2", "D3", "D4", "D5", "D6",
+                             "D7", "D8", "A1"}) {
         ASSERT_NE(nectar::lint::ruleDescription(rule), nullptr);
         EXPECT_NE(std::string(nectar::lint::ruleDescription(rule)), "");
     }
+}
+
+// --------------------------------------------------------------------
+// D1 extension: the time()/localtime() family and kernel entropy.
+// --------------------------------------------------------------------
+
+TEST(LintCorpus, D1TimeFamilyFires)
+{
+    EXPECT_EQ(lintCorpus("d1_time_family.cc"),
+              (Expected{{"D1", 10},
+                        {"D1", 11},
+                        {"D1", 12},
+                        {"D1", 13},
+                        {"D1", 15},
+                        {"D1", 16},
+                        {"D1", 17}}));
+}
+
+TEST(LintSource, TimeOfAVariableIsNotWallClock)
+{
+    // time(&t) is wall clock; runtime(x) and a member named time are
+    // not calls into the libc time family.
+    std::string src = "void f(T &sim, long x) {\n"
+                      "    long a = sim.runtime(x);\n"
+                      "    long b = sim.time;\n"
+                      "    (void)a; (void)b;\n"
+                      "}\n";
+    EXPECT_TRUE(lintSource("x.cc", src).empty());
+    EXPECT_EQ(ruleLines(lintSource(
+                  "x.cc", "long g() { long t; return time(&t); }\n")),
+              (Expected{{"D1", 1}}));
+}
+
+// --------------------------------------------------------------------
+// D7 — mutable global / static state.
+// --------------------------------------------------------------------
+
+TEST(LintCorpus, D7GlobalStateFires)
+{
+    // Namespace-scope inline/static/extern variables (including the
+    // function-pointer hook), a static data member, and the two
+    // mutable function-local statics; const/constexpr/thread_local
+    // and the annotated declaration stay silent.
+    EXPECT_EQ(lintCorpus("src/d7_global_state.cc"),
+              (Expected{{"D7", 8},
+                        {"D7", 9},
+                        {"D7", 10},
+                        {"D7", 11},
+                        {"D7", 22},
+                        {"D7", 29},
+                        {"D7", 38}}));
+}
+
+TEST(LintSource, D7AppliesOnlyUnderSimulationDirs)
+{
+    std::string src = "namespace x {\nstatic int hits = 0;\n}\n";
+    EXPECT_EQ(ruleLines(lintSource("src/hub/h.cc", src)),
+              (Expected{{"D7", 2}}));
+    EXPECT_TRUE(lintSource("tools/t.cc", src).empty());
+    EXPECT_TRUE(lintSource("tests/helpers/h.hh", src).empty());
+}
+
+TEST(LintSource, D7ConstAndThreadLocalPass)
+{
+    std::string src = "static const int a = 1;\n"
+                      "static constexpr int b = 2;\n"
+                      "static thread_local int c = 3;\n"
+                      "inline void f() { static int d = 4; ++d; }\n";
+    EXPECT_EQ(ruleLines(lintSource("src/sim/s.hh", src)),
+              (Expected{{"D7", 4}}));
+}
+
+TEST(LintSource, D7StaticFunctionsAndClassesPass)
+{
+    std::string src = "static int helper(int x) { return x + 1; }\n"
+                      "static inline int twice(int x)\n"
+                      "{\n"
+                      "    return helper(helper(x));\n"
+                      "}\n";
+    EXPECT_TRUE(lintSource("src/sim/s.cc", src).empty());
+}
+
+// --------------------------------------------------------------------
+// The access-graph pass: D6/D8 corpus and edge classification.
+// --------------------------------------------------------------------
+
+namespace {
+
+nectar::lint::GraphResult
+analyzeGraphCorpus()
+{
+    std::vector<nectar::lint::SourceFile> files;
+    for (const char *rel : {
+             "graph/src/sim/component.hh",
+             "graph/src/hub/widget.hh",
+             "graph/src/phys/wire.hh",
+             "graph/src/datalink/pump.hh",
+             "graph/src/cab/board.cc",
+         }) {
+        std::string path =
+            std::string(NECTAR_LINT_CORPUS_DIR) + "/" + rel;
+        std::ifstream in(path, std::ios::binary);
+        EXPECT_TRUE(in.good()) << path;
+        std::ostringstream ss;
+        ss << in.rdbuf();
+        files.push_back({path, ss.str()});
+    }
+    return nectar::lint::analyzeGraph(files);
+}
+
+/** The corpus edges from Board, as "to/kind/member" strings. */
+std::vector<std::string>
+boardEdges(const nectar::lint::GraphResult &g)
+{
+    std::vector<std::string> out;
+    for (const auto &e : g.edges)
+        if (e.from == "Board")
+            out.push_back(e.to + "/" + e.kind + "/" + e.member +
+                          (e.annotated ? "/annotated" : ""));
+    return out;
+}
+
+} // namespace
+
+TEST(LintGraph, CorpusComponentsRolesAndInterfaces)
+{
+    auto g = analyzeGraphCorpus();
+    ASSERT_EQ(g.components.size(), 5u);
+    EXPECT_EQ(g.components.at("Component").role, "engine");
+    EXPECT_EQ(g.components.at("Widget").role, "hub");
+    EXPECT_EQ(g.components.at("FiberLink").role, "wire");
+    EXPECT_EQ(g.components.at("Pump").role, "site");
+    EXPECT_EQ(g.components.at("Board").role, "site");
+    // The aggregate behind the accessor is internals, not a node.
+    EXPECT_EQ(g.components.count("Gauge"), 0u);
+}
+
+TEST(LintGraph, CorpusFindingsExact)
+{
+    auto g = analyzeGraphCorpus();
+    std::vector<std::pair<std::string, int>> got;
+    for (const auto &f : g.findings)
+        got.emplace_back(f.rule, f.line);
+    EXPECT_EQ(got, (Expected{
+                       {"D6", 34}, {"D6", 37}, {"D6", 38}, {"D8", 48}}));
+}
+
+TEST(LintGraph, CorpusEdgeClassification)
+{
+    auto g = analyzeGraphCorpus();
+    auto edges = boardEdges(g);
+    auto has = [&](const std::string &s) {
+        return std::count(edges.begin(), edges.end(), s);
+    };
+    // One of each sanctioned kind...
+    EXPECT_EQ(has("Widget/read/level"), 1);
+    EXPECT_EQ(has("FiberLink/mediated/send"), 1);
+    EXPECT_EQ(has("Pump/co-located/run"), 1);
+    EXPECT_EQ(has("Widget/mediated/poke/annotated"), 1);
+    EXPECT_EQ(has("Widget/foreign-ref/gauge/annotated"), 1);
+    // ... and the violations, kept in the edge list as well.
+    EXPECT_EQ(has("Widget/direct-mutation/poke"), 1);
+    EXPECT_EQ(has("Widget/direct-mutation/gauge"), 1);
+    EXPECT_EQ(has("FiberLink/direct-mutation/jiggle"), 1);
+    EXPECT_EQ(has("Widget/foreign-ref/gauge"), 1);
+}
+
+TEST(LintGraph, MediatedAllowlistIsConfigurable)
+{
+    std::vector<nectar::lint::SourceFile> files = {
+        {"src/sim/component.hh",
+         "namespace s { class Component { public: int x = 0; }; }\n"},
+        {"src/hub/a.hh",
+         "class A : public s::Component {\n"
+         "  public:\n"
+         "    void hit() { ++n; }\n"
+         "  private:\n"
+         "    int n = 0;\n"
+         "};\n"},
+        {"src/cab/b.cc",
+         "class B : public s::Component {\n"
+         "  public:\n"
+         "    void go() { other.hit(); }\n"
+         "  private:\n"
+         "    A &other;\n"
+         "};\n"},
+    };
+    nectar::lint::GraphOptions opts;
+    auto g1 = nectar::lint::analyzeGraph(files, opts);
+    ASSERT_EQ(g1.findings.size(), 1u);
+    EXPECT_EQ(g1.findings[0].rule, "D6");
+
+    opts.mediatedAllowlist.push_back({"A", "hit"});
+    auto g2 = nectar::lint::analyzeGraph(files, opts);
+    EXPECT_TRUE(g2.findings.empty());
+}
+
+TEST(LintGraph, JsonIsDeterministic)
+{
+    auto g1 = analyzeGraphCorpus();
+    auto g2 = analyzeGraphCorpus();
+    nectar::lint::GraphOptions opts;
+    EXPECT_EQ(nectar::lint::graphJson(g1, opts),
+              nectar::lint::graphJson(g2, opts));
+    EXPECT_NE(nectar::lint::graphJson(g1, opts).find("\"edges\""),
+              std::string::npos);
 }

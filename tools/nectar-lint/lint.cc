@@ -9,295 +9,11 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "source.hh"
+
 namespace nectar::lint {
 
 namespace {
-
-// --------------------------------------------------------------------
-// Source preparation: blank comments and string/char literals so the
-// rule scanners only ever see code, and collect comment text per line
-// for the annotation grammar.
-// --------------------------------------------------------------------
-
-struct Prepared
-{
-    /** Source with comments and literal contents replaced by spaces;
-     *  newlines preserved so positions map to the original lines. */
-    std::string code;
-    /** Comment text concatenated per 1-based line. */
-    std::vector<std::string> comments; // [0] unused
-    /** True when the line holds any non-comment, non-space code. */
-    std::vector<bool> hasCode; // [0] unused
-};
-
-bool
-identChar(char c)
-{
-    return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
-}
-
-Prepared
-prepare(const std::string &text)
-{
-    Prepared p;
-    p.code.reserve(text.size());
-    p.comments.emplace_back();
-    p.comments.emplace_back();
-    p.hasCode.push_back(false);
-    p.hasCode.push_back(false);
-
-    enum class St { code, lineComment, blockComment, str, chr, rawStr };
-    St st = St::code;
-    std::string rawDelim; // for R"delim( ... )delim"
-    std::size_t line = 1;
-
-    auto newline = [&] {
-        p.code.push_back('\n');
-        ++line;
-        p.comments.emplace_back();
-        p.hasCode.push_back(false);
-    };
-
-    for (std::size_t i = 0; i < text.size(); ++i) {
-        char c = text[i];
-        char next = i + 1 < text.size() ? text[i + 1] : '\0';
-        switch (st) {
-        case St::code:
-            if (c == '/' && next == '/') {
-                st = St::lineComment;
-                p.code += "  ";
-                ++i;
-            } else if (c == '/' && next == '*') {
-                st = St::blockComment;
-                p.code += "  ";
-                ++i;
-            } else if (c == '"' && i >= 1 && text[i - 1] == 'R') {
-                // Raw string literal: find the delimiter up to '('.
-                std::size_t paren = text.find('(', i + 1);
-                rawDelim = paren == std::string::npos
-                               ? std::string()
-                               : text.substr(i + 1, paren - i - 1);
-                st = St::rawStr;
-                p.code.push_back(' ');
-            } else if (c == '"') {
-                st = St::str;
-                p.code.push_back(' ');
-            } else if (c == '\'' && !(i >= 1 && identChar(text[i - 1]))) {
-                // A char literal, not a digit separator (1'000'000).
-                st = St::chr;
-                p.code.push_back(' ');
-            } else if (c == '\n') {
-                newline();
-            } else {
-                if (!std::isspace(static_cast<unsigned char>(c)))
-                    p.hasCode[line] = true;
-                p.code.push_back(c);
-            }
-            break;
-        case St::lineComment:
-            if (c == '\n') {
-                st = St::code;
-                newline();
-            } else {
-                p.comments[line].push_back(c);
-                p.code.push_back(' ');
-            }
-            break;
-        case St::blockComment:
-            if (c == '*' && next == '/') {
-                st = St::code;
-                p.code += "  ";
-                ++i;
-            } else if (c == '\n') {
-                newline();
-            } else {
-                p.comments[line].push_back(c);
-                p.code.push_back(' ');
-            }
-            break;
-        case St::str:
-            if (c == '\\' && next != '\0') {
-                p.code += "  ";
-                ++i;
-                if (next == '\n')
-                    newline();
-            } else if (c == '"') {
-                st = St::code;
-                p.code.push_back(' ');
-            } else if (c == '\n') {
-                newline(); // unterminated; recover per line
-                st = St::code;
-            } else {
-                p.code.push_back(' ');
-            }
-            break;
-        case St::chr:
-            if (c == '\\' && next != '\0') {
-                p.code += "  ";
-                ++i;
-            } else if (c == '\'') {
-                st = St::code;
-                p.code.push_back(' ');
-            } else if (c == '\n') {
-                newline();
-                st = St::code;
-            } else {
-                p.code.push_back(' ');
-            }
-            break;
-        case St::rawStr: {
-            std::string close = ")" + rawDelim + "\"";
-            if (text.compare(i, close.size(), close) == 0) {
-                for (std::size_t k = 0; k < close.size(); ++k)
-                    p.code.push_back(' ');
-                i += close.size() - 1;
-                st = St::code;
-            } else if (c == '\n') {
-                newline();
-            } else {
-                p.code.push_back(' ');
-            }
-            break;
-        }
-        }
-    }
-    return p;
-}
-
-/** 1-based line number of position @p pos in @p code. */
-int
-lineOf(const std::string &code, std::size_t pos)
-{
-    return 1 + static_cast<int>(
-                   std::count(code.begin(), code.begin() +
-                              static_cast<std::ptrdiff_t>(pos), '\n'));
-}
-
-/** Skip whitespace (including newlines) forward from @p i. */
-std::size_t
-skipWs(const std::string &s, std::size_t i)
-{
-    while (i < s.size() &&
-           std::isspace(static_cast<unsigned char>(s[i])))
-        ++i;
-    return i;
-}
-
-/** Previous non-whitespace position before @p i, or npos. */
-std::size_t
-prevNonWs(const std::string &s, std::size_t i)
-{
-    while (i > 0) {
-        --i;
-        if (!std::isspace(static_cast<unsigned char>(s[i])))
-            return i;
-    }
-    return std::string::npos;
-}
-
-/**
- * Position one past the bracket that closes the one at @p open
- * (code[open] must be '(', '[', '{' or '<'), or npos when unmatched.
- * Operates on blanked code, so literals cannot confuse the count.
- */
-std::size_t
-matchBracket(const std::string &code, std::size_t open)
-{
-    char o = code[open];
-    char c = o == '(' ? ')' : o == '[' ? ']' : o == '{' ? '}' : '>';
-    int depth = 0;
-    for (std::size_t i = open; i < code.size(); ++i) {
-        if (code[i] == o) {
-            ++depth;
-        } else if (code[i] == c) {
-            if (--depth == 0)
-                return i + 1;
-        }
-    }
-    return std::string::npos;
-}
-
-// --------------------------------------------------------------------
-// Annotations.
-// --------------------------------------------------------------------
-
-const std::map<std::string, std::string> &
-tagToRule()
-{
-    static const std::map<std::string, std::string> m = {
-        {"wallclock-ok", "D1"}, {"ordered-ok", "D2"},
-        {"copy-ok", "D3"},      {"capture-ok", "D4"},
-        {"raw-ticks-ok", "D5"},
-    };
-    return m;
-}
-
-struct Suppressions
-{
-    /** rule -> exact lines waived. */
-    std::map<std::string, std::set<int>> lines;
-    /** rules waived for the whole file. */
-    std::set<std::string> wholeFile;
-
-    bool
-    covers(const std::string &rule, int line) const
-    {
-        if (wholeFile.count(rule))
-            return true;
-        auto it = lines.find(rule);
-        return it != lines.end() && it->second.count(line) > 0;
-    }
-};
-
-Suppressions
-parseAnnotations(const Prepared &p, const std::string &file,
-                 std::vector<Finding> &out)
-{
-    Suppressions sup;
-    static const std::regex ann(
-        R"(nectar-lint(-file)?\s*:\s*([A-Za-z0-9-]+)\s*(.*))");
-    for (std::size_t ln = 1; ln < p.comments.size(); ++ln) {
-        const std::string &comment = p.comments[ln];
-        auto begin = std::sregex_iterator(comment.begin(),
-                                          comment.end(), ann);
-        for (auto it = begin; it != std::sregex_iterator(); ++it) {
-            bool fileWide = (*it)[1].matched;
-            std::string tag = (*it)[2].str();
-            std::string why = (*it)[3].str();
-            auto rule = tagToRule().find(tag);
-            if (rule == tagToRule().end()) {
-                out.push_back({"A1", file, static_cast<int>(ln),
-                               "unknown nectar-lint tag '" + tag +
-                                   "'"});
-                continue;
-            }
-            // Trim separators; a waiver must say *why*.
-            while (!why.empty() &&
-                   (std::isspace(static_cast<unsigned char>(
-                        why.front())) ||
-                    why.front() == '-' || why.front() == ':'))
-                why.erase(why.begin());
-            if (why.empty()) {
-                out.push_back({"A1", file, static_cast<int>(ln),
-                               "nectar-lint annotation '" + tag +
-                                   "' needs a justification"});
-                continue;
-            }
-            if (fileWide) {
-                sup.wholeFile.insert(rule->second);
-            } else {
-                auto &s = sup.lines[rule->second];
-                s.insert(static_cast<int>(ln));
-                // A standalone annotation (possibly continued over
-                // further comment lines) covers the next code line.
-                std::size_t k = ln;
-                while (k < p.hasCode.size() && !p.hasCode[k])
-                    s.insert(static_cast<int>(++k));
-            }
-        }
-    }
-    return sup;
-}
 
 // --------------------------------------------------------------------
 // D1 — wall-clock time and unseeded randomness.
@@ -307,11 +23,18 @@ void
 scanWallClock(const Prepared &p, const std::string &file,
               std::vector<Finding> &out)
 {
+    // The time(nullptr) family includes taking the time through an
+    // out-parameter (time(&t)) and the broken-down-time converters,
+    // all of which smuggle wall-clock state into the simulation.
     static const std::regex pat(
         R"(\brand\s*\(|\bsrand\s*\(|\brandom_device\b|\bsystem_clock\b)"
         R"(|\bsteady_clock\b|\bhigh_resolution_clock\b)"
         R"(|\bgettimeofday\b|\bclock_gettime\b)"
-        R"(|\btime\s*\(\s*(nullptr|NULL|0)\s*\))");
+        R"(|\btime\s*\(\s*(nullptr|NULL|0|&\s*\w+)\s*\))"
+        R"(|\blocaltime(_r)?\s*\(|\bgmtime(_r)?\s*\(|\bmktime\s*\()"
+        R"(|\bctime(_r)?\s*\(|\basctime(_r)?\s*\(|\btimespec_get\s*\()"
+        R"(|\bclock\s*\(\s*\)|\bsrandom\s*\(|\brandom\s*\(\s*\))"
+        R"(|\bgetrandom\s*\(|\bgetentropy\s*\(|\barc4random\w*\s*\()");
     auto begin = std::sregex_iterator(p.code.begin(), p.code.end(),
                                       pat);
     for (auto it = begin; it != std::sregex_iterator(); ++it) {
@@ -604,6 +327,178 @@ scanScheduleSites(const Prepared &p, const std::string &file,
     }
 }
 
+// --------------------------------------------------------------------
+// D7 — mutable global / static state.
+//
+// A variable that outlives every component instance is invisible to
+// any partitioning of the component graph: two thread partitions
+// would share it without either one owning it.  The scanner tracks
+// brace scopes lexically (namespace, class, function/block,
+// initializer) and flags mutable variables introduced by `static`,
+// namespace-scope `inline`, or `extern` without a const qualifier.
+// const/constexpr state and thread_local variables pass: the former
+// cannot be written, the latter is per-thread by definition.
+// --------------------------------------------------------------------
+
+enum class ScopeKind { ns, cls, fn, init };
+
+/** Classify the '{' at @p open by looking back at its head. */
+ScopeKind
+classifyBrace(const std::string &code, std::size_t open)
+{
+    std::size_t j = prevNonWs(code, open);
+    if (j == std::string::npos)
+        return ScopeKind::init;
+    char c = code[j];
+    if (c == ')')
+        return ScopeKind::fn; // function body or control statement
+    if (c == '=' || c == ',' || c == '(' || c == '[' || c == '{')
+        return ScopeKind::init; // braced initializer / init list
+    // Scan the head back to the previous statement boundary.
+    std::size_t stop = j;
+    while (stop > 0 && code[stop - 1] != ';' && code[stop - 1] != '{' &&
+           code[stop - 1] != '}')
+        --stop;
+    std::string head = code.substr(stop, open - stop);
+    static const std::regex nsRe(R"(\b(namespace|extern)\b)");
+    static const std::regex clsRe(R"(\b(class|struct|union|enum)\b)");
+    static const std::regex blkRe(R"(\b(else|do|try|catch)\s*$)");
+    if (std::regex_search(head, nsRe))
+        return ScopeKind::ns;
+    if (std::regex_search(head, clsRe))
+        return ScopeKind::cls;
+    if (std::regex_search(head, blkRe) || c == ':')
+        return ScopeKind::fn;
+    return ScopeKind::init;
+}
+
+void
+scanGlobalState(const Prepared &p, const std::string &file,
+                std::vector<Finding> &out)
+{
+    const std::string &code = p.code;
+
+    // Every keyword that can introduce long-lived mutable state.
+    static const std::regex kw(R"(\b(static|inline|extern)\b)");
+    std::vector<std::pair<std::size_t, std::string>> hits;
+    for (auto it = std::sregex_iterator(code.begin(), code.end(), kw);
+         it != std::sregex_iterator(); ++it)
+        hits.emplace_back(static_cast<std::size_t>(it->position()),
+                          (*it)[1].str());
+
+    if (hits.empty())
+        return;
+
+    // One pass over the code maintaining the scope stack; evaluate
+    // each keyword hit in the scope it occurs in.
+    std::vector<ScopeKind> stack; // empty = global scope (ns)
+    std::size_t h = 0;
+    for (std::size_t i = 0; i < code.size() && h < hits.size(); ++i) {
+        if (code[i] == '{') {
+            stack.push_back(classifyBrace(code, i));
+        } else if (code[i] == '}') {
+            if (!stack.empty())
+                stack.pop_back();
+        }
+        if (i != hits[h].first)
+            continue;
+        std::size_t pos = hits[h].first;
+        const std::string &word = hits[h].second;
+        ++h;
+
+        ScopeKind scope = stack.empty() ? ScopeKind::ns : stack.back();
+        if (scope == ScopeKind::init)
+            continue;
+        // `inline`/`extern` only introduce variables at namespace
+        // scope; `static` does so in any scope.
+        if (word != "static" && scope != ScopeKind::ns)
+            continue;
+
+        // Parse the declaration: scan to the first of ';', '=', '{'
+        // (variable) or '(' (function — unless it opens a
+        // function-pointer declarator like `void (*f)() = nullptr`).
+        std::size_t i2 = pos + word.size();
+        bool isConst = false, notVar = false, sawDeclarator = false;
+        bool decided = false, isVariable = false;
+        static const std::regex stopWords(
+            R"(\b(const|constexpr|consteval|constinit|thread_local)"
+            R"(|using|typedef|friend|operator|template|namespace)"
+            R"(|class|struct|union|enum|void|return)\b)");
+        std::size_t declBegin = i2;
+        while (i2 < code.size() && !decided) {
+            char c = code[i2];
+            if (c == ';' || c == '=' || c == '{') {
+                decided = true;
+                isVariable = true;
+            } else if (c == '(') {
+                std::size_t nx = skipWs(code, i2 + 1);
+                if (nx < code.size() &&
+                    (code[nx] == '*' || code[nx] == '&')) {
+                    // Function-pointer declarator: skip it and keep
+                    // scanning; the param-list paren that follows
+                    // belongs to the variable's type.
+                    sawDeclarator = true;
+                    std::size_t end = matchBracket(code, i2);
+                    if (end == std::string::npos)
+                        break;
+                    i2 = end;
+                    continue;
+                }
+                if (sawDeclarator) {
+                    // `(*f)(params)` — skip the parameter list.
+                    std::size_t end = matchBracket(code, i2);
+                    if (end == std::string::npos)
+                        break;
+                    i2 = end;
+                    continue;
+                }
+                decided = true;
+                isVariable = false; // plain function declaration
+            } else if (c == '<') {
+                std::size_t end = matchBracket(code, i2);
+                if (end == std::string::npos)
+                    break;
+                i2 = end;
+                continue;
+            } else {
+                ++i2;
+                continue;
+            }
+        }
+        if (!decided || !isVariable)
+            continue;
+        std::string decl = code.substr(declBegin, i2 - declBegin);
+        for (auto wt = std::sregex_iterator(decl.begin(), decl.end(),
+                                            stopWords);
+             wt != std::sregex_iterator(); ++wt) {
+            std::string w = wt->str();
+            if (w == "const" || w == "constexpr" ||
+                w == "consteval" || w == "constinit" ||
+                w == "thread_local")
+                isConst = true;
+            else if (!sawDeclarator)
+                // A function-pointer declarator is a variable no
+                // matter what its return type spells.
+                notVar = true;
+        }
+        if (isConst || notVar)
+            continue;
+
+        const char *where =
+            scope == ScopeKind::ns  ? "namespace-scope"
+            : scope == ScopeKind::cls ? "static-data-member"
+                                      : "function-local static";
+        out.push_back(
+            {"D7", file, lineOf(code, pos),
+             std::string("mutable ") + where +
+                 " state: invisible to any component partitioning, "
+                 "so thread partitions would share it unsynchronized; "
+                 "make it const/thread_local, move it into a "
+                 "component, or annotate "
+                 "'nectar-lint: global-ok <why>'"});
+    }
+}
+
 } // namespace
 
 // --------------------------------------------------------------------
@@ -624,6 +519,15 @@ ruleDescription(const std::string &rule)
                "schedule()/spawn()";
     if (rule == "D5")
         return "no bare integer time literals at schedule sites";
+    if (rule == "D6")
+        return "no direct cross-component state mutation off the "
+               "mediated-call allowlist";
+    if (rule == "D7")
+        return "no mutable global/namespace-scope static state in "
+               "simulation code";
+    if (rule == "D8")
+        return "no foreign references to another component's "
+               "internals stored in fields";
     if (rule == "A1")
         return "annotations need a known tag and a justification";
     return "unknown rule";
@@ -647,6 +551,12 @@ lintSource(const std::string &path, const std::string &text,
     if (onPacketPath)
         scanPacketCopies(p, path, raw);
     scanScheduleSites(p, path, raw);
+    bool simState = false;
+    for (const auto &dir : opts.globalStateDirs)
+        if (path.find(dir) != std::string::npos)
+            simState = true;
+    if (simState)
+        scanGlobalState(p, path, raw);
 
     std::vector<Finding> out;
     std::set<std::pair<std::string, int>> seen;

@@ -25,6 +25,15 @@
  *  - D5  no bare integer time literals at schedule sites; use named
  *        sim::ticks constants (e.g. 5 * ticks::us) so units are
  *        explicit.
+ *  - D7  no mutable global/namespace-scope static state in
+ *        simulation code: state that no component owns is invisible
+ *        to any partitioning of the component graph, so per-thread
+ *        cluster partitions would share it unsynchronized.
+ *
+ * Two further rules, D6 (direct cross-component state mutation off
+ * the mediated-call allowlist) and D8 (foreign references to another
+ * component's internals stored in fields), ride on the whole-tree
+ * component access graph; see graph.hh.
  *
  * Violations are suppressed with an annotation carrying a
  * justification (rule A1 rejects annotations without one):
@@ -38,7 +47,8 @@
  *     // nectar-lint-file: capture-ok test frames outlive eq.run()
  *
  * Tags: wallclock-ok (D1), ordered-ok (D2), copy-ok (D3),
- * capture-ok (D4), raw-ticks-ok (D5).
+ * capture-ok (D4), raw-ticks-ok (D5), mediated-ok (D6),
+ * global-ok (D7), foreign-ref-ok (D8).
  */
 
 #pragma once
@@ -51,7 +61,7 @@ namespace nectar::lint {
 /** One rule violation (or A1 annotation error). */
 struct Finding
 {
-    std::string rule;    ///< "D1".."D5", or "A1" (bad annotation).
+    std::string rule;    ///< "D1".."D8", or "A1" (bad annotation).
     std::string file;    ///< Path as passed to the linter.
     int line = 0;        ///< 1-based line number.
     std::string message; ///< Human-readable explanation.
@@ -67,9 +77,16 @@ struct Options
     std::vector<std::string> packetPathDirs = {
         "/phys/", "/hub/", "/datalink/", "/transport/", "/cab/",
     };
+
+    /**
+     * Path substrings marking simulation code; D7 applies only to
+     * files whose path contains one of these (tools and tests may
+     * keep process-wide state).
+     */
+    std::vector<std::string> globalStateDirs = {"src/"};
 };
 
-/** One-line description of a rule id ("D1".."D5", "A1"). */
+/** One-line description of a rule id ("D1".."D8", "A1"). */
 const char *ruleDescription(const std::string &rule);
 
 /**
