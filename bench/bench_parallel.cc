@@ -1,0 +1,243 @@
+/**
+ * @file
+ * E20 — parallel simulation core scaling (events/sec vs threads).
+ *
+ * Like E16 this measures the *simulator*, not the simulated system:
+ * the cluster-partitioned ParallelEngine must (a) reproduce the
+ * single-queue baseline's cluster fingerprints bit-for-bit at every
+ * thread count, and (b) convert worker threads into simulated
+ * events/sec.  The workload is the acceptance fabric's hard case — a
+ * 32-member allreduce spanning all 16 HUBs of fabric16, whose
+ * ring-reduce traffic crosses clusters on every step — so the scaling
+ * reported here is the conservative end of what independent
+ * per-cluster traffic achieves.
+ *
+ * Every row lands in BENCH_parallel.json together with the host's
+ * core count: scaling is only demonstrable when the host actually has
+ * cores, so the speedup acceptance gate arms only on hosts with >= 4,
+ * while the fingerprint gate (bit-identical to sequential) always
+ * arms — a determinism break fails this bench on any machine.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <functional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "collectives/group.hh"
+#include "nectarine/nectarine.hh"
+#include "nectarine/system.hh"
+#include "sim/parallel.hh"
+#include "topo/topofile.hh"
+#include "workload/allreduce.hh"
+
+// nectar-lint-file: wallclock-ok this harness measures real
+// events-per-second throughput; steady_clock never feeds sim state
+
+namespace {
+
+using namespace nectar;
+using nectarine::NectarSystem;
+using sim::ParallelEngine;
+using sim::SequentialShardSet;
+
+std::string
+fabricPath()
+{
+    return std::string(NECTAR_FABRIC_DIR) + "/fabric16.topo";
+}
+
+/** One measured run: trace digests plus wall-clock throughput. */
+struct Run
+{
+    std::string engine; ///< "sequential" or "parallel"
+    int threads = 0;    ///< 0 for the sequential baseline
+    std::uint64_t events = 0;
+    std::uint64_t epochs = 0;
+    std::uint64_t clusterFp = 0;  ///< trace().combined()
+    std::uint64_t workloadFp = 0; ///< allreduce report fingerprint
+    double seconds = 0;
+    double eventsPerSec = 0;
+};
+
+/** Build fabric16, run the 32-member allreduce on @p shards, and
+ *  time @p drain (the run call only — assembly is not measured). */
+Run
+measureOn(sim::ShardSet &shards, const topo::TopologyDescription &desc,
+          const std::function<void()> &drain, std::uint64_t &events)
+{
+    auto sys = NectarSystem::fromDescription(shards, desc);
+    nectarine::Nectarine api(*sys);
+    collective::GroupDirectory groups;
+    workload::AllreduceConfig cfg;
+    cfg.members = 32;
+    cfg.bytes = 2048;
+    cfg.rounds = 2;
+    std::vector<std::size_t> sites;
+    for (std::size_t i = 0;
+         i < static_cast<std::size_t>(cfg.members); ++i)
+        sites.push_back(i * sys->siteCount() /
+                        static_cast<std::size_t>(cfg.members));
+    workload::AllreduceWorkload w(api, groups, sites, cfg);
+
+    const auto t0 = std::chrono::steady_clock::now();
+    drain();
+    const auto t1 = std::chrono::steady_clock::now();
+
+    Run r;
+    const auto rep = w.report();
+    if (rep.okMembers != cfg.members) {
+        std::fprintf(stderr,
+                     "bench_parallel: allreduce incomplete (%d/%d)\n",
+                     rep.okMembers, cfg.members);
+        std::exit(1);
+    }
+    r.clusterFp = shards.trace().combined();
+    r.workloadFp = rep.fingerprint;
+    r.events = events;
+    r.seconds = std::chrono::duration<double>(t1 - t0).count();
+    r.eventsPerSec = static_cast<double>(r.events) / r.seconds;
+    return r;
+}
+
+Run
+measureSequential(const topo::TopologyDescription &desc)
+{
+    sim::EventQueue eq;
+    SequentialShardSet shards(eq, desc.numHubs());
+    std::uint64_t events = 0;
+    Run r = measureOn(
+        shards, desc,
+        [&] {
+            eq.run();
+            events = eq.executedCount();
+        },
+        events);
+    r.engine = "sequential";
+    return r;
+}
+
+Run
+measureParallel(const topo::TopologyDescription &desc, int threads)
+{
+    ParallelEngine engine(desc.numHubs(), threads);
+    std::uint64_t events = 0;
+    std::uint64_t epochs = 0;
+    Run r = measureOn(
+        engine, desc,
+        [&] {
+            engine.run();
+            events = engine.executedCount();
+            epochs = engine.epochs();
+        },
+        events);
+    r.engine = "parallel";
+    r.threads = threads;
+    r.epochs = epochs;
+    return r;
+}
+
+void
+writeJson(const std::string &file, const std::vector<Run> &runs,
+          unsigned cores, bool fingerprintsAgree)
+{
+    std::ofstream out(file);
+    out << "{\n  \"bench\": \"parallel\",\n";
+    out << "  \"fabric\": \"fabric16\",\n";
+    out << "  \"workload\": \"allreduce members=32 bytes=2048 "
+           "rounds=2\",\n";
+    out << "  \"host_cores\": " << cores << ",\n";
+    out << "  \"fingerprints_bit_identical\": "
+        << (fingerprintsAgree ? "true" : "false") << ",\n";
+    const double base = runs.front().eventsPerSec;
+    out << "  \"rows\": [\n";
+    for (std::size_t i = 0; i < runs.size(); ++i) {
+        const Run &r = runs[i];
+        out << "    {\"engine\": \"" << r.engine
+            << "\", \"threads\": " << r.threads
+            << ", \"events\": " << r.events
+            << ", \"epochs\": " << r.epochs
+            << ", \"seconds\": " << r.seconds
+            << ", \"events_per_sec\": " << r.eventsPerSec
+            << ", \"speedup_vs_sequential\": "
+            << (r.eventsPerSec / base) << ", \"cluster_fp\": \""
+            << r.clusterFp << "\", \"workload_fp\": \""
+            << r.workloadFp << "\"}"
+            << (i + 1 < runs.size() ? ",\n" : "\n");
+    }
+    out << "  ]\n}\n";
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    benchmark::Initialize(&argc, argv);
+    if (benchmark::ReportUnrecognizedArguments(argc, argv))
+        return 1;
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+
+    const topo::TopologyDescription desc =
+        topo::loadTopologyFile(fabricPath());
+
+    // Best of three per configuration (matches bench_engine): the
+    // fingerprint comparison uses the last run of each, which is
+    // valid because fingerprints are identical across reruns.
+    std::vector<Run> runs;
+    const auto best = [&](const std::function<Run()> &one) {
+        Run b = one();
+        for (int rep = 1; rep < 3; ++rep) {
+            Run r = one();
+            if (r.seconds < b.seconds)
+                b = r;
+        }
+        runs.push_back(b);
+    };
+    best([&] { return measureSequential(desc); });
+    for (int threads : {1, 2, 4, 8})
+        best([&, threads] { return measureParallel(desc, threads); });
+
+    bool agree = true;
+    for (const Run &r : runs)
+        if (r.clusterFp != runs.front().clusterFp ||
+            r.workloadFp != runs.front().workloadFp)
+            agree = false;
+
+    const unsigned cores = std::thread::hardware_concurrency();
+    writeJson("BENCH_parallel.json", runs, cores, agree);
+
+    const double base = runs.front().eventsPerSec;
+    for (const Run &r : runs)
+        std::printf("%-10s threads=%d  %9.0f events/s  %5.2fx  "
+                    "epochs=%llu\n",
+                    r.engine.c_str(), r.threads, r.eventsPerSec,
+                    r.eventsPerSec / base,
+                    static_cast<unsigned long long>(r.epochs));
+
+    if (!agree) {
+        std::fprintf(stderr, "bench_parallel: cluster/workload "
+                             "fingerprints diverged from the "
+                             "sequential baseline\n");
+        return 1;
+    }
+    // The scaling gate needs physical cores to mean anything: on >= 4
+    // cores, 4 threads must at least double the 1-thread throughput.
+    const double t1 = runs[1].eventsPerSec;
+    const double t4 = runs[3].eventsPerSec;
+    if (cores >= 4 && t4 < 2.0 * t1) {
+        std::fprintf(stderr,
+                     "bench_parallel: %u-core host, but 4 threads "
+                     "gave only %.2fx over 1 thread\n",
+                     cores, t4 / t1);
+        return 1;
+    }
+    return 0;
+}

@@ -79,8 +79,15 @@ Cab::dmaSend(std::vector<WireItem> items, sim::EventFn onDone)
     // so completion may be due immediately rather than in the past.
     Tick done = std::max(now(), tx->busyUntil());
     if (onDone) {
-        eventq().schedule(done, std::move(onDone),
-                          sim::EventPriority::hardware);
+        if (done == now()) {
+            // Immediate completion (dark fiber, or the wire already
+            // drained): the datalink's continuation runs before any
+            // same-tick arrival, not interleaved after it.
+            eventq().scheduleAtFront(std::move(onDone));
+        } else {
+            eventq().schedule(done, std::move(onDone),
+                              sim::EventPriority::hardware);
+        }
     }
 }
 

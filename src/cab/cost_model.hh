@@ -49,6 +49,14 @@ struct CabCostModel
     /** Programming one DMA channel. */
     Tick dmaSetup = 500 * ns;
 
+    /**
+     * Loading one additional scatter-gather descriptor: a
+     * multi-segment PacketView (VME gather out of node memory,
+     * Section 5.2) costs dmaSetup for the channel plus this per
+     * segment beyond the first.  Single-segment sends are unchanged.
+     */
+    Tick dmaSegmentSetup = 150 * ns;
+
     /** Thread context switch (SPARC register windows, Section 6.1). */
     Tick threadSwitch = 12 * us + 500 * ns;
 

@@ -91,10 +91,18 @@ GroupDirectory::rankOf(GroupId gid, nectarine::TaskId member) const
     return static_cast<int>(it - ms.begin());
 }
 
+std::uint32_t
+GroupDirectory::epoch(GroupId gid) const
+{
+    std::lock_guard<std::mutex> lock(_epochMutex);
+    return info(gid).epoch;
+}
+
 bool
 GroupDirectory::reportFailure(GroupId gid, std::uint32_t fromEpoch,
                               std::optional<nectarine::TaskId> suspect)
 {
+    std::lock_guard<std::mutex> lock(_epochMutex);
     GroupInfo &g = mutableInfo(gid);
     if (g.epoch != fromEpoch)
         return false; // another survivor already bumped it

@@ -21,6 +21,7 @@
 
 #include <cstdint>
 #include <map>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
@@ -105,7 +106,9 @@ class GroupDirectory
     const GroupInfo &info(GroupId gid) const;
     std::optional<GroupId> lookup(const std::string &name) const;
 
-    std::uint32_t epoch(GroupId gid) const { return info(gid).epoch; }
+    /** Current epoch of @p gid (safe against a concurrent
+     *  reportFailure() from another cluster's worker). */
+    std::uint32_t epoch(GroupId gid) const;
 
     /** Rank of @p member in @p gid, or -1. */
     int rankOf(GroupId gid, nectarine::TaskId member) const;
@@ -152,6 +155,9 @@ class GroupDirectory
     GroupId nextId = 1;
     sim::Counter _epochBumps;
     CollectiveProbe *_probe = nullptr;
+    /** Guards epoch reads against reportFailure() bumps: survivors
+     *  on different clusters race only on this one word. */
+    mutable std::mutex _epochMutex;
 };
 
 } // namespace nectar::collective

@@ -187,9 +187,15 @@ Datalink::attemptSend(const topo::Route &route,
 {
     const auto &costs = board().costs();
 
-    // Software cost of building the command packet / frame.
+    // Software cost of building the command packet / frame.  A
+    // scatter-gathered payload charges one descriptor load per
+    // segment beyond the first (cost_model.hh dmaSegmentSetup).
+    const auto extra_segs = payload.segmentCount() > 0
+        ? static_cast<Tick>(payload.segmentCount() - 1)
+        : 0;
     co_await board().cpu().compute(costs.datalinkPerPacket +
-                                   costs.dmaSetup);
+                                   costs.dmaSetup +
+                                   extra_segs * costs.dmaSegmentSetup);
 
     // Hop-by-hop flow control: wait for our HUB port's input queue.
     if (!co_await waitHubReady())

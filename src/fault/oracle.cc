@@ -35,6 +35,7 @@ DeliveryOracle::onReliableSend(transport::CabAddress src,
                                std::uint16_t dstMailbox,
                                std::uint32_t msgId, std::size_t)
 {
+    std::lock_guard<std::mutex> lock(_mutex);
     ++_reliableSends;
     SendRec &rec = sends[key(src, dst, msgId)];
     if (rec.reliable && rec.outcome == Outcome::pending) {
@@ -55,6 +56,7 @@ DeliveryOracle::onReliableOutcome(transport::CabAddress src,
                                   std::uint16_t dstMailbox,
                                   std::uint32_t msgId, bool ok)
 {
+    std::lock_guard<std::mutex> lock(_mutex);
     auto it = sends.find(key(src, dst, msgId));
     if (it == sends.end() || !it->second.reliable) {
         violate("outcome for unknown send: " +
@@ -82,6 +84,7 @@ DeliveryOracle::onDatagramSend(transport::CabAddress src,
                                std::uint16_t dstMailbox,
                                std::uint32_t msgId)
 {
+    std::lock_guard<std::mutex> lock(_mutex);
     ++_datagramSends;
     SendRec &rec = sends[key(src, dst, msgId)];
     rec.dstMailbox = dstMailbox;
@@ -96,6 +99,7 @@ DeliveryOracle::onDeliver(transport::CabAddress src,
                           std::uint32_t msgId, bool reliable,
                           std::size_t)
 {
+    std::lock_guard<std::mutex> lock(_mutex);
     if (reliable)
         ++_reliableDelivered;
     else
@@ -129,6 +133,7 @@ DeliveryOracle::onDeliver(transport::CabAddress src,
 void
 DeliveryOracle::onCrash(transport::CabAddress addr)
 {
+    std::lock_guard<std::mutex> lock(_mutex);
     // A crash wipes the receiver's mailboxes and duplicate-
     // suppression state: deliveries made before it no longer count
     // against the at-most-once budget.
@@ -145,6 +150,7 @@ DeliveryOracle::onRestart(transport::CabAddress)
 void
 DeliveryOracle::onCollectiveStart(collective::GroupId gid, int rank)
 {
+    std::lock_guard<std::mutex> lock(_mutex);
     ++_collectiveStarts;
     ++openOps[(static_cast<std::uint64_t>(gid) << 32) |
               static_cast<std::uint32_t>(rank)];
@@ -156,6 +162,7 @@ DeliveryOracle::onCollectiveEnd(collective::GroupId gid, int rank,
                                 std::uint32_t startEpoch,
                                 std::uint32_t endEpoch)
 {
+    std::lock_guard<std::mutex> lock(_mutex);
     ++_collectiveEnds;
     auto k = (static_cast<std::uint64_t>(gid) << 32) |
              static_cast<std::uint32_t>(rank);
@@ -191,6 +198,7 @@ void
 DeliveryOracle::onEpochBump(collective::GroupId gid,
                             std::uint32_t newEpoch)
 {
+    std::lock_guard<std::mutex> lock(_mutex);
     ++_epochBumps;
     std::uint32_t &last = lastEpoch[gid];
     if (newEpoch <= last)
@@ -205,6 +213,7 @@ DeliveryOracle::onEpochBump(collective::GroupId gid,
 void
 DeliveryOracle::finish()
 {
+    std::lock_guard<std::mutex> lock(_mutex);
     if (finished)
         return;
     finished = true;

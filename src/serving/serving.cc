@@ -135,13 +135,21 @@ ServingWorkload::pickDestination(std::size_t host, HostState &hs)
     return d;
 }
 
+sim::EventQueue &
+ServingWorkload::queueAt(std::size_t site)
+{
+    // The site's whole stack shares one queue; under the parallel
+    // engine it is the site's cluster shard, so a host's coroutines
+    // run on (and only on) that cluster's worker.
+    return sys.site(site).transport->eventq();
+}
+
 bool
 ServingWorkload::admitArrival(std::size_t host, HostState &hs)
 {
-    ++_arrivals;
     ++hs.arrivals;
     if (hs.outstanding >= cfg.maxOutstandingPerHost) {
-        ++_shed;
+        ++hs.shed;
         return false;
     }
 
@@ -164,13 +172,13 @@ ServingWorkload::admitArrival(std::size_t host, HostState &hs)
     ++fe.outstanding;
     ++fe.seq;
     ++hs.outstanding;
-    _peakTable =
-        std::max<std::uint64_t>(_peakTable, hs.table.size());
+    hs.peakTable =
+        std::max<std::uint64_t>(hs.peakTable, hs.table.size());
 
     std::size_t dst = pickDestination(host, hs);
     std::uint64_t payloadSeed =
         fe.flowSeed + 0x9E3779B97F4A7C15ull * fe.seq;
-    ++_issued;
+    ++hs.issued;
     sim::spawn(requestOnce(host, dst, flowId, payloadSeed));
     return true;
 }
@@ -181,7 +189,8 @@ ServingWorkload::requestOnce(std::size_t host, std::size_t dst,
                              std::uint64_t payloadSeed)
 {
     nectarine::CabSite &site = sys.site(host);
-    sim::EventQueue &eq = sys.eventq();
+    HostState &hs = *hosts[host];
+    sim::EventQueue &eq = queueAt(host);
     Tick t0 = eq.now();
 
     std::vector<std::uint8_t> req(cfg.requestBytes);
@@ -196,12 +205,12 @@ ServingWorkload::requestOnce(std::size_t host, std::size_t dst,
         sys.site(dst).address, servingMailbox, std::move(req));
 
     if (resp) {
-        ++_completed;
-        _goodputBytes += cfg.requestBytes + resp->size();
-        _latency.record(static_cast<double>(eq.now() - t0));
-        _lastDoneAt = std::max(_lastDoneAt, eq.now());
+        ++hs.completed;
+        hs.goodputBytes += cfg.requestBytes + resp->size();
+        hs.latency.record(static_cast<double>(eq.now() - t0));
+        hs.lastDoneAt = std::max(hs.lastDoneAt, eq.now());
     } else {
-        ++_failed;
+        ++hs.failed;
     }
     finishFlow(host, flowId);
 }
@@ -221,7 +230,7 @@ Task<void>
 ServingWorkload::driverLoop(std::size_t host)
 {
     HostState &hs = *hosts[host];
-    sim::EventQueue &eq = sys.eventq();
+    sim::EventQueue &eq = queueAt(host);
     const double hostsD = static_cast<double>(sys.siteCount());
     const double meanGapNs =
         hostsD * 1e9 / std::max(cfg.offeredRps, 1.0);
@@ -274,7 +283,7 @@ Task<void>
 ServingWorkload::closedWorker(std::size_t host, int worker)
 {
     HostState &hs = *hosts[host];
-    sim::EventQueue &eq = sys.eventq();
+    sim::EventQueue &eq = queueAt(host);
     // Stagger worker start so a host's workers do not fire in
     // lockstep at tick zero.
     co_await sim::Delay(
@@ -284,7 +293,6 @@ ServingWorkload::closedWorker(std::size_t host, int worker)
         if (cfg.maxArrivalsPerHost > 0 &&
             hs.arrivals >= cfg.maxArrivalsPerHost)
             break;
-        ++_arrivals;
         ++hs.arrivals;
 
         std::uint64_t flowId = hs.rng.below(static_cast<std::uint32_t>(
@@ -295,12 +303,12 @@ ServingWorkload::closedWorker(std::size_t host, int worker)
         ++fe.outstanding;
         ++fe.seq;
         ++hs.outstanding;
-        _peakTable =
-            std::max<std::uint64_t>(_peakTable, hs.table.size());
+        hs.peakTable =
+            std::max<std::uint64_t>(hs.peakTable, hs.table.size());
         std::size_t dst = pickDestination(host, hs);
         std::uint64_t payloadSeed =
             fe.flowSeed + 0x9E3779B97F4A7C15ull * fe.seq;
-        ++_issued;
+        ++hs.issued;
 
         // Closed loop: wait for the response before the next send.
         co_await requestOnce(host, dst, flowId, payloadSeed);
@@ -310,27 +318,53 @@ ServingWorkload::closedWorker(std::size_t host, int worker)
     }
 }
 
+const sim::Histogram &
+ServingWorkload::latency() const
+{
+    // Merge order is host order, and Histogram::merge is bucket-exact
+    // and order-independent, so this reads the same whichever
+    // assembly ran the workload.
+    _mergedLatency.reset();
+    for (const auto &h : hosts)
+        _mergedLatency.merge(h->latency);
+    return _mergedLatency;
+}
+
+std::uint64_t
+ServingWorkload::peakFlowTableEntries() const
+{
+    std::uint64_t peak = 0;
+    for (const auto &h : hosts)
+        peak = std::max(peak, h->peakTable);
+    return peak;
+}
+
 ServingReport
 ServingWorkload::report() const
 {
     ServingReport r;
-    r.arrivals = _arrivals;
-    r.issued = _issued;
-    r.completed = _completed;
-    r.failed = _failed;
-    r.shed = _shed;
-    r.p50Ns = _latency.percentile(50.0);
-    r.p99Ns = _latency.percentile(99.0);
-    r.p999Ns = _latency.percentile(99.9);
-    r.meanNs = _latency.mean();
-    r.peakFlowTable = _peakTable;
-    r.lastDoneAt = _lastDoneAt;
-    Tick window = std::max(cfg.duration, _lastDoneAt);
+    std::uint64_t goodputBytes = 0;
+    for (const auto &h : hosts) {
+        r.arrivals += h->arrivals;
+        r.issued += h->issued;
+        r.completed += h->completed;
+        r.failed += h->failed;
+        r.shed += h->shed;
+        goodputBytes += h->goodputBytes;
+        r.peakFlowTable = std::max(r.peakFlowTable, h->peakTable);
+        r.lastDoneAt = std::max(r.lastDoneAt, h->lastDoneAt);
+    }
+    const sim::Histogram &lat = latency();
+    r.p50Ns = lat.percentile(50.0);
+    r.p99Ns = lat.percentile(99.0);
+    r.p999Ns = lat.percentile(99.9);
+    r.meanNs = lat.mean();
+    Tick window = std::max(cfg.duration, r.lastDoneAt);
     if (window > 0) {
         double seconds =
             static_cast<double>(window) / static_cast<double>(sec);
-        r.achievedRps = static_cast<double>(_completed) / seconds;
-        r.goodputMBs = static_cast<double>(_goodputBytes) /
+        r.achievedRps = static_cast<double>(r.completed) / seconds;
+        r.goodputMBs = static_cast<double>(goodputBytes) /
                        (seconds * 1e6);
     }
     return r;

@@ -26,6 +26,7 @@
 #include <coroutine>
 #include <deque>
 #include <exception>
+#include <mutex>
 #include <optional>
 #include <utility>
 #include <vector>
@@ -270,12 +271,29 @@ struct Detached
  */
 struct DetachedFrameSet
 {
+    /** Guards frames: detached coroutines are created on the control
+     *  thread but complete (and unregister) on whichever parallel-
+     *  engine worker owns their cluster. */
+    std::mutex mu;
     std::vector<std::coroutine_handle<Detached::promise_type>> frames;
 
-    ~DetachedFrameSet()
+    ~DetachedFrameSet() { reap(); }
+
+    void
+    reap()
     {
-        while (!frames.empty())
-            frames.back().destroy();
+        while (true) {
+            std::coroutine_handle<Detached::promise_type> h;
+            {
+                std::lock_guard<std::mutex> lock(mu);
+                if (frames.empty())
+                    return;
+                h = frames.back();
+            }
+            // Destroy outside the lock: ~promise_type re-enters the
+            // registry to unregister the frame being destroyed.
+            h.destroy();
+        }
     }
 };
 
@@ -283,7 +301,7 @@ inline DetachedFrameSet &
 detachedFrames()
 {
     // nectar-lint: global-ok detached-frame registry shared with the
-    // reaper hook; same parallel-core plan as detachedReaper
+    // reaper hook; internally mutex-guarded (see DetachedFrameSet)
     static DetachedFrameSet set;
     return set;
 }
@@ -291,23 +309,24 @@ detachedFrames()
 inline void
 reapDetachedFrames()
 {
-    auto &v = detachedFrames().frames;
-    while (!v.empty())
-        v.back().destroy();
+    detachedFrames().reap();
 }
 
 inline Detached::promise_type::promise_type()
 {
     detachedReaper = &reapDetachedFrames;
-    auto &v = detachedFrames().frames;
-    regIndex = v.size();
-    v.push_back(
+    auto &set = detachedFrames();
+    std::lock_guard<std::mutex> lock(set.mu);
+    regIndex = set.frames.size();
+    set.frames.push_back(
         std::coroutine_handle<promise_type>::from_promise(*this));
 }
 
 inline Detached::promise_type::~promise_type()
 {
-    auto &v = detachedFrames().frames;
+    auto &set = detachedFrames();
+    std::lock_guard<std::mutex> lock(set.mu);
+    auto &v = set.frames;
     v[regIndex] = v.back();
     v[regIndex].promise().regIndex = regIndex;
     v.pop_back();
@@ -325,7 +344,9 @@ runDetached(Task<void> t)
 inline std::size_t
 liveDetachedFrames()
 {
-    return detail::detachedFrames().frames.size();
+    auto &set = detail::detachedFrames();
+    std::lock_guard<std::mutex> lock(set.mu);
+    return set.frames.size();
 }
 
 /**

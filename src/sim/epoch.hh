@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Conservative-lookahead epoch arithmetic for the parallel engine.
+ *
+ * The engine advances all cluster shards in barrier-synced epochs.
+ * An epoch's window is [S, S + L) where S is the globally earliest
+ * pending event tick and L is the lookahead: the minimum time any
+ * cross-cluster influence needs to travel between clusters.  Every
+ * cross-cluster edge is a trunk fiber (the PR 9 partition map proves
+ * there is no other kind), and a fiber delivery lands no earlier than
+ * its send tick plus one byte's serialization time plus the
+ * propagation delay — so with L = min over trunk fibers of
+ * (byteTime + propDelay), no event executed inside the window can
+ * affect another cluster within the same window.  Clusters may
+ * therefore execute the window concurrently with no communication,
+ * exchanging mailbox deliveries only at the barrier.
+ */
+
+#pragma once
+
+#include <algorithm>
+#include <limits>
+
+#include "logging.hh"
+#include "types.hh"
+
+namespace nectar::sim {
+
+/**
+ * Accumulates the minimum cross-cluster latency as the topology is
+ * wired.  With no cross-cluster links the lookahead is unbounded and
+ * a single epoch runs each shard to completion.
+ */
+class LookaheadTracker
+{
+  public:
+    /** "No cross-cluster links" sentinel: epochs are unbounded. */
+    static constexpr Tick unbounded = std::numeric_limits<Tick>::max();
+
+    /** Record a cross-cluster link whose earliest influence arrives
+     *  @p latency ticks after the send. */
+    void
+    note(Tick latency)
+    {
+        if (latency <= 0)
+            panic("LookaheadTracker: cross-cluster link with no "
+                  "latency leaves no conservative window");
+        _min = std::min(_min, latency);
+    }
+
+    /** The conservative lookahead L (unbounded when no links). */
+    Tick value() const { return _min; }
+
+    /** True once any cross-cluster link has been noted. */
+    bool boundedWindow() const { return _min != unbounded; }
+
+  private:
+    Tick _min = unbounded;
+};
+
+/**
+ * End (exclusive) of the epoch starting at @p globalNext with
+ * lookahead @p l, saturating instead of overflowing.  An unbounded
+ * result means "run to the event horizon".
+ */
+constexpr Tick
+epochEnd(Tick globalNext, Tick l)
+{
+    constexpr Tick maxTick = std::numeric_limits<Tick>::max();
+    return l >= maxTick - globalNext ? maxTick : globalNext + l;
+}
+
+} // namespace nectar::sim

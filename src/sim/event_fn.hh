@@ -24,6 +24,7 @@
 
 #pragma once
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <new>
@@ -72,7 +73,7 @@ class EventFn
             _ops = &inlineOps<Stored>;
         } else {
             _heap = new Stored(std::forward<F>(f));
-            ++heapAllocs;
+            heapAllocs.fetch_add(1, std::memory_order_relaxed);
             _ops = &heapOps<Stored>;
         }
     }
@@ -117,7 +118,11 @@ class EventFn
      * start.  bench_engine samples this around its steady-state loop
      * to demonstrate the zero-allocation schedule/fire path.
      */
-    static std::uint64_t heapAllocCount() noexcept { return heapAllocs; }
+    static std::uint64_t
+    heapAllocCount() noexcept
+    {
+        return heapAllocs.load(std::memory_order_relaxed);
+    }
 
   private:
     struct Ops {
@@ -166,10 +171,11 @@ class EventFn
         true,
     };
 
-    // Single-threaded by design (like the event queue itself).
-    // nectar-lint: global-ok allocation diagnostics counter only;
-    // sharded per thread when the event loop is partitioned
-    static inline std::uint64_t heapAllocs = 0;
+    // Diagnostics counter shared by every shard's event loop; relaxed
+    // atomic because cluster workers construct events concurrently
+    // and only the aggregate total is ever read.
+    // nectar-lint: global-ok allocation diagnostics counter only
+    static inline std::atomic<std::uint64_t> heapAllocs{0};
 
     union {
         alignas(std::max_align_t) unsigned char _buf[sboBytes];

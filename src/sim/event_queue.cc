@@ -29,8 +29,10 @@ constexpr auto fnvPow = [] {
 
 EventQueue::~EventQueue()
 {
-    if (--detail::liveEventQueues == 0 && detail::detachedReaper)
-        detail::detachedReaper();
+    if (detail::liveEventQueues.fetch_sub(1) == 1) {
+        if (auto *reaper = detail::detachedReaper.load())
+            reaper();
+    }
 }
 
 void
@@ -465,27 +467,9 @@ EventQueue::nextTick()
 }
 
 void
-EventQueue::fireTop()
+EventQueue::fireNode(EventNode *n, Tick when, int prio,
+                     std::uint64_t seq)
 {
-    EventNode *n;
-    Tick when;
-    int prio;
-    std::uint64_t seq;
-    if (_ready != nullptr) {
-        n = _ready;
-        _ready = nullptr;
-        when = n->when;
-        prio = n->prio;
-        seq = n->seq;
-    } else {
-        const HeapEntry e = _due.front();
-        heapPop(_due);
-        n = _nodes[e.node].get();
-        SIM_INVARIANT(n->gen == e.gen, "fired entry must be fresh");
-        when = e.when;
-        prio = e.prio;
-        seq = e.seq;
-    }
     SIM_INVARIANT(when >= _now,
                   "event-time monotonicity: popped event lies in "
                   "the past");
@@ -504,6 +488,111 @@ EventQueue::fireTop()
     fn();
 }
 
+void
+EventQueue::fireTop()
+{
+    if (_ready != nullptr) {
+        EventNode *n = _ready;
+        _ready = nullptr;
+        fireNode(n, n->when, n->prio, n->seq);
+        return;
+    }
+    const HeapEntry e = _due.front();
+    heapPop(_due);
+    EventNode *n = _nodes[e.node].get();
+    SIM_INVARIANT(n->gen == e.gen, "fired entry must be fresh");
+    fireNode(n, e.when, e.prio, e.seq);
+}
+
+std::uint64_t
+EventQueue::fireTick(Tick t, std::uint64_t budget)
+{
+    std::uint64_t fired = 0;
+    SIM_INVARIANT(_ready == nullptr,
+                  "fireTick batch path runs off the due heap");
+
+    // Extract the equal-timestamp run out of the due heap in one
+    // linear pass (dropping stale entries as we go), then restore the
+    // heap property over the survivors.  The due heap can legitimately
+    // hold future-tick entries here — a runUntil() peek that overshot
+    // re-files its candidate — so partition by tick, don't assume the
+    // heap is homogeneous.
+    std::vector<HeapEntry> batch = std::move(_batchScratch);
+    batch.clear();
+    std::size_t keep = 0;
+    for (std::size_t i = 0; i < _due.size(); ++i) {
+        const HeapEntry &e = _due[i];
+        if (_nodes[e.node]->gen != e.gen)
+            continue; // stale: cancelled or re-armed
+        if (e.when == t)
+            batch.push_back(e);
+        else
+            _due[keep++] = e;
+    }
+    _due.resize(keep);
+    std::make_heap(_due.begin(), _due.end(), HeapLater{});
+    std::sort(batch.begin(), batch.end(),
+              [](const HeapEntry &a, const HeapEntry &b) {
+                  if (a.prio != b.prio)
+                      return a.prio < b.prio;
+                  return a.seq < b.seq;
+              });
+
+    for (std::size_t bi = 0; bi < batch.size(); ++bi) {
+        const HeapEntry e = batch[bi];
+        bool dead = false;
+        // Events scheduled at t *during* the batch land in the due
+        // heap with fresh (larger) sequence numbers; any of them in a
+        // stronger priority class (e.g. a front continuation) must
+        // fire before the rest of the batch, exactly as the per-event
+        // engine would have ordered them.
+        while (true) {
+            if (_nodes[e.node]->gen != e.gen) {
+                dead = true; // a fired event cancelled/re-armed it
+                break;
+            }
+            heapPrune(_due);
+            if (_due.empty() || _due.front().when != t)
+                break;
+            const HeapEntry &top = _due.front();
+            if (top.prio > e.prio ||
+                (top.prio == e.prio && top.seq > e.seq))
+                break;
+            fireTop();
+            ++fired;
+            if (fired >= budget)
+                break;
+        }
+        if (dead)
+            continue;
+        if (fired >= budget ||
+            _nodes[e.node]->gen != e.gen) {
+            // Out of budget (or e died on the final interleave): put
+            // the unfired tail back for the next fireTick() round.
+            for (std::size_t j = bi; j < batch.size(); ++j) {
+                const HeapEntry &r = batch[j];
+                if (_nodes[r.node]->gen == r.gen &&
+                    (j > bi || fired >= budget))
+                    heapPush(_due, r);
+            }
+            break;
+        }
+        fireNode(_nodes[e.node].get(), e.when, e.prio, e.seq);
+        ++fired;
+        if (fired >= budget) {
+            for (std::size_t j = bi + 1; j < batch.size(); ++j) {
+                const HeapEntry &r = batch[j];
+                if (_nodes[r.node]->gen == r.gen)
+                    heapPush(_due, r);
+            }
+            break;
+        }
+    }
+    batch.clear();
+    _batchScratch = std::move(batch);
+    return fired;
+}
+
 bool
 EventQueue::step()
 {
@@ -516,9 +605,24 @@ EventQueue::step()
 std::uint64_t
 EventQueue::run(std::uint64_t limit)
 {
+    // Tiny due heaps fire per-event: below this size fireTick()'s
+    // extraction pass costs more than the heap pops it saves.  Firing
+    // one event and re-entering nextTick() (which early-outs on
+    // due == now) is exactly the per-event engine's order, so the
+    // small path is always safe to take.
+    constexpr std::size_t batchThreshold = 4;
     std::uint64_t n = 0;
-    while (n < limit && step())
-        ++n;
+    while (n < limit) {
+        const Tick t = nextTick();
+        if (t == noTick)
+            break;
+        if (_ready != nullptr || _due.size() < batchThreshold) {
+            fireTop();
+            ++n;
+            continue;
+        }
+        n += fireTick(t, limit - n);
+    }
     if (n == limit)
         warn("EventQueue::run: event limit reached");
     return n;
@@ -530,6 +634,7 @@ EventQueue::runUntil(Tick until, std::uint64_t limit)
     if (until < _now)
         panic("EventQueue::runUntil: target tick in the past");
 
+    constexpr std::size_t batchThreshold = 4; // see run()
     std::uint64_t n = 0;
     while (n < limit) {
         const Tick t = nextTick();
@@ -542,13 +647,30 @@ EventQueue::runUntil(Tick until, std::uint64_t limit)
             }
             break;
         }
-        fireTop();
-        ++n;
+        if (_ready != nullptr || _due.size() < batchThreshold) {
+            fireTop();
+            ++n;
+            continue;
+        }
+        n += fireTick(t, limit - n);
     }
     if (n == limit)
         warn("EventQueue::runUntil: event limit reached");
     _now = until;
     return n;
+}
+
+Tick
+EventQueue::peekNextTick()
+{
+    const Tick t = nextTick();
+    if (_ready != nullptr) {
+        // Same overshoot handling as runUntil(): the peek must leave
+        // the direct-fire candidate filed as due, not parked.
+        heapPush(_due, entryFor(_ready));
+        _ready = nullptr;
+    }
+    return t;
 }
 
 } // namespace nectar::sim

@@ -38,7 +38,9 @@
 #pragma once
 
 #include <array>
+#include <atomic>
 #include <cstdint>
+#include <limits>
 #include <memory>
 #include <vector>
 
@@ -55,11 +57,12 @@ namespace detail {
  * (and the messages they own) are reclaimed instead of leaking.
  */
 // nectar-lint: global-ok process-wide coroutine-frame reaper hook;
-// a parallel core must make this registration thread-safe, not
-// per-partition (tracked in ROADMAP, parallel core item)
-inline void (*detachedReaper)() = nullptr;
+// atomic because parallel-engine workers create/destroy coroutine
+// frames concurrently (the queues themselves are made and destroyed
+// on the control thread, but the counter races with the hook install)
+inline std::atomic<void (*)()> detachedReaper{nullptr};
 // nectar-lint: global-ok paired with detachedReaper above
-inline int liveEventQueues = 0;
+inline std::atomic<int> liveEventQueues{0};
 } // namespace detail
 
 /**
@@ -79,6 +82,7 @@ constexpr EventId invalidEventId = 0;
  */
 enum class EventPriority : int {
     first = 0,
+    front = 5, ///< zero-delay continuations (scheduleAtFront)
     hardware = 10,
     normal = 20,
     software = 30,
@@ -126,6 +130,20 @@ class EventQueue
                EventPriority prio = EventPriority::normal)
     {
         return schedule(_now + delay, std::move(fn), prio);
+    }
+
+    /**
+     * Schedule a zero-delay continuation at the current tick, ahead
+     * of every same-tick event in the ordinary priority classes that
+     * has not yet fired (EventPriority::front).  This is the
+     * "finish what you started" class: an immediate completion posted
+     * by the handler that is executing right now runs before any
+     * hardware arrival that happens to share the tick.
+     */
+    EventId
+    scheduleAtFront(EventFn fn)
+    {
+        return schedule(_now, std::move(fn), EventPriority::front);
     }
 
     /**
@@ -190,6 +208,18 @@ class EventQueue
 
     /** Total events executed over the queue's lifetime. */
     std::uint64_t executedCount() const { return _executed; }
+
+    /** Sentinel returned by peekNextTick() when the queue is empty. */
+    static constexpr Tick noEventTick =
+        std::numeric_limits<Tick>::max();
+
+    /**
+     * Tick of the earliest live event without firing it (noEventTick
+     * when drained).  Used by the parallel engine's epoch decide
+     * phase.  Trace-neutral: repeated peeks, or a peek followed by
+     * run()/runUntil(), fire the same events in the same order.
+     */
+    Tick peekNextTick();
 
     /**
      * Rolling FNV-1a hash of the (tick, priority, sequence) of every
@@ -315,6 +345,24 @@ class EventQueue
     /** Execute the due heap's top (which nextTick() made fresh). */
     void fireTop();
 
+    /** Recycle @p n and invoke its callback (the fire hot path). */
+    void fireNode(EventNode *n, Tick when, int prio,
+                  std::uint64_t seq);
+
+    /**
+     * Execute every event due at tick @p t (which nextTick() just
+     * returned, leaving the due heap's top fresh at @p t — callers
+     * take the direct-fire/_ready path separately), at most @p budget
+     * of them, in (priority, sequence) order.  Drains the
+     * equal-timestamp run out of the due heap in one pass instead of
+     * paying a heap push/pop per event; events scheduled at @p t
+     * *during* the batch still interleave exactly as the per-event
+     * engine ordered them.
+     *
+     * @return Events executed (>= 1 when budget > 0).
+     */
+    std::uint64_t fireTick(Tick t, std::uint64_t budget);
+
     /** Pop and execute the next live event, if any. */
     bool step();
 
@@ -347,6 +395,9 @@ class EventQueue
     MinHeap _due;   ///< events at the tick being executed
     MinHeap _early; ///< events behind _cursor (rare; see _cursor)
     MinHeap _far;   ///< events beyond the wheel horizon
+    /** Scratch for fireTick()'s equal-timestamp extraction (swapped
+     *  in and out so a reentrant run() gets a fresh vector). */
+    std::vector<HeapEntry> _batchScratch;
 
     std::vector<std::unique_ptr<EventNode>> _nodes;
     EventNode *_freelist = nullptr;

@@ -1,0 +1,162 @@
+/**
+ * @file
+ * SPSC cross-cluster mailboxes for the parallel engine.
+ *
+ * Each directed cluster pair (src, dst) with at least one trunk fiber
+ * between its hubs gets one CrossChannel.  The source cluster's worker
+ * posts deliveries while executing an epoch; the destination cluster's
+ * worker drains them at the next epoch boundary and schedules them
+ * onto its own shard queue.  Every delivery is stamped (time,
+ * src-cluster, seq) at post time, so the destination's merge order is
+ * a pure function of the simulation — never of thread interleaving
+ * (see parallel.hh for the priority-band argument).
+ *
+ * The queue is a classic unbounded single-producer/single-consumer
+ * linked list (Vyukov style): push and pop touch disjoint ends through
+ * one release/acquire edge, so posting never blocks an epoch and
+ * draining never blocks a producer.  In the engine's protocol the two
+ * sides are additionally separated by the epoch barrier, but the
+ * channel does not rely on that — tests/test_parallel.cc hammers it
+ * from two free-running threads.
+ */
+
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+#include "component.hh"
+#include "event_fn.hh"
+#include "types.hh"
+
+namespace nectar::sim {
+
+/** One cross-cluster delivery: run @p fn at @p when on the
+ *  destination shard, merged in (when, src, seq) order. */
+struct CrossEvent
+{
+    Tick when = 0;
+    std::uint64_t seq = 0; ///< post order within the channel
+    EventFn fn;
+};
+
+/**
+ * Unbounded SPSC FIFO of CrossEvents.  Exactly one thread may push
+ * and exactly one thread may pop (they may do so concurrently).
+ */
+class SpscQueue
+{
+  public:
+    SpscQueue() : _head(new Node), _tail(_head) {}
+
+    ~SpscQueue()
+    {
+        Node *n = _head;
+        while (n != nullptr) {
+            Node *next = n->next.load(std::memory_order_relaxed);
+            delete n;
+            n = next;
+        }
+    }
+
+    SpscQueue(const SpscQueue &) = delete;
+    SpscQueue &operator=(const SpscQueue &) = delete;
+
+    /** Producer side. */
+    void
+    push(CrossEvent e)
+    {
+        Node *n = new Node;
+        n->event = std::move(e);
+        // Publish: the consumer's acquire load of next sees the fully
+        // constructed node.
+        _tail->next.store(n, std::memory_order_release);
+        _tail = n;
+    }
+
+    /** Consumer side.  @return false when the queue is empty. */
+    bool
+    pop(CrossEvent &out)
+    {
+        Node *next = _head->next.load(std::memory_order_acquire);
+        if (next == nullptr)
+            return false;
+        out = std::move(next->event);
+        Node *old = _head;
+        _head = next;
+        delete old;
+        return true;
+    }
+
+  private:
+    struct Node {
+        std::atomic<Node *> next{nullptr};
+        CrossEvent event;
+    };
+
+    Node *_head; ///< consumer end (a dummy node precedes the data)
+    Node *_tail; ///< producer end
+};
+
+/**
+ * The mailbox for one directed cluster pair.  Wraps the SPSC queue
+ * with the (time, src, seq) stamp and the posted/consumed counters the
+ * engine's drain detection reads at epoch boundaries.
+ */
+class CrossChannel
+{
+  public:
+    CrossChannel(ClusterId src, ClusterId dst) : _src(src), _dst(dst) {}
+
+    ClusterId src() const { return _src; }
+    ClusterId dst() const { return _dst; }
+
+    /** Producer: stamp and enqueue a delivery for tick @p when. */
+    void
+    post(Tick when, EventFn fn)
+    {
+        CrossEvent e;
+        e.when = when;
+        e.seq = _nextSeq++;
+        e.fn = std::move(fn);
+        _queue.push(std::move(e));
+        _posted.fetch_add(1, std::memory_order_release);
+    }
+
+    /** Consumer: dequeue the next delivery in post order. */
+    bool
+    pop(CrossEvent &out)
+    {
+        if (!_queue.pop(out))
+            return false;
+        _consumed.fetch_add(1, std::memory_order_relaxed);
+        return true;
+    }
+
+    /** Deliveries posted over the channel's lifetime. */
+    std::uint64_t
+    posted() const
+    {
+        return _posted.load(std::memory_order_acquire);
+    }
+
+    /** Deliveries consumed over the channel's lifetime. */
+    std::uint64_t
+    consumed() const
+    {
+        return _consumed.load(std::memory_order_relaxed);
+    }
+
+    /** Deliveries posted but not yet drained ("in flight"). */
+    std::uint64_t inFlight() const { return posted() - consumed(); }
+
+  private:
+    ClusterId _src;
+    ClusterId _dst;
+    SpscQueue _queue;
+    std::uint64_t _nextSeq = 0; ///< producer-side only
+    std::atomic<std::uint64_t> _posted{0};
+    std::atomic<std::uint64_t> _consumed{0};
+};
+
+} // namespace nectar::sim

@@ -1,0 +1,254 @@
+#include "parallel.hh"
+
+#include <algorithm>
+#include <barrier>
+#include <thread>
+
+#include "invariant.hh"
+#include "logging.hh"
+
+namespace nectar::sim {
+
+ParallelEngine::ParallelEngine(int clusters, int threads)
+    : _clusters(clusters), _threads(threads), _trace(clusters),
+      _next(static_cast<std::size_t>(clusters),
+            LookaheadTracker::unbounded)
+{
+    if (clusters < 1)
+        panic("ParallelEngine: need at least one cluster");
+    if (threads < 1)
+        panic("ParallelEngine: need at least one thread");
+    _queues.reserve(static_cast<std::size_t>(clusters));
+    for (int c = 0; c < clusters; ++c)
+        _queues.push_back(std::make_unique<EventQueue>());
+    // One SPSC mailbox per directed cluster pair, created up front so
+    // channelFor() is a plain lookup (C <= 16 keeps the grid tiny).
+    _channels.resize(static_cast<std::size_t>(clusters) *
+                     static_cast<std::size_t>(clusters));
+    for (int s = 0; s < clusters; ++s) {
+        for (int d = 0; d < clusters; ++d) {
+            if (s == d)
+                continue;
+            _channels[static_cast<std::size_t>(s * clusters + d)] =
+                std::make_unique<CrossChannel>(s, d);
+        }
+    }
+}
+
+ParallelEngine::~ParallelEngine() = default;
+
+CrossChannel *
+ParallelEngine::channel(ClusterId src, ClusterId dst) const
+{
+    if (src == dst)
+        return nullptr;
+    return _channels[static_cast<std::size_t>(src * _clusters + dst)]
+        .get();
+}
+
+CrossChannel *
+ParallelEngine::channelFor(ClusterId src, ClusterId dst)
+{
+    return channel(src, dst);
+}
+
+std::uint64_t
+ParallelEngine::executedCount() const
+{
+    std::uint64_t n = 0;
+    for (const auto &q : _queues)
+        n += q->executedCount();
+    return n;
+}
+
+std::uint64_t
+ParallelEngine::fingerprint() const
+{
+    // Fold the shard fingerprints in cluster order with the same
+    // FNV-1a byte mix the shards themselves use.  Shard decomposition
+    // is per cluster regardless of thread count, so this value is
+    // thread-count invariant.
+    constexpr std::uint64_t prime = 0x100000001b3ULL;
+    std::uint64_t fp = 0xcbf29ce484222325ULL;
+    for (const auto &q : _queues) {
+        std::uint64_t v = q->fingerprint();
+        for (int i = 0; i < 8; ++i) {
+            fp = (fp ^ (v & 0xffU)) * prime;
+            v >>= 8;
+        }
+    }
+    return fp;
+}
+
+bool
+ParallelEngine::empty() const
+{
+    for (const auto &q : _queues)
+        if (!q->empty())
+            return false;
+    for (const auto &ch : _channels)
+        if (ch && ch->inFlight() != 0)
+            return false;
+    return true;
+}
+
+void
+ParallelEngine::inject(ClusterId c)
+{
+    // The deterministic merge: ascending source cluster, FIFO within
+    // a source.  Same-tick deliveries from different sources cannot
+    // tie (their priority bands differ), so this drain order fixes
+    // the destination trace regardless of thread interleaving.
+    EventQueue &q = queueFor(c);
+    CrossEvent e;
+    for (ClusterId s = 0; s < _clusters; ++s) {
+        CrossChannel *ch = channel(s, c);
+        if (ch == nullptr)
+            continue;
+        while (ch->pop(e)) {
+            SIM_INVARIANT(e.when > q.now(),
+                          "conservative lookahead: a mailbox "
+                          "delivery must land beyond the epoch "
+                          "executed when it was posted");
+            q.schedule(e.when, std::move(e.fn), crossPriority(s));
+        }
+    }
+}
+
+void
+ParallelEngine::decide()
+{
+    // Runs with every worker parked at the barrier: single-threaded
+    // by construction, reads the injects/peeks/executions that
+    // happened-before the workers arrived.
+    Tick g = LookaheadTracker::unbounded;
+    for (Tick t : _next)
+        g = std::min(g, t);
+
+    const std::uint64_t fired = executedCount() - _baseExecuted;
+    if (fired >= _limit) {
+        if (!_warnedLimit) {
+            warn("ParallelEngine: event limit reached");
+            _warnedLimit = true;
+        }
+        _done = true;
+        return;
+    }
+    if (g == LookaheadTracker::unbounded ||
+        (_bounded && g > _until)) {
+        // Every shard drained (mailboxes included: injection precedes
+        // the peeks this decision is based on), or nothing remains
+        // inside the bounded window.
+        _done = true;
+        return;
+    }
+
+    const Tick end = epochEnd(g, _lookahead.value());
+    _runToDrain = !_bounded && end == LookaheadTracker::unbounded;
+    if (!_runToDrain)
+        _epochTo = _bounded ? std::min(end - 1, _until) : end - 1;
+    // Per-shard budget for this epoch, computed here because workers
+    // must not read each other's execution counters mid-epoch.
+    _epochBudget = _limit - fired;
+    ++_epochs;
+}
+
+std::uint64_t
+ParallelEngine::drive(bool bounded, Tick until, std::uint64_t limit)
+{
+    _bounded = bounded;
+    _until = until;
+    _limit = limit == 0 ? 1 : limit;
+    _baseExecuted = executedCount();
+    _done = false;
+    _warnedLimit = false;
+    _workers = std::max(1, std::min(_threads, _clusters));
+
+    const auto execShard = [this](ClusterId c) {
+        EventQueue &q = queueFor(c);
+        if (_runToDrain)
+            q.run(_epochBudget);
+        else if (_epochTo >= q.now())
+            q.runUntil(_epochTo, _epochBudget);
+    };
+
+    if (_workers == 1) {
+        // Same epoch protocol, no threads, no barriers: the rounds —
+        // and every shard trace — are identical to the threaded run.
+        while (true) {
+            for (ClusterId c = 0; c < _clusters; ++c) {
+                inject(c);
+                _next[static_cast<std::size_t>(c)] =
+                    queueFor(c).peekNextTick();
+            }
+            decide();
+            if (_done)
+                break;
+            for (ClusterId c = 0; c < _clusters; ++c)
+                execShard(c);
+        }
+    } else {
+        struct Decide {
+            ParallelEngine *engine;
+            void operator()() noexcept { engine->decide(); }
+        };
+        // Two barriers per round.  The first separates inject+peek
+        // from decide (its completion phase).  The second separates
+        // one epoch's execution from the next round's inject: without
+        // it a fast worker could drain a mailbox while a slow one is
+        // still posting this epoch's deliveries into it, and miss one
+        // that belongs inside the next window.
+        std::barrier<Decide> decideBar(_workers, Decide{this});
+        std::barrier<> epochBar(_workers);
+
+        const auto body = [&, this](int w) {
+            while (true) {
+                for (ClusterId c = w; c < _clusters; c += _workers) {
+                    inject(c);
+                    _next[static_cast<std::size_t>(c)] =
+                        queueFor(c).peekNextTick();
+                }
+                decideBar.arrive_and_wait();
+                if (_done)
+                    return;
+                for (ClusterId c = w; c < _clusters; c += _workers)
+                    execShard(c);
+                epochBar.arrive_and_wait();
+            }
+        };
+
+        std::vector<std::thread> pool;
+        pool.reserve(static_cast<std::size_t>(_workers - 1));
+        for (int w = 1; w < _workers; ++w)
+            pool.emplace_back(body, w);
+        body(0);
+        for (std::thread &t : pool)
+            t.join();
+    }
+
+    if (_bounded && !_warnedLimit) {
+        // Nothing with tick <= until remains anywhere; align every
+        // shard clock to the target, mirroring EventQueue::runUntil.
+        for (auto &q : _queues)
+            if (q->now() < until)
+                q->runUntil(until);
+    }
+    return executedCount() - _baseExecuted;
+}
+
+std::uint64_t
+ParallelEngine::run(std::uint64_t limit)
+{
+    return drive(false, 0, limit);
+}
+
+std::uint64_t
+ParallelEngine::runUntil(Tick until, std::uint64_t limit)
+{
+    for (const auto &q : _queues)
+        if (until < q->now())
+            panic("ParallelEngine::runUntil: target tick in the past");
+    return drive(true, until, limit);
+}
+
+} // namespace nectar::sim

@@ -1,0 +1,324 @@
+/**
+ * @file
+ * The cluster-partitioned parallel simulation core.
+ *
+ * sim::ParallelEngine runs one timer-wheel EventQueue shard per fabric
+ * cluster (cluster = the HUB plus its CABs, exactly the PR 9 partition
+ * map's unit), with N worker threads each owning the shards of one or
+ * more clusters.  Shards advance in barrier-synced epochs of length
+ * equal to the conservative lookahead (epoch.hh); cross-cluster
+ * packets cross only at epoch boundaries through per-pair SPSC
+ * mailboxes (mailbox.hh).
+ *
+ * Determinism argument (DESIGN.md "Parallel engine" for the long
+ * form).  Within a shard, the EventQueue's (tick, priority, sequence)
+ * order is already deterministic; the only new ordering question is
+ * where mailbox deliveries interleave.  Three rules close it:
+ *
+ *  1. Cross-cluster deliveries are scheduled in a reserved priority
+ *     band below every local class — crossPriority(src) =
+ *     crossPriorityBase + src — so at a given tick all cross arrivals
+ *     precede all local events, ordered by source cluster.
+ *  2. A destination drains its incoming mailboxes in ascending source
+ *     order, and each mailbox is FIFO, so same-source deliveries keep
+ *     their source execution order (the stamp's seq).
+ *  3. Same-tick deliveries from *different* sources can never tie:
+ *     their priority bands differ (rule 1).
+ *
+ * Hence each shard's event trace — and its fingerprint — depends only
+ * on the simulation, not on the thread count: 1, 2, 4 and 8 threads
+ * produce bit-identical shard fingerprints.  To compare a sharded run
+ * against the single-queue sequential engine (whose sequence numbers
+ * are globally, not per-shard, assigned), both assemblies additionally
+ * mix every trunk delivery into a per-cluster ClusterFingerprint at
+ * execution time; SequentialShardSet builds the same system on one
+ * queue with the same cross-priority bands, and its cluster
+ * fingerprints must equal the parallel engine's exactly.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "epoch.hh"
+#include "event_queue.hh"
+#include "mailbox.hh"
+
+namespace nectar::sim {
+
+/**
+ * Priority band for cross-cluster fiber deliveries: far below
+ * EventPriority::first so every cross arrival at a tick precedes
+ * every local event, and distinct per source cluster so arrivals
+ * from different sources can never tie.
+ */
+constexpr int crossPriorityBase = -1024;
+
+inline EventPriority
+crossPriority(ClusterId src)
+{
+    return static_cast<EventPriority>(crossPriorityBase + src);
+}
+
+/**
+ * Per-cluster rolling FNV-1a fingerprints of trunk-delivery
+ * execution, bucketed by destination cluster (cache-line padded: only
+ * the destination's worker writes its bucket).  This is the
+ * cross-assembly determinism witness: a sharded run and a one-queue
+ * run of the same system mix identical values in identical order.
+ */
+class ClusterFingerprint
+{
+  public:
+    explicit ClusterFingerprint(int clusters) : _buckets(clusters) {}
+
+    /** Mix @p v into @p dst's bucket (destination worker only). */
+    void
+    mix(ClusterId dst, std::uint64_t v)
+    {
+        std::uint64_t fp = _buckets[static_cast<std::size_t>(dst)].fp;
+        for (int i = 0; i < 8; ++i) {
+            fp = (fp ^ (v & 0xffU)) * prime;
+            v >>= 8;
+        }
+        _buckets[static_cast<std::size_t>(dst)].fp = fp;
+    }
+
+    /** One cluster's bucket value. */
+    std::uint64_t
+    cluster(ClusterId c) const
+    {
+        return _buckets[static_cast<std::size_t>(c)].fp;
+    }
+
+    /** All buckets folded in cluster order. */
+    std::uint64_t
+    combined() const
+    {
+        std::uint64_t fp = offset;
+        for (const Bucket &b : _buckets) {
+            std::uint64_t v = b.fp;
+            for (int i = 0; i < 8; ++i) {
+                fp = (fp ^ (v & 0xffU)) * prime;
+                v >>= 8;
+            }
+        }
+        return fp;
+    }
+
+    int
+    clusters() const
+    {
+        return static_cast<int>(_buckets.size());
+    }
+
+  private:
+    static constexpr std::uint64_t offset = 0xcbf29ce484222325ULL;
+    static constexpr std::uint64_t prime = 0x100000001b3ULL;
+
+    struct alignas(64) Bucket {
+        std::uint64_t fp = offset;
+    };
+
+    std::vector<Bucket> _buckets;
+};
+
+/**
+ * What the system builders need from an execution substrate: a queue
+ * per cluster, a mailbox per directed cluster pair (or null when the
+ * substrate is single-queue), the lookahead ledger, and the
+ * cross-assembly trace.  Implementations: SequentialShardSet (one
+ * queue, no mailboxes — today's engine with cross-priority bands) and
+ * ParallelEngine.
+ */
+class ShardSet
+{
+  public:
+    virtual ~ShardSet() = default;
+
+    virtual int clusters() const = 0;
+
+    /** The event queue cluster @p c's components live on. */
+    virtual EventQueue &queueFor(ClusterId c) = 0;
+
+    /**
+     * The mailbox for trunk deliveries src -> dst, or nullptr when
+     * deliveries should be scheduled directly on the sender's queue
+     * (single-queue assembly).
+     */
+    virtual CrossChannel *channelFor(ClusterId src, ClusterId dst) = 0;
+
+    /** Record a trunk fiber src -> dst whose earliest influence
+     *  arrives @p latency ticks after a send. */
+    virtual void noteCrossLink(ClusterId src, ClusterId dst,
+                               Tick latency) = 0;
+
+    /** The cross-assembly trunk-delivery trace. */
+    virtual ClusterFingerprint &trace() = 0;
+};
+
+/**
+ * The single-queue assembly: every cluster maps to one shared
+ * EventQueue and trunk deliveries schedule directly (at their
+ * cross-priority band).  This is the sequential baseline the parallel
+ * engine's cluster fingerprints are compared against.
+ */
+class SequentialShardSet final : public ShardSet
+{
+  public:
+    SequentialShardSet(EventQueue &eq, int clusters)
+        : _eq(eq), _trace(clusters), _clusters(clusters)
+    {
+    }
+
+    int clusters() const override { return _clusters; }
+    EventQueue &queueFor(ClusterId) override { return _eq; }
+
+    CrossChannel *
+    channelFor(ClusterId, ClusterId) override
+    {
+        return nullptr;
+    }
+
+    void
+    noteCrossLink(ClusterId, ClusterId, Tick latency) override
+    {
+        _lookahead.note(latency);
+    }
+
+    ClusterFingerprint &trace() override { return _trace; }
+
+    /** The lookahead the topology implies (tests compare this to the
+     *  parallel engine's). */
+    const LookaheadTracker &lookahead() const { return _lookahead; }
+
+  private:
+    EventQueue &_eq;
+    ClusterFingerprint _trace;
+    LookaheadTracker _lookahead;
+    int _clusters;
+};
+
+/**
+ * The parallel engine: one EventQueue shard per cluster, advanced in
+ * barrier-synced conservative epochs by min(threads, clusters) worker
+ * threads.  Shard decomposition is by cluster, never by thread, so
+ * every trace is thread-count invariant.
+ *
+ * Workers are spawned per run()/runUntil() call and joined before it
+ * returns: between calls the engine is plain single-threaded state,
+ * which is what lets fault injectors and steppers mutate the system
+ * in the gaps.
+ */
+class ParallelEngine final : public ShardSet
+{
+  public:
+    /**
+     * @param clusters Number of fabric clusters (one shard each).
+     * @param threads Worker threads to execute with (capped at
+     *        @p clusters; 1 runs the same epoch protocol inline).
+     */
+    ParallelEngine(int clusters, int threads);
+    ~ParallelEngine() override;
+
+    // ---- ShardSet ---------------------------------------------------
+
+    int clusters() const override { return _clusters; }
+
+    EventQueue &
+    queueFor(ClusterId c) override
+    {
+        return *_queues[static_cast<std::size_t>(c)];
+    }
+
+    CrossChannel *channelFor(ClusterId src, ClusterId dst) override;
+
+    void
+    noteCrossLink(ClusterId, ClusterId, Tick latency) override
+    {
+        _lookahead.note(latency);
+    }
+
+    ClusterFingerprint &trace() override { return _trace; }
+
+    // ---- execution --------------------------------------------------
+
+    /** Run until every shard drains (and no mailbox delivery is in
+     *  flight) or @p limit events have fired across all shards. */
+    std::uint64_t run(std::uint64_t limit = EventQueue::defaultEventLimit);
+
+    /** Run events with tick <= @p until, then align every shard's
+     *  clock to @p until (the multi-shard runUntil contract). */
+    std::uint64_t runUntil(Tick until,
+                           std::uint64_t limit =
+                               EventQueue::defaultEventLimit);
+
+    // ---- introspection ----------------------------------------------
+
+    int threads() const { return _threads; }
+
+    /** The conservative lookahead L (LookaheadTracker::unbounded when
+     *  no cross links were noted). */
+    Tick lookahead() const { return _lookahead.value(); }
+
+    /** Sum of shard event counts. */
+    std::uint64_t executedCount() const;
+
+    /** Shard fingerprints folded in cluster order: the whole-run
+     *  fingerprint, invariant across thread counts. */
+    std::uint64_t fingerprint() const;
+
+    /** One shard's own event-trace fingerprint. */
+    std::uint64_t
+    shardFingerprint(ClusterId c) const
+    {
+        return _queues[static_cast<std::size_t>(c)]->fingerprint();
+    }
+
+    /** True when every shard drained and no delivery is in flight. */
+    bool empty() const;
+
+    /** Barrier-synced epochs executed so far (tests, bench). */
+    std::uint64_t epochs() const { return _epochs; }
+
+  private:
+    CrossChannel *channel(ClusterId src, ClusterId dst) const;
+
+    /** Drain every mailbox into @p c's shard queue (merge rule:
+     *  ascending source, FIFO within a source). */
+    void inject(ClusterId c);
+
+    /** Epoch decide phase: runs on exactly one thread, all others
+     *  parked at the barrier. */
+    void decide();
+
+    /** The common run/runUntil driver. */
+    std::uint64_t drive(bool bounded, Tick until, std::uint64_t limit);
+
+    int _clusters;
+    int _threads;
+    int _workers = 1; ///< min(threads, clusters), set per drive()
+    std::vector<std::unique_ptr<EventQueue>> _queues;
+    std::vector<std::unique_ptr<CrossChannel>> _channels; ///< C*C grid
+    LookaheadTracker _lookahead;
+    ClusterFingerprint _trace;
+
+    // Per-round shared state (written by workers before the barrier,
+    // read by decide() inside it, or written by decide() and read by
+    // workers after release).
+    std::vector<Tick> _next; ///< per-cluster peeked next event tick
+    Tick _epochTo = 0;       ///< inclusive runUntil target this epoch
+    bool _runToDrain = false;
+    bool _done = false;
+    bool _bounded = false;
+    Tick _until = 0;
+    std::uint64_t _limit = 0;
+    std::uint64_t _epochBudget = 0; ///< per-shard limit this epoch
+    std::uint64_t _baseExecuted = 0; ///< executedCount() at drive entry
+    bool _warnedLimit = false;
+    std::uint64_t _epochs = 0;
+};
+
+} // namespace nectar::sim

@@ -10,9 +10,11 @@ namespace nectar::sim {
 CopyStats &
 copyStats()
 {
-    // nectar-lint: global-ok copy-accounting counters; aggregated
-    // read-only at report time, sharded per thread when partitioned
-    static CopyStats stats;
+    // nectar-lint: global-ok copy-accounting counters; sharded per
+    // thread so parallel-engine workers account without contention
+    // (reports read the counters from the thread that did the work;
+    // sequential runs see the one main-thread instance as before)
+    thread_local CopyStats stats;
     return stats;
 }
 

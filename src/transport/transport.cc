@@ -141,8 +141,9 @@ Transport::wakeFlow(SenderFlow &flow)
     auto waiters = std::move(flow.waiters);
     flow.waiters.clear();
     for (auto h : waiters) {
-        eventq().scheduleIn(sim::ticks::immediate, [h] { h.resume(); },
-                            sim::EventPriority::software);
+        // Zero-delay continuation: the sender parked on this flow
+        // resumes ahead of any same-tick arrivals still queued.
+        eventq().scheduleAtFront([h] { h.resume(); });
     }
     // Multicast senders watch several flows at once through a
     // channel; signal and clear (they re-register per wait).

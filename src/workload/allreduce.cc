@@ -91,38 +91,40 @@ AllreduceWorkload::AllreduceWorkload(
 
     const std::string run = std::to_string(allreduceCounter++);
     auto groupsp = &groups;
+    _slots->resize(static_cast<std::size_t>(cfg.members));
     std::vector<TaskId> ids;
     for (int r = 0; r < cfg.members; ++r) {
         TaskId id = api.createTask(
             sites[static_cast<std::size_t>(r)],
             "allreduce" + run + "_" + std::to_string(r),
-            [this, groupsp](TaskContext &ctx) -> Task<void> {
+            [this, groupsp, r](TaskContext &ctx) -> Task<void> {
                 collective::Communicator comm(ctx, *groupsp, *gid,
                                               cfg.comm);
-                auto rep = _report;
+                // Each member writes only its own slot: no member's
+                // progress ever touches another cluster's memory.
+                MemberResult &slot =
+                    (*_slots)[static_cast<std::size_t>(r)];
                 std::uint64_t fp = 0;
                 for (int t = 0; t < cfg.rounds; ++t) {
                     auto data = memberData(cfg, comm.rank(), t);
                     auto res = co_await comm.allreduce(cfg.op, data);
-                    rep->finalEpoch =
-                        std::max(rep->finalEpoch, res.epoch);
+                    slot.epoch = std::max(slot.epoch, res.epoch);
                     if (!res.ok) {
-                        ++rep->errorMembers;
+                        slot.error = true;
                         co_return;
                     }
                     if (data != expectedData(cfg, t)) {
-                        ++rep->wrongMembers;
+                        slot.wrong = true;
                         co_return;
                     }
                     fp ^= fnv1a(data) + 0x9e3779b97f4a7c15ull +
                           (fp << 6) + (fp >> 2);
                 }
-                ++rep->okMembers;
-                rep->lastFinish =
-                    std::max(rep->lastFinish, ctx.now());
+                slot.ok = true;
+                slot.finish = ctx.now();
                 // Order-independent: each member's term depends only
                 // on its own rank, results and finish time.
-                rep->fingerprint +=
+                slot.fp =
                     (fp ^ static_cast<std::uint64_t>(ctx.now())) *
                     (static_cast<std::uint64_t>(comm.rank()) * 2u +
                      1u);
@@ -131,6 +133,24 @@ AllreduceWorkload::AllreduceWorkload(
         ids.push_back(id);
     }
     *gid = groups.create("allreduce" + run, ids);
+}
+
+AllreduceReport
+AllreduceWorkload::report() const
+{
+    AllreduceReport r;
+    for (const MemberResult &m : *_slots) {
+        if (m.ok)
+            ++r.okMembers;
+        if (m.error)
+            ++r.errorMembers;
+        if (m.wrong)
+            ++r.wrongMembers;
+        r.fingerprint += m.fp;
+        r.lastFinish = std::max(r.lastFinish, m.finish);
+        r.finalEpoch = std::max(r.finalEpoch, m.epoch);
+    }
+    return r;
 }
 
 } // namespace nectar::workload

@@ -64,7 +64,8 @@ class AllreduceWorkload
                       std::vector<std::size_t> sites,
                       const Config &config = {});
 
-    const AllreduceReport &report() const { return *_report; }
+    /** Aggregated from the per-member slots (valid after the run). */
+    AllreduceReport report() const;
     collective::GroupId group() const { return *gid; }
 
     /** The member vector rank @p r contributes in round @p t. */
@@ -76,11 +77,27 @@ class AllreduceWorkload
     expectedData(const Config &cfg, int t);
 
   private:
+    /**
+     * One member task's outcome.  Each task writes only its own slot
+     * (members run on different clusters under the parallel engine);
+     * report() folds the slots after the run, when the simulation is
+     * single-threaded again.
+     */
+    struct MemberResult
+    {
+        bool ok = false;
+        bool error = false;
+        bool wrong = false;
+        std::uint64_t fp = 0;
+        sim::Tick finish = 0;
+        std::uint32_t epoch = 0;
+    };
+
     Config cfg;
     std::shared_ptr<collective::GroupId> gid =
         std::make_shared<collective::GroupId>(0);
-    std::shared_ptr<AllreduceReport> _report =
-        std::make_shared<AllreduceReport>();
+    std::shared_ptr<std::vector<MemberResult>> _slots =
+        std::make_shared<std::vector<MemberResult>>();
 };
 
 } // namespace nectar::workload

@@ -15,6 +15,7 @@
 
 #pragma once
 
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
@@ -24,6 +25,8 @@
 #include "nectarine/nectarine.hh"
 #include "node/node.hh"
 #include "sim/coro.hh"
+#include "sim/parallel.hh"
+#include "topo/description.hh"
 #include "workload/allreduce.hh"
 
 // nectar-lint-file: capture-ok test frames drive eq.run() to
@@ -46,16 +49,20 @@ struct Trace
     }
 };
 
-/** E9 replica: pipelined node-to-node transfer over one HUB. */
+/**
+ * Scenario body shared by the classic single-queue run and the
+ * parallel-engine run: @p eq is the queue the workload endpoints live
+ * on (cluster 0's shard under the parallel engine) and @p run drains
+ * the whole assembly.
+ */
 inline Trace
-packetPipelineOnce(std::uint32_t totalBytes)
+packetPipelineOn(sim::EventQueue &eq, nectarine::NectarSystem &sysRef,
+                 std::uint32_t totalBytes,
+                 const std::function<void()> &run)
 {
     using sim::Task;
 
-    sim::copyStats().reset();
-    sim::BufferArena::instance().resetStats();
-    sim::EventQueue eq;
-    auto sys = nectarine::NectarSystem::singleHub(eq, 2);
+    auto *sys = &sysRef;
     node::Node src(eq, "src"), dst(eq, "dst");
     auto &mb = sys->site(1).kernel->createMailbox("in", 2 << 20, 10);
 
@@ -97,19 +104,47 @@ packetPipelineOnce(std::uint32_t totalBytes)
             co_await window.pop();
     }(eq, src, *sys->site(0).transport, totalBytes, chunk));
 
-    eq.run();
+    run();
     return Trace{eq.fingerprint(), eq.executedCount(), eq.now()};
 }
 
-/** C1 replica: broadcast to a group over hardware multicast. */
+/** E9 replica: pipelined node-to-node transfer over one HUB. */
 inline Trace
-broadcastOnce(int members, std::uint32_t bytes)
+packetPipelineOnce(std::uint32_t totalBytes)
+{
+    sim::copyStats().reset();
+    sim::BufferArena::instance().resetStats();
+    sim::EventQueue eq;
+    auto sys = nectarine::NectarSystem::singleHub(eq, 2);
+    return packetPipelineOn(eq, *sys, totalBytes, [&] { eq.run(); });
+}
+
+/** packetPipelineOnce() on the parallel engine (one cluster: the
+ *  epoch protocol must reproduce the legacy trace byte-for-byte). */
+inline Trace
+packetPipelineThreads(std::uint32_t totalBytes, int threads)
+{
+    sim::copyStats().reset();
+    sim::BufferArena::instance().resetStats();
+    sim::ParallelEngine engine(1, threads);
+    auto sys = nectarine::NectarSystem::fromDescription(
+        engine, topo::describeSingleHub(
+                    2, nectarine::NectarSystem::defaultHubConfig()
+                           .numPorts));
+    return packetPipelineOn(engine.queueFor(0), *sys, totalBytes,
+                            [&] { engine.run(); });
+}
+
+/** Broadcast scenario body (see packetPipelineOn for the contract). */
+inline Trace
+broadcastOn(sim::EventQueue &eq, nectarine::NectarSystem &sysRef,
+            int members, std::uint32_t bytes,
+            const std::function<void()> &run)
 {
     using nectarine::TaskContext;
     using sim::Task;
 
-    sim::EventQueue eq;
-    auto sys = nectarine::NectarSystem::singleHub(eq, members);
+    auto *sys = &sysRef;
     nectarine::Nectarine api(*sys);
     collective::GroupDirectory groups;
     auto gid = std::make_shared<collective::GroupId>(0);
@@ -128,17 +163,40 @@ broadcastOnce(int members, std::uint32_t bytes)
             }));
     }
     *gid = groups.create("bcast", ids);
-    eq.run();
+    run();
     return Trace{eq.fingerprint(), eq.executedCount(), eq.now()};
 }
 
-/** C2 replica: a short allreduce over the collectives subsystem. */
+/** C1 replica: broadcast to a group over hardware multicast. */
 inline Trace
-allreduceOnce(int members, std::uint32_t bytes, int rounds)
+broadcastOnce(int members, std::uint32_t bytes)
 {
     sim::EventQueue eq;
     auto sys = nectarine::NectarSystem::singleHub(eq, members);
-    nectarine::Nectarine api(*sys);
+    return broadcastOn(eq, *sys, members, bytes, [&] { eq.run(); });
+}
+
+/** broadcastOnce() on the parallel engine. */
+inline Trace
+broadcastThreads(int members, std::uint32_t bytes, int threads)
+{
+    sim::ParallelEngine engine(1, threads);
+    auto sys = nectarine::NectarSystem::fromDescription(
+        engine,
+        topo::describeSingleHub(
+            members,
+            nectarine::NectarSystem::defaultHubConfig().numPorts));
+    return broadcastOn(engine.queueFor(0), *sys, members, bytes,
+                       [&] { engine.run(); });
+}
+
+/** Allreduce scenario body (see packetPipelineOn for the contract). */
+inline Trace
+allreduceOn(sim::EventQueue &eq, nectarine::NectarSystem &sys,
+            int members, std::uint32_t bytes, int rounds,
+            const std::function<void()> &run)
+{
+    nectarine::Nectarine api(sys);
     collective::GroupDirectory groups;
     workload::AllreduceConfig cfg;
     cfg.members = members;
@@ -149,10 +207,35 @@ allreduceOnce(int members, std::uint32_t bytes, int rounds)
         sites[static_cast<std::size_t>(i)] =
             static_cast<std::size_t>(i);
     workload::AllreduceWorkload w(api, groups, sites, cfg);
-    eq.run();
+    run();
     sim::simAssert(w.report().okMembers == members,
                    "allreduce scenario must complete on all members");
     return Trace{eq.fingerprint(), eq.executedCount(), eq.now()};
+}
+
+/** C2 replica: a short allreduce over the collectives subsystem. */
+inline Trace
+allreduceOnce(int members, std::uint32_t bytes, int rounds)
+{
+    sim::EventQueue eq;
+    auto sys = nectarine::NectarSystem::singleHub(eq, members);
+    return allreduceOn(eq, *sys, members, bytes, rounds,
+                       [&] { eq.run(); });
+}
+
+/** allreduceOnce() on the parallel engine. */
+inline Trace
+allreduceThreads(int members, std::uint32_t bytes, int rounds,
+                 int threads)
+{
+    sim::ParallelEngine engine(1, threads);
+    auto sys = nectarine::NectarSystem::fromDescription(
+        engine,
+        topo::describeSingleHub(
+            members,
+            nectarine::NectarSystem::defaultHubConfig().numPorts));
+    return allreduceOn(engine.queueFor(0), *sys, members, bytes,
+                       rounds, [&] { engine.run(); });
 }
 
 } // namespace nectar::testutil

@@ -290,5 +290,5 @@ TEST(Determinism, GoldenFingerprintMatchesCopyingPath)
     EXPECT_EQ(deliv, 6u);
     EXPECT_EQ(rexmit, 0u);
     EXPECT_EQ(crc, 0u);
-    EXPECT_EQ(eq.now(), 1203720);
+    EXPECT_EQ(eq.now(), 1206270);
 }

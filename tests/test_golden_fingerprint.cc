@@ -39,17 +39,17 @@ namespace {
 // If a legitimate *workload* change (not an engine change) alters a
 // scenario, re-record by running the scenario and updating the
 // constants — and say so in the commit message.
-constexpr std::uint64_t goldenPipelineFp = 2156214882011669737ULL;
+constexpr std::uint64_t goldenPipelineFp = 7224527340904190798ULL;
 constexpr std::uint64_t goldenPipelineExecuted = 2774;
-constexpr Tick goldenPipelineEnd = 3530370;
+constexpr Tick goldenPipelineEnd = 3535770;
 
-constexpr std::uint64_t goldenBroadcastFp = 16048867135690357130ULL;
+constexpr std::uint64_t goldenBroadcastFp = 3639186759136957353ULL;
 constexpr std::uint64_t goldenBroadcastExecuted = 183;
-constexpr Tick goldenBroadcastEnd = 1050210;
+constexpr Tick goldenBroadcastEnd = 1050510;
 
-constexpr std::uint64_t goldenAllreduceFp = 1337323462554810598ULL;
+constexpr std::uint64_t goldenAllreduceFp = 11152452941777749890ULL;
 constexpr std::uint64_t goldenAllreduceExecuted = 1044;
-constexpr Tick goldenAllreduceEnd = 219200;
+constexpr Tick goldenAllreduceEnd = 220400;
 
 /**
  * Drive @p eq with a seeded workload mixing the shapes the real stack
@@ -149,6 +149,35 @@ TEST(GoldenFingerprint, BroadcastMatchesSeedEngine)
 TEST(GoldenFingerprint, AllreduceMatchesSeedEngine)
 {
     Trace t = testutil::allreduceOnce(4, 256, 2);
+    EXPECT_EQ(t.fingerprint, goldenAllreduceFp);
+    EXPECT_EQ(t.executed, goldenAllreduceExecuted);
+    EXPECT_EQ(t.end, goldenAllreduceEnd);
+}
+
+// The same golden constants, reproduced by the parallel engine at 8
+// threads: the strongest form of the bit-identical contract — not
+// merely "parallel equals sequential", but "parallel equals the seed
+// engine of PR 0".
+
+TEST(GoldenFingerprint, PacketPipelineEightThreadsMatchesGolden)
+{
+    Trace t = testutil::packetPipelineThreads(32 * 1024, 8);
+    EXPECT_EQ(t.fingerprint, goldenPipelineFp);
+    EXPECT_EQ(t.executed, goldenPipelineExecuted);
+    EXPECT_EQ(t.end, goldenPipelineEnd);
+}
+
+TEST(GoldenFingerprint, BroadcastEightThreadsMatchesGolden)
+{
+    Trace t = testutil::broadcastThreads(4, 512, 8);
+    EXPECT_EQ(t.fingerprint, goldenBroadcastFp);
+    EXPECT_EQ(t.executed, goldenBroadcastExecuted);
+    EXPECT_EQ(t.end, goldenBroadcastEnd);
+}
+
+TEST(GoldenFingerprint, AllreduceEightThreadsMatchesGolden)
+{
+    Trace t = testutil::allreduceThreads(4, 256, 2, 8);
     EXPECT_EQ(t.fingerprint, goldenAllreduceFp);
     EXPECT_EQ(t.executed, goldenAllreduceExecuted);
     EXPECT_EQ(t.end, goldenAllreduceEnd);

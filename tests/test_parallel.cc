@@ -1,0 +1,347 @@
+/**
+ * @file
+ * The parallel simulation core (DESIGN.md "Parallel engine"):
+ * conservative lookahead derived from the topology, SPSC mailbox
+ * ordering under real thread stress, drain detection with deliveries
+ * in flight, and the two determinism contracts — per-shard traces
+ * invariant across thread counts, and cluster fingerprints identical
+ * between the parallel engine and the single-queue baseline.
+ */
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "collectives/group.hh"
+#include "nectarine/nectarine.hh"
+#include "nectarine/system.hh"
+#include "sim/parallel.hh"
+#include "topo/description.hh"
+#include "topo/topofile.hh"
+#include "workload/allreduce.hh"
+
+using namespace nectar;
+using nectarine::NectarSystem;
+using sim::ParallelEngine;
+using sim::SequentialShardSet;
+using sim::Tick;
+
+namespace {
+
+std::string
+fabricPath()
+{
+    return std::string(NECTAR_FABRIC_DIR) + "/fabric16.topo";
+}
+
+/** 2x2 mesh, one CAB per HUB: the smallest fabric where every
+ *  cluster pair exchanges trunk traffic. */
+topo::TopologyDescription
+smallMesh()
+{
+    return topo::describeMesh2D(
+        2, 2, 1, 0, NectarSystem::defaultHubConfig().numPorts);
+}
+
+/** Outcome of one allreduce run on a 4-cluster mesh: everything a
+ *  determinism comparison needs. */
+struct MeshRun
+{
+    std::vector<std::uint64_t> clusterTrace; ///< trace().cluster(c)
+    std::vector<std::uint64_t> shardFp;      ///< per-shard queue fp
+    std::vector<Tick> shardNow;              ///< per-shard end clock
+    std::uint64_t combined = 0;              ///< trace().combined()
+    std::uint64_t workloadFp = 0;
+    std::uint64_t executed = 0;
+    std::uint64_t epochs = 0;
+};
+
+/** Run the 4-member allreduce over @p shards and read the traces
+ *  back through @p engine-specific accessors. */
+template <typename RunFn>
+MeshRun
+meshAllreduce(sim::ShardSet &shards, const RunFn &run)
+{
+    auto sys = NectarSystem::fromDescription(shards, smallMesh());
+    nectarine::Nectarine api(*sys);
+    collective::GroupDirectory groups;
+    workload::AllreduceConfig cfg;
+    cfg.members = 4;
+    cfg.bytes = 512;
+    cfg.rounds = 2;
+    workload::AllreduceWorkload w(api, groups, {0, 1, 2, 3}, cfg);
+    run();
+
+    MeshRun r;
+    const auto rep = w.report();
+    EXPECT_EQ(rep.okMembers, 4);
+    r.workloadFp = rep.fingerprint;
+    for (int c = 0; c < shards.clusters(); ++c)
+        r.clusterTrace.push_back(shards.trace().cluster(c));
+    r.combined = shards.trace().combined();
+    return r;
+}
+
+MeshRun
+meshAllreduceSequential()
+{
+    sim::EventQueue eq;
+    SequentialShardSet shards(eq, 4);
+    MeshRun r = meshAllreduce(shards, [&] { eq.run(); });
+    r.executed = eq.executedCount();
+    return r;
+}
+
+MeshRun
+meshAllreduceParallel(int threads)
+{
+    ParallelEngine engine(4, threads);
+    MeshRun r = meshAllreduce(engine, [&] { engine.run(); });
+    r.executed = engine.executedCount();
+    r.epochs = engine.epochs();
+    for (int c = 0; c < 4; ++c) {
+        r.shardFp.push_back(engine.shardFingerprint(c));
+        r.shardNow.push_back(engine.queueFor(c).now());
+    }
+    return r;
+}
+
+} // namespace
+
+// --------------------------------------------------------------------
+// Lookahead.
+// --------------------------------------------------------------------
+
+TEST(Lookahead, TrackerAccumulatesTheMinimum)
+{
+    sim::LookaheadTracker t;
+    EXPECT_EQ(t.value(), sim::LookaheadTracker::unbounded);
+    EXPECT_FALSE(t.boundedWindow());
+    t.note(500);
+    t.note(80);
+    t.note(1200);
+    EXPECT_EQ(t.value(), 80);
+    EXPECT_TRUE(t.boundedWindow());
+}
+
+TEST(Lookahead, EpochEndSaturates)
+{
+    EXPECT_EQ(sim::epochEnd(100, 80), 180);
+    // Unbounded lookahead (no trunks): the epoch covers everything.
+    EXPECT_EQ(sim::epochEnd(100, sim::LookaheadTracker::unbounded),
+              sim::LookaheadTracker::unbounded);
+}
+
+TEST(Lookahead, DerivedFromTopologyTrunks)
+{
+    // Two HUBs, one trunk with 500 ns of fiber: the earliest
+    // cross-cluster influence is one byte time plus the propagation
+    // delay, identically accounted by both assemblies.
+    topo::TopologyDescription d;
+    d.hubs.resize(2);
+    d.trunks.push_back(topo::TrunkDecl{0, 15, 1, 15, 500, 1});
+
+    ParallelEngine engine(2, 2);
+    auto t = topo::buildTopology(engine, d,
+                                 NectarSystem::defaultHubConfig());
+    EXPECT_EQ(engine.lookahead(), sim::proto::fiberByteTime + 500);
+
+    sim::EventQueue eq;
+    SequentialShardSet seq(eq, 2);
+    auto t2 = topo::buildTopology(seq, d,
+                                  NectarSystem::defaultHubConfig());
+    EXPECT_EQ(seq.lookahead().value(), engine.lookahead());
+}
+
+TEST(Lookahead, BondedTrunksShortenTheWindow)
+{
+    // A width-4 trunk serializes a byte four times faster, so it,
+    // not the plain trunk, bounds the lookahead.
+    topo::TopologyDescription d;
+    d.hubs.resize(3);
+    d.trunks.push_back(topo::TrunkDecl{0, 15, 1, 15, 0, 1});
+    d.trunks.push_back(topo::TrunkDecl{1, 14, 2, 15, 0, 4});
+
+    ParallelEngine engine(3, 1);
+    auto t = topo::buildTopology(engine, d,
+                                 NectarSystem::defaultHubConfig());
+    EXPECT_EQ(engine.lookahead(), sim::proto::fiberByteTime / 4);
+}
+
+// --------------------------------------------------------------------
+// SPSC mailboxes.
+// --------------------------------------------------------------------
+
+TEST(CrossChannel, FifoOrderUnderThreadStress)
+{
+    // One real producer thread races one real consumer thread over
+    // 200k events; the consumer must observe every sequence number
+    // exactly once, in order, with the stamped payload intact.
+    constexpr std::uint64_t total = 200'000;
+    sim::CrossChannel ch(0, 1);
+    std::atomic<bool> start{false};
+
+    std::thread producer([&] {
+        while (!start.load(std::memory_order_acquire)) {
+        }
+        for (std::uint64_t i = 0; i < total; ++i)
+            ch.post(static_cast<Tick>(i + 1), [] {});
+    });
+
+    std::uint64_t seen = 0;
+    bool ordered = true;
+    bool stamped = true;
+    start.store(true, std::memory_order_release);
+    sim::CrossEvent e;
+    while (seen < total) {
+        if (!ch.pop(e))
+            continue;
+        // Seqs are 0-based post order; the stamp rode along as seq+1.
+        if (e.seq != seen)
+            ordered = false;
+        if (e.when != static_cast<Tick>(e.seq + 1))
+            stamped = false;
+        ++seen;
+    }
+    producer.join();
+
+    EXPECT_TRUE(ordered) << "sequence numbers must arrive FIFO";
+    EXPECT_TRUE(stamped) << "payload stamp must travel with its seq";
+    EXPECT_EQ(ch.posted(), total);
+    EXPECT_EQ(ch.consumed(), total);
+    EXPECT_EQ(ch.inFlight(), 0u);
+    EXPECT_FALSE(ch.pop(e));
+}
+
+// --------------------------------------------------------------------
+// Drain detection.
+// --------------------------------------------------------------------
+
+TEST(ParallelEngine, DrainSeesInFlightMailboxDeliveries)
+{
+    // A delivery posted into a mailbox but not yet injected is
+    // in-flight work: empty() must say so, and run() must execute it
+    // even though every shard queue is drained.
+    ParallelEngine engine(2, 2);
+    EXPECT_TRUE(engine.empty());
+
+    int fired = 0;
+    engine.channelFor(0, 1)->post(100, [&fired] { ++fired; });
+    EXPECT_FALSE(engine.empty());
+
+    engine.run();
+    EXPECT_EQ(fired, 1);
+    EXPECT_TRUE(engine.empty());
+    EXPECT_EQ(engine.queueFor(1).now(), 100);
+    EXPECT_EQ(engine.executedCount(), 1u);
+}
+
+TEST(ParallelEngine, RunUntilAlignsShardClocks)
+{
+    ParallelEngine engine(3, 2);
+    int fired = 0;
+    // nectar-lint: capture-ok runUntil() drains before fired leaves scope
+    engine.queueFor(1).schedule(250 * sim::ticks::ns,
+                                [&fired] { ++fired; });
+    engine.runUntil(1000);
+    EXPECT_EQ(fired, 1);
+    for (int c = 0; c < 3; ++c)
+        EXPECT_EQ(engine.queueFor(c).now(), 1000) << "cluster " << c;
+}
+
+// --------------------------------------------------------------------
+// Determinism contracts.
+// --------------------------------------------------------------------
+
+TEST(ParallelEngine, ClusterTraceMatchesSequentialAssembly)
+{
+    // The cross-assembly witness: the single-queue baseline and the
+    // parallel engine mix identical trunk-delivery values in
+    // identical order, per destination cluster.
+    const MeshRun seq = meshAllreduceSequential();
+    ASSERT_EQ(seq.clusterTrace.size(), 4u);
+
+    for (int threads : {1, 2, 4}) {
+        const MeshRun par = meshAllreduceParallel(threads);
+        EXPECT_EQ(par.clusterTrace, seq.clusterTrace)
+            << threads << " threads";
+        EXPECT_EQ(par.combined, seq.combined) << threads
+                                              << " threads";
+        EXPECT_EQ(par.workloadFp, seq.workloadFp)
+            << threads << " threads";
+    }
+}
+
+TEST(ParallelEngine, ShardTracesInvariantAcrossThreadCounts)
+{
+    // Shard decomposition is per cluster, never per thread: the
+    // (tick, priority, sequence) trace of every shard — and hence
+    // its fingerprint and end clock — must be bit-identical at 1, 2,
+    // 4 and 8 threads.
+    const MeshRun base = meshAllreduceParallel(1);
+    EXPECT_GT(base.epochs, 1u) << "trunk traffic must need epochs";
+
+    for (int threads : {2, 4, 8}) {
+        const MeshRun r = meshAllreduceParallel(threads);
+        EXPECT_EQ(r.shardFp, base.shardFp) << threads << " threads";
+        EXPECT_EQ(r.shardNow, base.shardNow) << threads << " threads";
+        EXPECT_EQ(r.executed, base.executed) << threads << " threads";
+        EXPECT_EQ(r.epochs, base.epochs) << threads << " threads";
+        EXPECT_EQ(r.workloadFp, base.workloadFp)
+            << threads << " threads";
+    }
+}
+
+TEST(ParallelEngine, Fabric16EightThreadsMatchesSequential)
+{
+    // The acceptance fabric: a 32-member allreduce spanning all 16
+    // HUBs, run on the single-queue baseline and on the parallel
+    // engine at 8 threads.  Cluster fingerprints must agree exactly.
+    const topo::TopologyDescription desc =
+        topo::loadTopologyFile(fabricPath());
+    workload::AllreduceConfig cfg;
+    cfg.members = 32;
+    cfg.bytes = 512;
+    cfg.rounds = 1;
+
+    const auto runOn = [&](sim::ShardSet &shards,
+                           const std::function<void()> &run,
+                           std::uint64_t &workloadFp) {
+        auto sys = NectarSystem::fromDescription(shards, desc);
+        nectarine::Nectarine api(*sys);
+        collective::GroupDirectory groups;
+        std::vector<std::size_t> sites;
+        for (std::size_t i = 0;
+             i < static_cast<std::size_t>(cfg.members); ++i)
+            sites.push_back(i * sys->siteCount() /
+                            static_cast<std::size_t>(cfg.members));
+        workload::AllreduceWorkload w(api, groups, sites, cfg);
+        run();
+        EXPECT_EQ(w.report().okMembers, cfg.members);
+        workloadFp = w.report().fingerprint;
+        std::vector<std::uint64_t> trace;
+        for (int c = 0; c < shards.clusters(); ++c)
+            trace.push_back(shards.trace().cluster(c));
+        return trace;
+    };
+
+    sim::EventQueue eq;
+    SequentialShardSet seqShards(eq, 16);
+    std::uint64_t seqFp = 0;
+    const auto seqTrace =
+        runOn(seqShards, [&] { eq.run(); }, seqFp);
+
+    ParallelEngine engine(16, 8);
+    std::uint64_t parFp = 0;
+    const auto parTrace =
+        runOn(engine, [&] { engine.run(); }, parFp);
+
+    EXPECT_EQ(parTrace, seqTrace);
+    EXPECT_EQ(parFp, seqFp);
+    EXPECT_GT(engine.epochs(), 1u);
+}
